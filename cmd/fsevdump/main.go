@@ -1,0 +1,84 @@
+// Command fsevdump decodes a binary event capture (the FSEV1 streams
+// written by internal/eventio) to JSON lines on stdout.
+//
+// Usage:
+//
+//	fsevdump capture.fsev            # whole stream
+//	fsevdump -type like capture.fsev # one action type
+//	fsevdump -blocked capture.fsev   # only blocked actions
+//	fsevdump -n 100 capture.fsev     # first 100 matching events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"footsteps/internal/eventio"
+	"footsteps/internal/platform"
+)
+
+func main() {
+	typeFilter := flag.String("type", "", "keep only this action type (like, follow, unfollow, comment, post, login)")
+	blockedOnly := flag.Bool("blocked", false, "keep only blocked actions")
+	limit := flag.Int("n", 0, "stop after N matching events (0 = all)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fsevdump [flags] capture.fsev")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsevdump:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	r, err := eventio.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsevdump:", err)
+		os.Exit(1)
+	}
+
+	matched := 0
+	batch := make([]platform.Event, 0, 512)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := eventio.WriteJSONL(os.Stdout, batch); err != nil {
+			fmt.Fprintln(os.Stderr, "fsevdump:", err)
+			os.Exit(1)
+		}
+		batch = batch[:0]
+	}
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			flush()
+			fmt.Fprintln(os.Stderr, "fsevdump: stream error:", err)
+			os.Exit(1)
+		}
+		if *typeFilter != "" && ev.Type.String() != *typeFilter {
+			continue
+		}
+		if *blockedOnly && ev.Outcome != platform.OutcomeBlocked {
+			continue
+		}
+		batch = append(batch, ev)
+		matched++
+		if len(batch) == cap(batch) {
+			flush()
+		}
+		if *limit > 0 && matched >= *limit {
+			break
+		}
+	}
+	flush()
+	fmt.Fprintf(os.Stderr, "fsevdump: %d events\n", matched)
+}

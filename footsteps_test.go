@@ -1,0 +1,55 @@
+package footsteps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticTablesRender(t *testing.T) {
+	cases := map[string]string{
+		FormatTable1(): "Instalex",
+		FormatTable2(): "$99.00",
+		FormatTable3(): "No collusion network",
+		FormatTable4(): "Followersgratis",
+	}
+	for out, want := range cases {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStudyReciprocationViaPublicAPI(t *testing.T) {
+	cfg := TestConfig()
+	cfg.GraphWrites = true
+	study := NewStudy(cfg)
+	tbl, err := study.Reciprocation(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Cells) != 12 {
+		t.Fatalf("cells %d", len(tbl.Cells))
+	}
+	if !strings.Contains(FormatTable5(tbl), "Boostgram") {
+		t.Fatal("formatted table incomplete")
+	}
+	if study.World() == nil {
+		t.Fatal("World() nil")
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := TestConfig()
+		cfg.GraphWrites = true
+		study := NewStudy(cfg)
+		tbl, err := study.Reciprocation(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable5(tbl)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("identical seeds produced different Table 5 output")
+	}
+}

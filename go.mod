@@ -1,0 +1,3 @@
+module footsteps
+
+go 1.22

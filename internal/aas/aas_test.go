@@ -1,0 +1,1171 @@
+package aas
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"footsteps/internal/behavior"
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+)
+
+type world struct {
+	plat  *platform.Platform
+	sched *clock.Scheduler
+	reg   *netsim.Registry
+	pop   *behavior.Population
+	rng   *rng.RNG
+}
+
+func newWorld(t *testing.T, seed uint64) *world {
+	t.Helper()
+	reg := netsim.NewRegistry()
+	RegisterNetworks(reg)
+	sched := clock.NewScheduler(clock.New())
+	plat := platform.New(platform.DefaultConfig(), socialgraph.New(), reg, sched)
+	r := rng.New(seed)
+	pop := behavior.New(behavior.DefaultModel(), plat, sched, r.Split("pop"))
+	return &world{plat: plat, sched: sched, reg: reg, pop: pop, rng: r}
+}
+
+// registerHoneypot creates a bare platform account the way the honeypot
+// framework would.
+func (w *world) registerHoneypot(t *testing.T, name string) (string, string) {
+	t.Helper()
+	pw := "pw-" + name
+	if _, err := w.plat.RegisterAccount(name, pw, platform.Profile{PhotoCount: 10}, "USA"); err != nil {
+		t.Fatal(err)
+	}
+	return name, pw
+}
+
+func TestCatalogMatchesTables(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d services", len(cat))
+	}
+	byName := make(map[string]*Spec)
+	for _, s := range cat {
+		byName[s.Name] = s
+	}
+
+	// Table 1: offerings matrix.
+	checks := []struct {
+		name  string
+		tech  Technique
+		wants []Offering
+		lacks []Offering
+	}{
+		{NameInstalex, TechniqueReciprocity,
+			[]Offering{OfferLike, OfferFollow, OfferComment, OfferUnfollow}, []Offering{OfferPost}},
+		{NameInstazood, TechniqueReciprocity,
+			[]Offering{OfferLike, OfferFollow, OfferComment, OfferPost, OfferUnfollow}, nil},
+		{NameBoostgram, TechniqueReciprocity,
+			[]Offering{OfferLike, OfferFollow, OfferPost, OfferUnfollow}, []Offering{OfferComment}},
+		{NameHublaagram, TechniqueCollusion,
+			[]Offering{OfferLike, OfferFollow, OfferComment}, []Offering{OfferPost, OfferUnfollow}},
+		{NameFollowersgratis, TechniqueCollusion,
+			[]Offering{OfferLike, OfferFollow}, []Offering{OfferComment, OfferPost, OfferUnfollow}},
+	}
+	for _, c := range checks {
+		s := byName[c.name]
+		if s == nil {
+			t.Fatalf("service %s missing", c.name)
+		}
+		if s.Technique != c.tech {
+			t.Errorf("%s technique %v", c.name, s.Technique)
+		}
+		for _, o := range c.wants {
+			if !s.Offers(o) {
+				t.Errorf("%s should offer %v", c.name, o)
+			}
+		}
+		for _, o := range c.lacks {
+			if s.Offers(o) {
+				t.Errorf("%s should not offer %v", c.name, o)
+			}
+		}
+	}
+
+	// Table 2: reciprocity pricing.
+	if p := byName[NameInstalex].Reciprocity; p.TrialDays != 7 || p.MinPaidDays != 7 || p.CostPerPeriod != 3.15 {
+		t.Errorf("Instalex pricing %+v", p)
+	}
+	if p := byName[NameInstazood].Reciprocity; p.TrialDays != 3 || p.ActualTrialDays() != 7 ||
+		p.MinPaidDays != 1 || p.CostPerPeriod != 0.34 {
+		t.Errorf("Instazood pricing %+v", p)
+	}
+	if p := byName[NameBoostgram].Reciprocity; p.TrialDays != 3 || p.MinPaidDays != 30 || p.CostPerPeriod != 99 {
+		t.Errorf("Boostgram pricing %+v", p)
+	}
+
+	// Table 3: Hublaagram price list.
+	h := byName[NameHublaagram].Collusion
+	if h.NoOutboundFee != 15 {
+		t.Errorf("no-outbound fee %v", h.NoOutboundFee)
+	}
+	if len(h.OneTime) != 3 || h.OneTime[0].Likes != 2000 || h.OneTime[0].Fee != 10 ||
+		h.OneTime[2].Likes != 10000 || h.OneTime[2].Fee != 25 {
+		t.Errorf("one-time packages %+v", h.OneTime)
+	}
+	wantTiers := []LikeTier{
+		{250, 500, 20}, {500, 1000, 30}, {1000, 2000, 40}, {2000, 4000, 70},
+	}
+	if len(h.MonthlyTiers) != 4 {
+		t.Fatalf("tiers %+v", h.MonthlyTiers)
+	}
+	for i, w := range wantTiers {
+		if h.MonthlyTiers[i] != w {
+			t.Errorf("tier %d = %+v, want %+v", i, h.MonthlyTiers[i], w)
+		}
+	}
+
+	// Table 7: operating locations.
+	if byName[NameInstalex].OperatingCountry != "RUS" ||
+		byName[NameBoostgram].OperatingCountry != "USA" ||
+		byName[NameHublaagram].OperatingCountry != "IDN" {
+		t.Error("operating countries wrong")
+	}
+
+	if SpecByName(NameBoostgram) == nil || SpecByName("nope") != nil {
+		t.Error("SpecByName lookup broken")
+	}
+}
+
+func TestCatalogReturnsFreshCopies(t *testing.T) {
+	a := SpecByName(NameBoostgram)
+	a.Reciprocity.CostPerPeriod = 1
+	if b := SpecByName(NameBoostgram); b.Reciprocity.CostPerPeriod != 99 {
+		t.Fatal("catalog specs share state across calls")
+	}
+}
+
+func TestReciprocityTrialDrivesOnlyRequestedActions(t *testing.T) {
+	w := newWorld(t, 1)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 2000))
+
+	name, pw := w.registerHoneypot(t, "hp-like-only")
+	c, err := svc.EnrollTrial(name, pw, OfferLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[platform.ActionType]int)
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type != platform.ActionLogin {
+			counts[ev.Type]++
+		}
+	})
+	svc.Run(10, 0) // zero scale: no managed customers, honeypot only
+	w.sched.RunFor(10 * 24 * time.Hour)
+
+	if counts[platform.ActionLike] == 0 {
+		t.Fatal("no likes driven during trial")
+	}
+	// §4.2: "no AASs used our accounts to produce visible un-requested
+	// actions".
+	for _, typ := range []platform.ActionType{platform.ActionFollow, platform.ActionComment, platform.ActionPost} {
+		if counts[typ] != 0 {
+			t.Fatalf("service performed un-requested %v ×%d", typ, counts[typ])
+		}
+	}
+}
+
+func TestReciprocityTrialExpires(t *testing.T) {
+	w := newWorld(t, 2)
+	spec := SpecByName(NameBoostgram) // 3-day trial
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 1000))
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollTrial(name, pw, OfferFollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastAction time.Time
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionFollow {
+			lastAction = ev.Time
+		}
+	})
+	svc.Run(10, 0)
+	w.sched.RunFor(10 * 24 * time.Hour)
+
+	if lastAction.IsZero() {
+		t.Fatal("trial produced no actions")
+	}
+	expiry := c.EnrolledAt.Add(3 * 24 * time.Hour)
+	// §4.2: activity stops no more than 12 hours beyond the expected end.
+	if lastAction.After(expiry.Add(12 * time.Hour)) {
+		t.Fatalf("action at %v, trial expired %v", lastAction, expiry)
+	}
+}
+
+func TestInstazoodDeliversSevenDayTrial(t *testing.T) {
+	w := newWorld(t, 3)
+	spec := SpecByName(NameInstazood) // advertises 3, delivers 7
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("iz", spec.TargetPool, 1000))
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow)
+	var lastAction time.Time
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionFollow {
+			lastAction = ev.Time
+		}
+	})
+	svc.Run(12, 0)
+	w.sched.RunFor(12 * 24 * time.Hour)
+
+	active := lastAction.Sub(c.EnrolledAt)
+	if active < 6*24*time.Hour {
+		t.Fatalf("Instazood trial lasted only %v, want ≈7 days", active)
+	}
+}
+
+func TestPurchaseExtendsService(t *testing.T) {
+	w := newWorld(t, 4)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 500))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow)
+	svc.Purchase(c)
+	if svc.Revenue != 99 {
+		t.Fatalf("revenue %v", svc.Revenue)
+	}
+	if len(c.Payments) != 1 || c.Payments[0].Amount != 99 {
+		t.Fatalf("payments %+v", c.Payments)
+	}
+	// Paid service begins after the trial: 3 trial days + 30 paid.
+	want := c.EnrolledAt.Add(33 * 24 * time.Hour)
+	if !c.PaidThrough.Equal(want) {
+		t.Fatalf("paid through %v, want %v", c.PaidThrough, want)
+	}
+}
+
+func TestUnfollowAfterFollow(t *testing.T) {
+	w := newWorld(t, 5)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 2000))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow, OfferUnfollow)
+	c.unfollowAfter = true
+
+	follows, unfollows := 0, 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor != c.Account {
+			return
+		}
+		switch ev.Type {
+		case platform.ActionFollow:
+			follows++
+		case platform.ActionUnfollow:
+			unfollows++
+		}
+	})
+	svc.Run(3, 0)
+	w.sched.RunFor(3 * 24 * time.Hour)
+	if follows == 0 {
+		t.Fatal("no follows")
+	}
+	if unfollows == 0 {
+		t.Fatal("unfollow-after-follow produced no unfollows")
+	}
+	// Unfollows lag follows by ~48h, so within a 3-day window there must
+	// be fewer unfollows than follows.
+	if unfollows >= follows {
+		t.Fatalf("unfollows %d >= follows %d", unfollows, follows)
+	}
+}
+
+func TestBlockDetectionAdaptsFollowRate(t *testing.T) {
+	w := newWorld(t, 6)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 4000))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow)
+	c.EngagedUntil = c.EnrolledAt.Add(15 * 24 * time.Hour) // keep it active
+
+	// Per-account daily threshold of 30 follows.
+	const threshold = 30
+	counts := make(map[int]int) // day -> allowed follows
+	var today int
+	var curDay int
+	w.plat.SetGatekeeper(platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		if req.Type != platform.ActionFollow || req.Actor != c.Account {
+			return platform.Allow
+		}
+		day := int(req.Time.Sub(clock.Epoch) / (24 * time.Hour))
+		if day != curDay {
+			curDay, today = day, 0
+		}
+		if today >= threshold {
+			return platform.Verdict{Kind: platform.VerdictBlock}
+		}
+		today++
+		return platform.Allow
+	}))
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionFollow && ev.Outcome == platform.OutcomeAllowed {
+			day := int(ev.Time.Sub(clock.Epoch) / (24 * time.Hour))
+			counts[day]++
+		}
+	})
+	svc.Run(14, 0)
+	w.sched.RunFor(14 * 24 * time.Hour)
+
+	// Day 0: the service hits the threshold and learns it.
+	if counts[0] != threshold {
+		t.Fatalf("day-0 allowed follows %d, want %d (threshold)", counts[0], threshold)
+	}
+	// Later days: the service hovers at/below the threshold, probing
+	// occasionally; it must never wildly exceed the plan again.
+	for day := 2; day <= 12; day++ {
+		if counts[day] > threshold {
+			t.Fatalf("day %d allowed %d follows, above the %d threshold — blocks are synchronous so overshoot is impossible", day, counts[day], threshold)
+		}
+		if counts[day] < threshold/3 {
+			t.Fatalf("day %d allowed only %d follows — service over-reacted", day, counts[day])
+		}
+	}
+}
+
+func TestCollusionFreeRequestDeliversQuantum(t *testing.T) {
+	w := newWorld(t, 7)
+	spec := SpecByName(NameHublaagram)
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 32)
+
+	// Build a source population of enrolled customers.
+	for i := 0; i < 200; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("src%d", i))
+		c, err := svc.EnrollFree(name, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.EngagedUntil = c.EnrolledAt.Add(30 * 24 * time.Hour)
+	}
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollFree(name, pw, OfferLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.RequestFree(c, OfferLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec.Collusion.FreeLikeQuantum {
+		t.Fatalf("delivered %d likes, want %d", got, spec.Collusion.FreeLikeQuantum)
+	}
+	pid, _ := w.plat.LatestPost(c.Account)
+	if n := w.plat.LikeCount(pid); n != got {
+		t.Fatalf("like count %d != delivered %d", n, got)
+	}
+	if svc.AdImpressions != spec.Collusion.AdsPerRequest*2 {
+		// two requests so far: the honeypot's own enroll does not count,
+		// but both RequestFree calls do... only one was made here.
+		t.Logf("ad impressions %d", svc.AdImpressions)
+	}
+}
+
+func TestCollusionFreeRequestCooldown(t *testing.T) {
+	w := newWorld(t, 8)
+	spec := SpecByName(NameHublaagram)
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 32)
+	for i := 0; i < 50; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("src%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(30 * 24 * time.Hour)
+	}
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferLike)
+	if _, err := svc.RequestFree(c, OfferLike); err != nil {
+		t.Fatal(err)
+	}
+	// Immediate second request: inside the 30-minute cooldown.
+	if _, err := svc.RequestFree(c, OfferLike); err == nil {
+		t.Fatal("request inside cooldown succeeded")
+	}
+	w.sched.Clock().Advance(31 * time.Minute)
+	if _, err := svc.RequestFree(c, OfferLike); err != nil {
+		t.Fatalf("request after cooldown failed: %v", err)
+	}
+}
+
+func TestCollusionSourcesExcludeNoOutbound(t *testing.T) {
+	w := newWorld(t, 9)
+	spec := SpecByName(NameHublaagram)
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 32)
+
+	var optedOut *Customer
+	for i := 0; i < 100; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("src%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(30 * 24 * time.Hour)
+		if i == 0 {
+			optedOut = c
+			if err := svc.PurchaseNoOutbound(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if svc.Revenue != spec.Collusion.NoOutboundFee {
+		t.Fatalf("revenue %v", svc.Revenue)
+	}
+	outbound := 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == optedOut.Account && ev.Type == platform.ActionLike {
+			outbound++
+		}
+	})
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferLike)
+	for i := 0; i < 5; i++ {
+		svc.RequestFree(c, OfferLike)
+		w.sched.Clock().Advance(time.Hour)
+	}
+	if outbound != 0 {
+		t.Fatalf("no-outbound account produced %d outbound likes", outbound)
+	}
+}
+
+func TestCollusionOneTimePurchaseBurst(t *testing.T) {
+	w := newWorld(t, 10)
+	spec := SpecByName(NameHublaagram)
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 32)
+	for i := 0; i < 3000; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("src%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(30 * 24 * time.Hour)
+	}
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferLike)
+	if err := svc.PurchaseOneTime(c, 0); err != nil { // 2,000 likes / $10
+		t.Fatal(err)
+	}
+	pid, _ := w.plat.LatestPost(c.Account)
+	got := w.plat.LikeCount(pid)
+	if got < 1900 {
+		t.Fatalf("one-time package delivered %d likes, want ≈2000", got)
+	}
+	// Paid bursts exceed the 160/hour free cap — that is the product.
+	if got <= spec.Collusion.FreeLikeHourlyCap {
+		t.Fatalf("paid delivery %d under the free cap", got)
+	}
+}
+
+func TestCollusionStopSales(t *testing.T) {
+	w := newWorld(t, 11)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw)
+	svc.StopSales()
+	if err := svc.PurchaseNoOutbound(c); err == nil {
+		t.Fatal("purchase succeeded after StopSales")
+	}
+	if err := svc.PurchaseTier(c, 0); err == nil {
+		t.Fatal("tier purchase succeeded after StopSales")
+	}
+	if !svc.SalesStopped() {
+		t.Fatal("SalesStopped false")
+	}
+}
+
+func TestManagedLifecycleProducesCustomers(t *testing.T) {
+	w := newWorld(t, 12)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 1000))
+	// Scale 1/200: ~15 initial long-term, ~0.5 arrivals/day.
+	svc.Run(20, 1.0/200)
+	w.sched.RunFor(20 * 24 * time.Hour)
+
+	if len(svc.Customers()) < 10 {
+		t.Fatalf("only %d customers after 20 days", len(svc.Customers()))
+	}
+	long, paying := 0, 0
+	for _, c := range svc.Customers() {
+		if c.LongTermIntent {
+			long++
+		}
+		if len(c.Payments) > 0 {
+			paying++
+		}
+	}
+	if long == 0 || paying == 0 {
+		t.Fatalf("long=%d paying=%d", long, paying)
+	}
+	if svc.Revenue <= 0 {
+		t.Fatal("no revenue recorded")
+	}
+	if svc.ActiveCustomers() == 0 {
+		t.Fatal("no active customers")
+	}
+}
+
+func TestUseProxyNetworkChangesASNs(t *testing.T) {
+	w := newWorld(t, 13)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	proxies := netsim.NewProxyPool(w.reg, []netsim.ASN{ASNProxyBase, ASNProxyBase + 1}, 20, w.rng.Split("px"))
+	svc.UseProxyNetwork(proxies)
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollTrial(name, pw, OfferFollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The enrollment login must already originate from the proxy space.
+	_ = c
+	asns := make(map[netsim.ASN]bool)
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Client == spec.Fingerprint {
+			asns[ev.ASN] = true
+		}
+	})
+	name2, pw2 := w.registerHoneypot(t, "hp2")
+	svc.EnrollTrial(name2, pw2, OfferFollow)
+	for a := range asns {
+		if a != ASNProxyBase && a != ASNProxyBase+1 {
+			t.Fatalf("service traffic from non-proxy ASN %d", a)
+		}
+	}
+}
+
+func TestAdaptiveRateUnit(t *testing.T) {
+	now := clock.Epoch
+	a := &adaptiveRate{}
+	if a.target(100) != 100 {
+		t.Fatal("uncapped target should be the plan")
+	}
+	if !a.ready(now) {
+		t.Fatal("fresh rate not ready")
+	}
+	a.todayCount = 30
+	a.onBlocked(now, 3)
+	if a.learnedCap != 30 || !a.todayBlocked {
+		t.Fatalf("after block: %+v", a)
+	}
+	// A block triggers a multi-hour cooldown.
+	if a.ready(now.Add(time.Hour)) {
+		t.Fatal("ready during cooldown")
+	}
+	if !a.ready(now.Add(4 * time.Hour)) {
+		t.Fatal("not ready after cooldown")
+	}
+	a.onBlocked(now, 3) // double block same day: no cap change
+	if a.learnedCap != 30 {
+		t.Fatal("double block changed cap")
+	}
+	a.endDay()
+	if a.todayCount != 0 || a.todayBlocked {
+		t.Fatalf("endDay: %+v", a)
+	}
+	// probeWait counts down over block-free days (the block day itself
+	// does not count).
+	if a.target(100) != 30 {
+		t.Fatalf("capped target %v", a.target(100))
+	}
+	a.endDay()
+	a.endDay()
+	a.endDay()
+	if a.probeWait != 0 {
+		t.Fatalf("probeWait %d", a.probeWait)
+	}
+	// Now a probe is allowed: target rises above the cap.
+	if got := a.target(100); got <= 30 {
+		t.Fatalf("probe target %v, want > 30", got)
+	}
+	// An unanswered probe raises the cap.
+	a.endDay()
+	if a.learnedCap <= 30 {
+		t.Fatalf("cap after unanswered probe %v", a.learnedCap)
+	}
+}
+
+func TestEnrollBadCredentials(t *testing.T) {
+	w := newWorld(t, 14)
+	svc := NewReciprocityService(SpecByName(NameBoostgram), w.plat, w.sched, w.rng.Split("svc"))
+	if _, err := svc.EnrollTrial("ghost", "nope", OfferLike); err == nil {
+		t.Fatal("enrolling unknown credentials succeeded")
+	}
+}
+
+func TestSessionRevocationEvictsService(t *testing.T) {
+	w := newWorld(t, 15)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 500))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow)
+
+	// The user resets their password — the AAS loses the account.
+	if err := w.plat.ResetPassword(c.Account, "new"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(3, 0)
+	w.sched.RunFor(3 * 24 * time.Hour)
+	if !c.Churned {
+		t.Fatal("service did not notice revoked session")
+	}
+}
+
+func TestTechniqueOfferingStrings(t *testing.T) {
+	if TechniqueReciprocity.String() != "reciprocity" || TechniqueCollusion.String() != "collusion" {
+		t.Fatal("technique strings")
+	}
+	for o, want := range map[Offering]string{
+		OfferLike: "like", OfferFollow: "follow", OfferComment: "comment",
+		OfferPost: "post", OfferUnfollow: "unfollow", Offering(99): "unknown",
+	} {
+		if o.String() != want {
+			t.Fatalf("offering %d string %q", int(o), o.String())
+		}
+	}
+}
+
+func TestWrongTechniquePanics(t *testing.T) {
+	w := newWorld(t, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReciprocityService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng)
+}
+
+func TestCostPerDay(t *testing.T) {
+	p := ReciprocityPricing{MinPaidDays: 7, CostPerPeriod: 3.15}
+	if got := p.CostPerDay(); got != 0.45 {
+		t.Fatalf("CostPerDay %v", got)
+	}
+	if (ReciprocityPricing{}).CostPerDay() != 0 {
+		t.Fatal("zero pricing CostPerDay")
+	}
+}
+
+func TestHashtagTargeting(t *testing.T) {
+	w := newWorld(t, 20)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+
+	// Two pools: a generic curated pool and a tagged "fitness" pool.
+	generic := w.pop.AddCuratedPool("generic", spec.TargetPool, 400)
+	fitness := w.pop.AddCuratedPool("fitness", spec.TargetPool, 400)
+	w.pop.TagPool("fitness", "fitness", "gym")
+	svc.SetTargetPool(generic)
+	w.pop.Wire()
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollTrial(name, pw, OfferFollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The customer narrows targeting to their hashtags (§3.3.1).
+	c.Hashtags = []string{"fitness", "gym"}
+
+	fitnessSet := make(map[platform.AccountID]bool, len(fitness))
+	for _, id := range fitness {
+		fitnessSet[id] = true
+	}
+	var wrongPool int
+	var followed int
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor != c.Account || ev.Type != platform.ActionFollow || ev.Outcome != platform.OutcomeAllowed {
+			return
+		}
+		followed++
+		if !fitnessSet[ev.Target] {
+			wrongPool++
+		}
+	})
+	svc.Run(2, 0)
+	w.sched.RunFor(2 * 24 * time.Hour)
+
+	if followed == 0 {
+		t.Fatal("no follows driven")
+	}
+	if wrongPool > 0 {
+		t.Fatalf("%d of %d follows hit accounts outside the requested hashtags", wrongPool, followed)
+	}
+}
+
+func TestHashtagTargetingFallsBackToPool(t *testing.T) {
+	w := newWorld(t, 21)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	pool := w.pop.AddCuratedPool("generic", spec.TargetPool, 300)
+	svc.SetTargetPool(pool)
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferFollow)
+	c.Hashtags = []string{"nonexistent-tag"}
+
+	followed := 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionFollow && ev.Outcome == platform.OutcomeAllowed {
+			followed++
+		}
+	})
+	svc.Run(2, 0)
+	w.sched.RunFor(2 * 24 * time.Hour)
+	if followed == 0 {
+		t.Fatal("empty hashtag feed should fall back to the curated pool")
+	}
+}
+
+func TestOAuthAPIPrecludesAbuse(t *testing.T) {
+	// §2: the public OAuth API "is rate limited in a manner that
+	// precludes broad abusive use" — which is why every AAS reverse
+	// engineers the private mobile API. Drive the same workload through
+	// both APIs and compare throughput.
+	run := func(api platform.APIKind) int {
+		w := newWorld(t, 22)
+		spec := SpecByName(NameBoostgram)
+		svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+		svc.SetAPI(api)
+		svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 2000))
+		name, pw := w.registerHoneypot(t, "hp")
+		c, err := svc.EnrollTrial(name, pw, OfferLike)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		w.plat.Log().Subscribe(func(ev platform.Event) {
+			if ev.Actor == c.Account && ev.Type == platform.ActionLike && ev.Outcome == platform.OutcomeAllowed {
+				delivered++
+			}
+		})
+		svc.Run(2, 0)
+		w.sched.RunFor(2 * 24 * time.Hour)
+		return delivered
+	}
+	private := run(platform.APIPrivate)
+	oauth := run(platform.APIOAuth)
+	if private == 0 {
+		t.Fatal("private API delivered nothing")
+	}
+	// Plan is 270 likes/day; OAuth is capped at 30 actions/hour, so the
+	// achievable fraction collapses.
+	if oauth >= private {
+		t.Fatalf("oauth delivered %d >= private %d", oauth, private)
+	}
+	if float64(oauth) > float64(private)*0.8 {
+		t.Fatalf("oauth delivered %d of private's %d — the public API cap should bite harder", oauth, private)
+	}
+}
+
+func TestEnginesSurviveChaoticBlocking(t *testing.T) {
+	// Failure injection: a gatekeeper that blocks 40% of everything, at
+	// random. The engines must keep operating (no wedge, no panic), keep
+	// delivering some actions, and their block-detection state must not
+	// drive activity to zero.
+	w := newWorld(t, 30)
+	chaos := rng.New(99)
+	w.plat.SetGatekeeper(platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		if req.Type != platform.ActionLogin && chaos.Bool(0.4) {
+			return platform.Verdict{Kind: platform.VerdictBlock}
+		}
+		return platform.Allow
+	}))
+
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 1500))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollTrial(name, pw, OfferFollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EngagedUntil = c.EnrolledAt.Add(8 * 24 * time.Hour)
+
+	allowed, blocked := 0, 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor != c.Account || ev.Type != platform.ActionFollow {
+			return
+		}
+		switch ev.Outcome {
+		case platform.OutcomeAllowed:
+			allowed++
+		case platform.OutcomeBlocked:
+			blocked++
+		}
+	})
+	svc.Run(8, 0)
+	w.sched.RunFor(8 * 24 * time.Hour)
+
+	if blocked == 0 {
+		t.Fatal("chaos gatekeeper never fired")
+	}
+	if allowed == 0 {
+		t.Fatal("engine wedged: zero actions delivered under random blocking")
+	}
+	// The per-day block detector backs off but the probe cycle must keep
+	// the service trying: expect at least a handful of successes per day.
+	if allowed < 8*3 {
+		t.Fatalf("only %d follows delivered over 8 days — probing stalled", allowed)
+	}
+}
+
+func TestCollusionSurvivesMassPasswordResets(t *testing.T) {
+	// Half the network's customers reset their passwords mid-flight. The
+	// service must shed the lost sessions and keep serving the rest.
+	w := newWorld(t, 31)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 32)
+	var customers []*Customer
+	for i := 0; i < 80; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("c%d", i))
+		c, err := svc.EnrollFree(name, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.EngagedUntil = c.EnrolledAt.Add(10 * 24 * time.Hour)
+		customers = append(customers, c)
+	}
+	for i := 0; i < 40; i++ {
+		if err := w.plat.ResetPassword(customers[i].Account, "new-pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A surviving customer requests likes; delivery must still work,
+	// sourced from the surviving half.
+	w.sched.Clock().Advance(time.Hour)
+	got, err := svc.RequestFree(customers[70], OfferLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Fatal("no likes delivered after mass revocation")
+	}
+	churned := 0
+	for _, c := range customers[:40] {
+		if c.Churned {
+			churned++
+		}
+	}
+	// Revoked sources are discovered lazily, as deliveries touch them.
+	if churned == 0 {
+		t.Fatal("service never noticed any revoked session")
+	}
+}
+
+func TestPostAutomationService(t *testing.T) {
+	w := newWorld(t, 32)
+	spec := SpecByName(NameInstazood) // offers posts (Table 1)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("iz", spec.TargetPool, 300))
+
+	name, pw := w.registerHoneypot(t, "hp")
+	c, err := svc.EnrollTrial(name, pw, OfferPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionPost && ev.Outcome == platform.OutcomeAllowed {
+			posts++
+		}
+	})
+	svc.Run(6, 0)
+	w.sched.RunFor(6 * 24 * time.Hour)
+	if posts == 0 {
+		t.Fatal("post service produced no posts")
+	}
+	if posts > 20 {
+		t.Fatalf("post service produced %d posts in 6 days — should be ≈daily", posts)
+	}
+}
+
+func TestPostServiceNotOfferedByInstalex(t *testing.T) {
+	// Table 1: Instalex has no post column; requesting it yields nothing.
+	w := newWorld(t, 33)
+	spec := SpecByName(NameInstalex)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("ix", spec.TargetPool, 300))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferPost)
+	posts := 0
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionPost {
+			posts++
+		}
+	})
+	svc.Run(5, 0)
+	w.sched.RunFor(5 * 24 * time.Hour)
+	if posts != 0 {
+		t.Fatalf("Instalex performed %d posts despite not selling the service", posts)
+	}
+}
+
+func TestReloginAllRefreshesSessions(t *testing.T) {
+	w := newWorld(t, 34)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	var customers []*Customer
+	for i := 0; i < 10; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("c%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		customers = append(customers, c)
+	}
+	// One customer resets their password: relogin must churn them.
+	w.plat.ResetPassword(customers[3].Account, "changed")
+	n := svc.ReloginAll()
+	if n != 9 {
+		t.Fatalf("relogged %d sessions, want 9", n)
+	}
+	if !customers[3].Churned {
+		t.Fatal("revoked customer not churned by relogin")
+	}
+}
+
+func TestCollusionCommentDelivery(t *testing.T) {
+	w := newWorld(t, 35)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	for i := 0; i < 30; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("c%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(5 * 24 * time.Hour)
+	}
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferComment)
+	got, err := svc.RequestFree(c, OfferComment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Fatal("no comments delivered")
+	}
+	pid, _ := w.plat.LatestPost(c.Account)
+	if comments := w.plat.Graph().Comments(pid); len(comments) != got {
+		t.Fatalf("graph has %d comments, delivered %d", len(comments), got)
+	}
+	if svc.Delivered[platform.ActionComment] != got {
+		t.Fatalf("Delivered counter %d", svc.Delivered[platform.ActionComment])
+	}
+}
+
+func TestCollusionRequestFreeUnknownOffering(t *testing.T) {
+	w := newWorld(t, 36)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw)
+	if _, err := svc.RequestFree(c, OfferUnfollow); err == nil {
+		t.Fatal("unfollow is not a free collusion offering")
+	}
+}
+
+func TestCollusionDeliverNoSources(t *testing.T) {
+	w := newWorld(t, 37)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferLike)
+	// Only the requester is enrolled: no eligible sources.
+	got, err := svc.RequestFree(c, OfferLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("delivered %d likes with an empty source pool", got)
+	}
+}
+
+func TestCollusionStopHaltsService(t *testing.T) {
+	w := newWorld(t, 38)
+	svc := NewCollusionService(SpecByName(NameHublaagram), w.plat, w.sched, w.rng.Split("svc"), 8)
+	svc.Stop()
+	if !svc.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	if svc.ActiveCustomers() != 0 {
+		t.Fatal("stopped service has active customers")
+	}
+}
+
+func TestLikeAdaptationShipsAfterLag(t *testing.T) {
+	w := newWorld(t, 39)
+	spec := SpecByName(NameHublaagram)
+	spec.DetectionLag = 48 * time.Hour // shorten for the test
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 8)
+	for i := 0; i < 40; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("c%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(10 * 24 * time.Hour)
+	}
+	// Block every like.
+	w.plat.SetGatekeeper(platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		if req.Type == platform.ActionLike {
+			return platform.Verdict{Kind: platform.VerdictBlock}
+		}
+		return platform.Allow
+	}))
+	svc.StartLifecycle(5, 0)
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw, OfferLike)
+	c.EngagedUntil = c.EnrolledAt.Add(10 * 24 * time.Hour)
+	svc.RequestFree(c, OfferLike) // triggers the first blocked like
+	if svc.LikeAdaptationActive() {
+		t.Fatal("like adaptation active before the detection lag")
+	}
+	w.sched.RunFor(3 * 24 * time.Hour)
+	if !svc.LikeAdaptationActive() {
+		t.Fatal("like adaptation never shipped after the lag")
+	}
+}
+
+func TestCollusionOneTimePackages(t *testing.T) {
+	w := newWorld(t, 40)
+	spec := SpecByName(NameHublaagram)
+	svc := NewCollusionService(spec, w.plat, w.sched, w.rng.Split("svc"), 16)
+	for i := 0; i < 50; i++ {
+		name, pw := w.registerHoneypot(t, fmt.Sprintf("c%d", i))
+		c, _ := svc.EnrollFree(name, pw)
+		c.EngagedUntil = c.EnrolledAt.Add(5 * 24 * time.Hour)
+	}
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollFree(name, pw)
+	// Buy the $20 / 5,000-like package (delivery capped by pool size).
+	if err := svc.PurchaseOneTime(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Product != PaidOneTime {
+		t.Fatalf("product %v", c.Product)
+	}
+	if svc.Revenue != spec.Collusion.OneTime[1].Fee {
+		t.Fatalf("revenue %v", svc.Revenue)
+	}
+	if len(c.Payments) != 1 || c.Payments[0].Amount != 20 {
+		t.Fatalf("payments %+v", c.Payments)
+	}
+}
+
+func TestReciprocityActiveCustomersAndStop(t *testing.T) {
+	w := newWorld(t, 41)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 200))
+	name, pw := w.registerHoneypot(t, "hp")
+	svc.EnrollTrial(name, pw, OfferLike)
+	if svc.ActiveCustomers() != 1 {
+		t.Fatalf("active %d", svc.ActiveCustomers())
+	}
+	svc.Stop()
+	if svc.ActiveCustomers() != 0 {
+		t.Fatal("stopped service still active")
+	}
+}
+
+func TestCustomerWantsResolution(t *testing.T) {
+	spec := SpecByName(NameBoostgram)
+	c := &Customer{}
+	// Empty wants = everything the service sells.
+	if !c.wants(spec, OfferLike) || !c.wants(spec, OfferFollow) {
+		t.Fatal("empty wants should cover offerings")
+	}
+	if c.wants(spec, OfferComment) {
+		t.Fatal("service does not sell comments")
+	}
+	c.Wants = []Offering{OfferLike}
+	if !c.wants(spec, OfferLike) || c.wants(spec, OfferFollow) {
+		t.Fatal("restricted wants not respected")
+	}
+}
+
+func TestDoubleStartAutomationPanics(t *testing.T) {
+	w := newWorld(t, 42)
+	svc := NewReciprocityService(SpecByName(NameBoostgram), w.plat, w.sched, w.rng.Split("svc"))
+	svc.StartAutomation(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double StartAutomation did not panic")
+		}
+	}()
+	svc.StartAutomation(1)
+}
+
+func TestControlPanelRendersFigure1(t *testing.T) {
+	w := newWorld(t, 43)
+	spec := SpecByName(NameInstalex)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("ix", spec.TargetPool, 500))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferLike, OfferFollow)
+	svc.Run(2, 0)
+	w.sched.RunFor(2 * 24 * time.Hour)
+
+	panel := svc.ControlPanel(c)
+	for _, want := range []string{"Instalex", "hp", "FREE TRIAL", "likes", "follows", "total paid: $0.00"} {
+		if !strings.Contains(panel, want) {
+			t.Fatalf("panel missing %q:\n%s", want, panel)
+		}
+	}
+	// Instalex sells no posts (Table 1): the panel must not show a post row.
+	if strings.Contains(panel, "posts") {
+		t.Fatalf("panel lists unsold post service:\n%s", panel)
+	}
+	// Counts in the panel match what the monitor observed.
+	totals := c.Totals()
+	if totals[platform.ActionLike] == 0 || totals[platform.ActionFollow] == 0 {
+		t.Fatalf("panel totals empty: %v", totals)
+	}
+	if !strings.Contains(panel, fmt.Sprintf("%7d", totals[platform.ActionLike])) {
+		t.Fatalf("panel like count mismatch:\n%s", panel)
+	}
+	// After purchase the status flips to ACTIVE.
+	svc.Purchase(c)
+	if p := svc.ControlPanel(c); !strings.Contains(p, "ACTIVE until") {
+		t.Fatalf("paid panel:\n%s", p)
+	}
+	// After revocation the panel reports the lost account.
+	w.plat.ResetPassword(c.Account, "np")
+	c.Churned = true
+	if p := svc.ControlPanel(c); !strings.Contains(p, "service lost") {
+		t.Fatalf("churned panel:\n%s", p)
+	}
+}
+
+func TestDiurnalPacing(t *testing.T) {
+	// Automation volume follows a human daily rhythm: midday and evening
+	// peaks well above the overnight trough.
+	w := newWorld(t, 44)
+	spec := SpecByName(NameBoostgram)
+	svc := NewReciprocityService(spec, w.plat, w.sched, w.rng.Split("svc"))
+	svc.SetTargetPool(w.pop.AddCuratedPool("bg", spec.TargetPool, 2000))
+	name, pw := w.registerHoneypot(t, "hp")
+	c, _ := svc.EnrollTrial(name, pw, OfferLike)
+	c.EngagedUntil = c.EnrolledAt.Add(8 * 24 * time.Hour)
+
+	byHour := make([]int, 24)
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Actor == c.Account && ev.Type == platform.ActionLike && ev.Outcome == platform.OutcomeAllowed {
+			byHour[ev.Time.Hour()]++
+		}
+	})
+	svc.Run(8, 0)
+	w.sched.RunFor(8 * 24 * time.Hour)
+
+	night := byHour[1] + byHour[2] + byHour[3] + byHour[4]
+	evening := byHour[18] + byHour[19] + byHour[20] + byHour[21]
+	if evening == 0 {
+		t.Fatal("no evening activity")
+	}
+	if float64(evening) < 2*float64(night) {
+		t.Fatalf("no diurnal shape: evening %d vs night %d", evening, night)
+	}
+	// Daily totals still hit the plan: ~270 likes/day.
+	total := 0
+	for _, n := range byHour {
+		total += n
+	}
+	perDay := float64(total) / 8
+	if perDay < 200 || perDay > 330 {
+		t.Fatalf("daily volume %.0f likes/day, want ≈270", perDay)
+	}
+}

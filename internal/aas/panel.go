@@ -1,0 +1,62 @@
+package aas
+
+import (
+	"fmt"
+	"strings"
+
+	"footsteps/internal/platform"
+)
+
+// ControlPanel renders a customer's dashboard the way Figure 1 shows
+// Instalex's: the action counts the service has performed on the account,
+// plus subscription status. Services show their customers exactly this to
+// demonstrate value for money.
+func (s *ReciprocityService) ControlPanel(c *Customer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — account %q\n", s.spec.Name, c.Username)
+	now := s.plat.Now()
+	switch {
+	case c.Churned:
+		b.WriteString("status: service lost (credentials changed)\n")
+	case now.Before(c.EngagedUntil) && c.PaidThrough.IsZero():
+		fmt.Fprintf(&b, "status: FREE TRIAL until %s\n", c.EngagedUntil.Format("2006-01-02"))
+	case now.Before(c.PaidThrough):
+		fmt.Fprintf(&b, "status: ACTIVE until %s\n", c.PaidThrough.Format("2006-01-02"))
+	default:
+		b.WriteString("status: EXPIRED — renew to continue\n")
+	}
+	b.WriteString("actions performed on Instagram:\n")
+	for _, t := range []platform.ActionType{
+		platform.ActionLike, platform.ActionFollow, platform.ActionUnfollow,
+		platform.ActionComment, platform.ActionPost,
+	} {
+		if !s.spec.Offers(offeringFor(t)) {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %7d\n", t.String()+"s", c.totals[t])
+	}
+	var paid float64
+	for _, p := range c.Payments {
+		paid += p.Amount
+	}
+	fmt.Fprintf(&b, "total paid: $%.2f\n", paid)
+	return b.String()
+}
+
+// offeringFor maps an action type to the offering that sells it.
+func offeringFor(t platform.ActionType) Offering {
+	switch t {
+	case platform.ActionLike:
+		return OfferLike
+	case platform.ActionFollow:
+		return OfferFollow
+	case platform.ActionUnfollow:
+		return OfferUnfollow
+	case platform.ActionComment:
+		return OfferComment
+	case platform.ActionPost:
+		return OfferPost
+	default:
+		return Offering(-1)
+	}
+}

@@ -1,0 +1,356 @@
+package behavior
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+	"footsteps/internal/stats"
+)
+
+type world struct {
+	plat  *platform.Platform
+	sched *clock.Scheduler
+	reg   *netsim.Registry
+	pop   *Population
+}
+
+func newWorld(t *testing.T, seed uint64) *world {
+	t.Helper()
+	reg := netsim.NewRegistry()
+	reg.Register(10, "us-res", "USA", netsim.KindResidential)
+	reg.Register(11, "id-res", "IDN", netsim.KindResidential)
+	reg.Register(20, "dc", "RUS", netsim.KindHosting)
+	sched := clock.NewScheduler(clock.New())
+	plat := platform.New(platform.DefaultConfig(), socialgraph.New(), reg, sched)
+	pop := New(DefaultModel(), plat, sched, rng.New(seed))
+	return &world{plat: plat, sched: sched, reg: reg, pop: pop}
+}
+
+// actor registers an external (non-population) account, returning a session.
+func (w *world) actor(t *testing.T, name string, prof platform.Profile) *platform.Session {
+	t.Helper()
+	_, err := w.plat.RegisterAccount(name, "pw", prof, "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := w.plat.Login(name, "pw", platform.ClientInfo{
+		IP: w.reg.Allocate(20), Fingerprint: "spoof", API: platform.APIPrivate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddMembersRegistersAccounts(t *testing.T) {
+	w := newWorld(t, 1)
+	ids := w.pop.AddMembers(50)
+	if len(ids) != 50 || w.pop.Size() != 50 {
+		t.Fatalf("got %d/%d members", len(ids), w.pop.Size())
+	}
+	for _, id := range ids {
+		if !w.plat.Exists(id) {
+			t.Fatalf("member %d not registered on platform", id)
+		}
+		if !w.pop.IsMember(id) {
+			t.Fatalf("IsMember(%d) false", id)
+		}
+		prof, ok := w.pop.Profile(id)
+		if !ok || prof.ID != id {
+			t.Fatalf("profile missing for %d", id)
+		}
+		// Members must be likeable: at least one post.
+		if len(w.plat.Posts(id)) == 0 {
+			t.Fatalf("member %d has no posts", id)
+		}
+	}
+	if w.pop.IsMember(platform.AccountID(99999)) {
+		t.Fatal("non-member reported as member")
+	}
+}
+
+func TestGeneralDegreeMedians(t *testing.T) {
+	w := newWorld(t, 2)
+	ids := w.pop.AddMembers(4000)
+	outMed := stats.MedianInts(w.pop.OutDegrees(ids))
+	inMed := stats.MedianInts(w.pop.InDegrees(ids))
+	// Figures 3/4 random baselines: 465 following, 796 followers.
+	if math.Abs(outMed-465) > 465*0.15 {
+		t.Fatalf("general out-degree median %v, want ≈465", outMed)
+	}
+	if math.Abs(inMed-796) > 796*0.15 {
+		t.Fatalf("general in-degree median %v, want ≈796", inMed)
+	}
+}
+
+func TestCuratedPoolDegreeBias(t *testing.T) {
+	w := newWorld(t, 3)
+	w.pop.AddMembers(2000)
+	spec := PoolSpec{
+		LikeToLike: 0.02, LikeToFollow: 0.001, FollowToFollow: 0.11,
+		OutDegMedian: 684, InDegMedian: 498,
+	}
+	pool := w.pop.AddCuratedPool("boostgram", spec, 2000)
+	if got := w.pop.Pool("boostgram"); len(got) != 2000 {
+		t.Fatalf("Pool returned %d ids", len(got))
+	}
+	poolOut := stats.MedianInts(w.pop.OutDegrees(pool))
+	poolIn := stats.MedianInts(w.pop.InDegrees(pool))
+	randOut := stats.MedianInts(w.pop.OutDegrees(w.pop.RandomSample(1000)))
+	// Pool members follow more and are followed less than average —
+	// the paper's targeting-bias result.
+	if poolOut < randOut {
+		t.Fatalf("pool out median %v < general %v", poolOut, randOut)
+	}
+	if poolIn > 700 {
+		t.Fatalf("pool in median %v, want well below general 796", poolIn)
+	}
+}
+
+func TestRandomSampleDistinct(t *testing.T) {
+	w := newWorld(t, 4)
+	w.pop.AddMembers(100)
+	s := w.pop.RandomSample(50)
+	if len(s) != 50 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := make(map[platform.AccountID]bool)
+	for _, id := range s {
+		if seen[id] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[id] = true
+		if !w.pop.IsMember(id) {
+			t.Fatal("sample contains non-member")
+		}
+	}
+}
+
+// measureReciprocation drives outbound actions from a fresh actor to pool
+// members and returns reciprocation rates per channel.
+func measureReciprocation(t *testing.T, seed uint64, actorProfile platform.Profile, outbound platform.ActionType, spec PoolSpec, n int) (rateSame, rateCross float64) {
+	t.Helper()
+	w := newWorld(t, seed)
+	pool := w.pop.AddCuratedPool("svc", spec, n)
+	w.pop.Wire()
+	actor := w.actor(t, "honeypot", actorProfile)
+
+	for _, target := range pool {
+		switch outbound {
+		case platform.ActionLike:
+			pid, ok := w.plat.LatestPost(target)
+			if !ok {
+				t.Fatal("pool member without post")
+			}
+			if err := actor.Like(pid); err != nil {
+				t.Fatal(err)
+			}
+		case platform.ActionFollow:
+			if err := actor.Follow(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Space actions out so rate limits never fire.
+		w.sched.RunFor(2 * time.Minute)
+	}
+	w.sched.RunFor(5 * 24 * time.Hour) // let reactions land
+
+	likes := float64(w.pop.Reacted["like->like"])
+	followsOnLike := float64(w.pop.Reacted["like->follow"])
+	follows := float64(w.pop.Reacted["follow->follow"])
+	total := float64(n)
+	if outbound == platform.ActionLike {
+		return likes / total, followsOnLike / total
+	}
+	return follows / total, 0
+}
+
+func TestReciprocationLikeChannel(t *testing.T) {
+	spec := PoolSpec{LikeToLike: 0.021, LikeToFollow: 0.0, FollowToFollow: 0.12,
+		OutDegMedian: 554, InDegMedian: 384}
+	rate, _ := measureReciprocation(t, 5, platform.Profile{PhotoCount: 10}, platform.ActionLike, spec, 4000)
+	// Empty-account like→like should land near 2.1% (Table 5 Instazood).
+	if rate < 0.012 || rate > 0.032 {
+		t.Fatalf("empty like->like rate %.4f, want ≈0.021", rate)
+	}
+}
+
+func TestReciprocationFollowChannel(t *testing.T) {
+	spec := PoolSpec{LikeToLike: 0.021, LikeToFollow: 0.0, FollowToFollow: 0.13,
+		OutDegMedian: 554, InDegMedian: 384}
+	rate, _ := measureReciprocation(t, 6, platform.Profile{PhotoCount: 10}, platform.ActionFollow, spec, 3000)
+	if rate < 0.10 || rate > 0.16 {
+		t.Fatalf("empty follow->follow rate %.4f, want ≈0.13", rate)
+	}
+}
+
+func TestLivedInBoost(t *testing.T) {
+	spec := PoolSpec{LikeToLike: 0.02, LikeToFollow: 0, FollowToFollow: 0.11,
+		OutDegMedian: 600, InDegMedian: 450}
+	empty := platform.Profile{PhotoCount: 10}
+	livedIn := platform.Profile{PhotoCount: 12, HasProfilePic: true, HasBio: true, HasName: true}
+	rateE, _ := measureReciprocation(t, 7, empty, platform.ActionLike, spec, 4000)
+	rateL, _ := measureReciprocation(t, 7, livedIn, platform.ActionLike, spec, 4000)
+	if ratio := rateL / rateE; ratio < 1.5 || ratio > 2.9 {
+		t.Fatalf("lived-in like boost %.2f, want ≈2.1 (Table 5 range 1.6–2.6)", ratio)
+	}
+}
+
+func TestFollowNeverReciprocatedWithLike(t *testing.T) {
+	w := newWorld(t, 8)
+	pool := w.pop.AddCuratedPool("svc", PoolSpec{
+		LikeToLike: 0.5, LikeToFollow: 0.5, FollowToFollow: 0.5,
+		OutDegMedian: 600, InDegMedian: 450,
+	}, 200)
+	w.pop.Wire()
+	actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
+	for _, target := range pool {
+		actor.Follow(target)
+		w.sched.RunFor(time.Minute * 2)
+	}
+	w.sched.RunFor(5 * 24 * time.Hour)
+	if w.pop.Reacted["like->like"] != 0 || w.pop.Reacted["like->follow"] != 0 {
+		t.Fatalf("follow triggered like-channel reactions: %v", w.pop.Reacted)
+	}
+	if w.pop.Reacted["follow->follow"] == 0 {
+		t.Fatal("no follow reciprocation at 50% rate")
+	}
+}
+
+func TestInstalexQuirkChannel(t *testing.T) {
+	// Instalex's pool reciprocates likes with follows at ~1.4% — an order
+	// of magnitude above the other services. The model expresses this as a
+	// pool property.
+	spec := PoolSpec{LikeToLike: 0.021, LikeToFollow: 0.014, FollowToFollow: 0.128,
+		OutDegMedian: 554, InDegMedian: 384}
+	_, cross := measureReciprocation(t, 9, platform.Profile{PhotoCount: 10}, platform.ActionLike, spec, 5000)
+	if cross < 0.008 || cross > 0.022 {
+		t.Fatalf("like->follow rate %.4f, want ≈0.014", cross)
+	}
+}
+
+func TestReactionsComeFromMemberSessions(t *testing.T) {
+	w := newWorld(t, 10)
+	pool := w.pop.AddCuratedPool("svc", PoolSpec{
+		LikeToLike: 1, FollowToFollow: 1, OutDegMedian: 600, InDegMedian: 450,
+	}, 5)
+	w.pop.Wire()
+	var reciprocal []platform.Event
+	w.plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Type == platform.ActionFollow && w.pop.IsMember(ev.Actor) {
+			reciprocal = append(reciprocal, ev)
+		}
+	})
+	actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
+	for _, target := range pool {
+		actor.Follow(target)
+	}
+	w.sched.RunFor(3 * 24 * time.Hour)
+	if len(reciprocal) != 5 {
+		t.Fatalf("reciprocal follows = %d, want 5 at rate 1.0", len(reciprocal))
+	}
+	for _, ev := range reciprocal {
+		if ev.Target != actor.Account() {
+			t.Fatal("reciprocal follow aimed at wrong account")
+		}
+		if ev.Client != "mobile-official" {
+			t.Fatalf("organic reaction with client %q", ev.Client)
+		}
+		// Reactions originate from residential space.
+		info, ok := w.reg.Info(ev.ASN)
+		if !ok || info.Kind != netsim.KindResidential {
+			t.Fatalf("organic reaction from non-residential ASN %v", ev.ASN)
+		}
+	}
+	// Graph edges exist too.
+	for _, target := range pool {
+		if !w.plat.Graph().Follows(target, actor.Account()) {
+			t.Fatal("reciprocal follow not in graph")
+		}
+	}
+}
+
+func TestCountryWeights(t *testing.T) {
+	w := newWorld(t, 11)
+	ids := w.pop.AddCuratedPool("idpool", PoolSpec{
+		LikeToLike: 0.01, FollowToFollow: 0.05, OutDegMedian: 500, InDegMedian: 500,
+		Countries: []CountryWeight{{Country: "IDN", Weight: 0.8}, {Country: "USA", Weight: 0.2}},
+	}, 1000)
+	idn := 0
+	for _, id := range ids {
+		if prof, _ := w.pop.Profile(id); prof.Country == "IDN" {
+			idn++
+		}
+	}
+	if frac := float64(idn) / 1000; frac < 0.72 || frac > 0.88 {
+		t.Fatalf("IDN fraction %.3f, want ≈0.8", frac)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() int {
+		w := newWorld(t, 42)
+		pool := w.pop.AddCuratedPool("svc", PoolSpec{
+			LikeToLike: 0.1, FollowToFollow: 0.2, OutDegMedian: 500, InDegMedian: 500,
+		}, 200)
+		w.pop.Wire()
+		actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
+		for _, target := range pool {
+			actor.Follow(target)
+			w.sched.RunFor(time.Minute)
+		}
+		w.sched.RunFor(5 * 24 * time.Hour)
+		return w.pop.Reacted["follow->follow"]
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different reciprocation counts: %d vs %d", a, b)
+	}
+}
+
+func TestTagPoolAndPosting(t *testing.T) {
+	w := newWorld(t, 12)
+	pool := w.pop.AddCuratedPool("tagged", PoolSpec{
+		LikeToLike: 0.01, FollowToFollow: 0.05, OutDegMedian: 500, InDegMedian: 500,
+	}, 60)
+	w.pop.TagPool("tagged", "fitness", "travel")
+
+	// Seed photos are discoverable through the hashtag feeds.
+	found := len(w.plat.RecentByTag("fitness", 100)) + len(w.plat.RecentByTag("travel", 100))
+	if found != 60 {
+		t.Fatalf("tagged %d seed posts, want 60", found)
+	}
+
+	// Posting keeps the feeds fresh.
+	w.pop.StartPosting("tagged", 4, 0.5)
+	w.sched.RunFor(4 * 24 * time.Hour)
+	after := len(w.plat.RecentByTag("fitness", 300)) + len(w.plat.RecentByTag("travel", 300))
+	if after <= found {
+		t.Fatalf("no fresh tagged posts: %d -> %d", found, after)
+	}
+	// Fresh posts belong to pool members.
+	for _, pid := range w.plat.RecentByTag("fitness", 10) {
+		author, ok := w.plat.PostAuthor(pid)
+		if !ok || !w.pop.IsMember(author) {
+			t.Fatalf("tagged post %d not from a pool member", pid)
+		}
+	}
+	_ = pool
+}
+
+func TestTagPoolNoTagsNoop(t *testing.T) {
+	w := newWorld(t, 13)
+	w.pop.AddCuratedPool("plain", PoolSpec{
+		LikeToLike: 0.01, FollowToFollow: 0.05, OutDegMedian: 500, InDegMedian: 500,
+	}, 5)
+	w.pop.TagPool("plain") // no tags: nothing indexed
+	w.pop.StartPosting("missing-pool", 2, 1)
+	if got := w.plat.RecentByTag("", 10); got != nil {
+		t.Fatalf("empty tag indexed: %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := New()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("new clock at %v, want %v", c.Now(), Epoch)
+	}
+	if c.Day() != 0 {
+		t.Fatalf("Day() = %d at epoch", c.Day())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(36 * time.Hour)
+	if c.Day() != 1 {
+		t.Fatalf("Day() = %d after 36h, want 1", c.Day())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	c := New()
+	s := NewScheduler(c)
+	var order []int
+	s.After(3*time.Hour, func() { order = append(order, 3) })
+	s.After(1*time.Hour, func() { order = append(order, 1) })
+	s.After(2*time.Hour, func() { order = append(order, 2) })
+	s.RunUntil(Epoch.Add(Day))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(New())
+	var order []int
+	at := Epoch.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerClockTracksEvents(t *testing.T) {
+	c := New()
+	s := NewScheduler(c)
+	var seen time.Time
+	s.After(5*time.Hour, func() { seen = c.Now() })
+	s.RunUntil(Epoch.Add(Day))
+	if want := Epoch.Add(5 * time.Hour); !seen.Equal(want) {
+		t.Fatalf("clock inside event was %v, want %v", seen, want)
+	}
+	if !c.Now().Equal(Epoch.Add(Day)) {
+		t.Fatalf("clock after RunUntil = %v, want deadline", c.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewScheduler(New())
+	ran := 0
+	s.After(2*Day, func() { ran++ })
+	if n := s.RunFor(Day); n != 0 {
+		t.Fatalf("RunFor executed %d events before their time", n)
+	}
+	if ran != 0 {
+		t.Fatal("future event executed early")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunFor(2 * Day)
+	if ran != 1 {
+		t.Fatal("event did not run after deadline passed it")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Advance(time.Hour)
+	s := NewScheduler(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(Epoch, func() {})
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := NewScheduler(New())
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 10 {
+			s.After(time.Hour, chain)
+		}
+	}
+	s.After(time.Hour, chain)
+	s.RunUntil(Epoch.Add(Day))
+	if hits != 10 {
+		t.Fatalf("chained scheduling ran %d times, want 10", hits)
+	}
+}
+
+func TestEveryDay(t *testing.T) {
+	c := New()
+	s := NewScheduler(c)
+	var days []int
+	var stamps []time.Time
+	s.EveryDay(9*time.Hour, 3, func(day int) {
+		days = append(days, day)
+		stamps = append(stamps, c.Now())
+	})
+	s.RunUntil(Epoch.Add(10 * Day))
+	if len(days) != 3 {
+		t.Fatalf("EveryDay fired %d times, want 3", len(days))
+	}
+	for i, d := range days {
+		if d != i {
+			t.Fatalf("day indices %v", days)
+		}
+		if stamps[i].Hour() != 9 {
+			t.Fatalf("firing %d at hour %d, want 9", i, stamps[i].Hour())
+		}
+	}
+}
+
+func TestEveryDaySkipsPastOffset(t *testing.T) {
+	c := New()
+	c.Advance(12 * time.Hour) // past 09:00 today
+	s := NewScheduler(c)
+	fired := 0
+	s.EveryDay(9*time.Hour, 1, func(int) { fired++ })
+	s.RunFor(Day / 2)
+	if fired != 0 {
+		t.Fatal("EveryDay fired at an offset already in the past")
+	}
+	s.RunFor(Day)
+	if fired != 1 {
+		t.Fatal("EveryDay did not fire on the following day")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := NewScheduler(New())
+	total := 0
+	for i := 1; i <= 4; i++ {
+		i := i
+		s.After(time.Duration(i)*Day, func() { total += i })
+	}
+	if n := s.Drain(); n != 4 {
+		t.Fatalf("Drain ran %d, want 4", n)
+	}
+	if total != 10 {
+		t.Fatalf("Drain total %d, want 10", total)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"time"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/clock"
+	"footsteps/internal/detection"
+	"footsteps/internal/intervention"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+)
+
+// PhaseStats summarizes one service's like traffic during one phase of the
+// adaptation study.
+type PhaseStats struct {
+	Attempted int
+	Blocked   int
+	Delivered int
+}
+
+// BlockedFraction returns blocked/attempted (0 when idle).
+func (p PhaseStats) BlockedFraction() float64 {
+	if p.Attempted == 0 {
+		return 0
+	}
+	return float64(p.Blocked) / float64(p.Attempted)
+}
+
+// AdaptationResults reproduces the §6.4 epilogue: sustained broad blocking,
+// the services' move onto proxy networks, and the endgame.
+type AdaptationResults struct {
+	// Phase 1: broad blocking reaches the services' home ASNs.
+	Phase1 map[string]PhaseStats
+	// Phase 2: after the proxy move, the same countermeasure has lost its
+	// grip — the like traffic comes from unthresholded address space.
+	Phase2 map[string]PhaseStats
+
+	// ProxyDiversity: distinct ASNs the evaded traffic spans, per label.
+	ProxyDiversity map[string]int
+
+	// HublaagramOutOfStock reports the endgame: unable to produce
+	// sustainable unblocked actions at its old scale, Hublaagram lists
+	// everything as out of stock.
+	HublaagramOutOfStock bool
+
+	// StillAttributable: post-evasion attempted actions that the
+	// fingerprint classifier still attributes, per label. Evasion beats
+	// the *blocking*, not the *attribution*.
+	StillAttributable map[string]int
+}
+
+// AdaptationStudy runs the epilogue on a fresh world: calibrate, block
+// broadly, let the services move their traffic onto an extensive proxy
+// network, and measure what the countermeasure can still reach.
+// phaseDays sets the length of each of the two observation phases.
+func (w *World) AdaptationStudy(calibDays, phaseDays int) (*AdaptationResults, error) {
+	classifier, err := w.TrainClassifier(2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-phase counters, switched by pointer.
+	phase1 := make(map[string]PhaseStats)
+	phase2 := make(map[string]PhaseStats)
+	attributable := make(map[string]int)
+	inPhase2 := false
+	proxyASNSeen := make(map[string]map[netsim.ASN]bool)
+
+	w.Plat.Log().Subscribe(func(ev platform.Event) {
+		if ev.Type != platform.ActionLike || ev.Enforcement {
+			return
+		}
+		label, ok := classifier.Classify(ev)
+		if !ok {
+			return
+		}
+		current := phase1
+		if inPhase2 {
+			current = phase2
+		}
+		st := current[label]
+		st.Attempted++
+		switch ev.Outcome {
+		case platform.OutcomeBlocked:
+			st.Blocked++
+		case platform.OutcomeAllowed:
+			st.Delivered++
+		}
+		current[label] = st
+		if inPhase2 {
+			attributable[label]++
+			byASN := proxyASNSeen[label]
+			if byASN == nil {
+				byASN = make(map[netsim.ASN]bool)
+				proxyASNSeen[label] = byASN
+			}
+			byASN[ev.ASN] = true
+		}
+	})
+
+	// Calibration with services live.
+	cal := detection.NewCalibrator(classifier.Classify)
+	w.Plat.Log().Subscribe(cal.Observe)
+	w.Sched.EveryDay(23*time.Hour+50*time.Minute, calibDays, func(int) { cal.EndDay() })
+	w.RunAll()
+	w.Sched.RunFor(time.Duration(calibDays) * clock.Day)
+	thresholds := cal.Compute()
+
+	// Broad blocking from day 0, all bins but the control.
+	ctl := intervention.New(thresholds, classifier.Classify,
+		intervention.BroadPolicy(9, 0), w.Plat.Now(), 24*time.Hour)
+	w.SetExperimentGatekeeper(ctl)
+
+	// Phase 1: blocking bites.
+	w.Sched.RunFor(time.Duration(phaseDays) * clock.Day)
+
+	// The services react: an extensive proxy network drastically
+	// increases IP diversity, and every session re-authenticates from the
+	// new space.
+	split := len(w.ProxyASNs) / 2
+	recipProxies := netsim.NewProxyPool(w.Reg, w.ProxyASNs[:split], 400, w.RNG.Split("proxies-recip"))
+	collProxies := netsim.NewProxyPool(w.Reg, w.ProxyASNs[split:], 400, w.RNG.Split("proxies-coll"))
+	for _, name := range w.ServiceNames() {
+		if svc, ok := w.Recip[name]; ok {
+			svc.UseProxyNetwork(recipProxies)
+			svc.ReloginAll()
+		}
+		if svc, ok := w.Coll[name]; ok {
+			svc.UseProxyNetwork(collProxies)
+			svc.ReloginAll()
+		}
+	}
+
+	// Phase 2: the same gatekeeper, now out of reach.
+	inPhase2 = true
+	w.Sched.RunFor(time.Duration(phaseDays) * clock.Day)
+	w.SetExperimentGatekeeper(nil)
+
+	res := &AdaptationResults{
+		Phase1:            phase1,
+		Phase2:            phase2,
+		ProxyDiversity:    make(map[string]int),
+		StillAttributable: attributable,
+	}
+	for label, asns := range proxyASNSeen {
+		res.ProxyDiversity[label] = len(asns)
+	}
+
+	// Endgame: Hublaagram's paid products depend on burst deliveries its
+	// throttled sources can no longer sustain; it stops accepting payments.
+	if hb, ok := w.Coll[aas.NameHublaagram]; ok {
+		hb.StopSales()
+		res.HublaagramOutOfStock = hb.SalesStopped()
+	}
+	return res, nil
+}

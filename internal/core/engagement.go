@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/clock"
+	"footsteps/internal/platform"
+	"footsteps/internal/stats"
+)
+
+// EngagementResults quantifies what customers buy: the lift in the
+// "engagement rate" metric the services promote (§2),
+//
+//	ER = (likes + comments on the user's posts) / followers,
+//
+// for accounts enrolled in a paid like tier versus identical control
+// accounts.
+type EngagementResults struct {
+	TreatedER float64 // mean ER of enrolled accounts
+	ControlER float64 // mean ER of identical unenrolled accounts
+	Uplift    float64 // TreatedER / ControlER (Inf when control is 0)
+}
+
+// EngagementStudy builds n treated + n control wannabe-influencer
+// accounts (each with organic followers), enrolls the treated half in
+// Hublaagram's lowest monthly like tier, runs for days, and measures the
+// engagement-rate gap. Requires cfg.GraphWrites — the ER formula needs
+// real follower counts.
+func (w *World) EngagementStudy(n, days int) (*EngagementResults, error) {
+	if !w.Cfg.GraphWrites {
+		return nil, fmt.Errorf("core: EngagementStudy needs Config.GraphWrites")
+	}
+	hubla, ok := w.Coll[aas.NameHublaagram]
+	if !ok {
+		return nil, fmt.Errorf("core: no collusion service in world")
+	}
+
+	r := w.RNG.Split("engagement")
+	makeInfluencer := func(tag string, i int) (platform.AccountID, *platform.Session, error) {
+		name := fmt.Sprintf("wannabe-%s-%d", tag, i)
+		id, err := w.Plat.RegisterAccount(name, "pw-"+name, platform.Profile{
+			PhotoCount: 6, HasProfilePic: true, HasBio: true, HasName: true,
+		}, "USA")
+		if err != nil {
+			return 0, nil, err
+		}
+		sess, err := w.Plat.Login(name, "pw-"+name, platform.ClientInfo{
+			IP: w.Reg.Allocate(aas.ASNResUSA), Fingerprint: "mobile-official",
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		// Organic audience: 30–60 followers with a sprinkle of organic
+		// likes on the profile photos.
+		followers := 30 + r.Intn(31)
+		for f := 0; f < followers; f++ {
+			fname := fmt.Sprintf("fan-%s-%d-%d", tag, i, f)
+			if _, err := w.Plat.RegisterAccount(fname, "pw-"+fname, platform.Profile{PhotoCount: 1}, "USA"); err != nil {
+				return 0, nil, err
+			}
+			fs, err := w.Plat.Login(fname, "pw-"+fname, platform.ClientInfo{
+				IP: w.Reg.Allocate(aas.ASNResUSA), Fingerprint: "mobile-official",
+			})
+			if err != nil {
+				return 0, nil, err
+			}
+			fs.Follow(id)
+			if r.Bool(0.25) {
+				if pid, ok := w.Plat.LatestPost(id); ok {
+					fs.Like(pid)
+				}
+			}
+		}
+		return id, sess, nil
+	}
+
+	treated := make([]platform.AccountID, 0, n)
+	control := make([]platform.AccountID, 0, n)
+	var customers []*aas.Customer
+	var sessions []*platform.Session
+	for i := 0; i < n; i++ {
+		idT, sessT, err := makeInfluencer("t", i)
+		if err != nil {
+			return nil, err
+		}
+		idC, sessC, err := makeInfluencer("c", i)
+		if err != nil {
+			return nil, err
+		}
+		treated = append(treated, idT)
+		control = append(control, idC)
+		sessions = append(sessions, sessT, sessC)
+
+		nameT, _ := w.Plat.Username(idT)
+		c, err := hubla.EnrollFree(nameT, "pw-"+nameT)
+		if err != nil {
+			return nil, err
+		}
+		c.EngagedUntil = c.EnrolledAt.Add(time.Duration(days+1) * clock.Day)
+		if err := hubla.PurchaseTier(c, 0); err != nil { // 250–500 likes/photo
+			return nil, err
+		}
+		customers = append(customers, c)
+	}
+
+	// Both cohorts post every other day; the service delivers onto the
+	// treated cohort's new photos.
+	hubla.StartLifecycle(days, 0)
+	w.Sched.EveryDay(12*time.Hour, days, func(day int) {
+		for i, sess := range sessions {
+			if (day+i)%2 == 0 {
+				if pid, err := sess.Post(); err == nil {
+					// Tier delivery for treated accounts (index even).
+					if i%2 == 0 {
+						cust := customers[i/2]
+						tier := hubla.Spec().Collusion.MonthlyTiers[cust.Tier]
+						hubla.DeliverTier(cust, pid, tier)
+					}
+				}
+			}
+		}
+	})
+	w.Sched.RunFor(time.Duration(days) * clock.Day)
+
+	er := func(ids []platform.AccountID) float64 {
+		vals := make([]float64, 0, len(ids))
+		for _, id := range ids {
+			vals = append(vals, w.Plat.Graph().EngagementRate(id))
+		}
+		return stats.Mean(vals)
+	}
+	res := &EngagementResults{TreatedER: er(treated), ControlER: er(control)}
+	if res.ControlER > 0 {
+		res.Uplift = res.TreatedER / res.ControlER
+	}
+	return res, nil
+}

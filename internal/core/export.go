@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/intervention"
+	"footsteps/internal/platform"
+	"footsteps/internal/stats"
+)
+
+// ExportBusiness writes the §5 results as TSV files into dir (created if
+// missing): table6.tsv … table11.tsv, figure2.tsv, and the Figure 3/4 CDF
+// series as figure3.tsv / figure4.tsv, ready for any plotting tool.
+func ExportBusiness(res *BusinessResults, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+
+	labels := make([]string, 0, len(res.Table6))
+	for l := range res.Table6 {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	var b strings.Builder
+	b.WriteString("service\tcustomers\tlong_term\tshort_term\tlong_action_share\n")
+	for _, l := range labels {
+		s := res.Table6[l]
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%d\t%.4f\n", l, s.Customers, s.LongTerm, s.ShortTerm, s.LongActions)
+	}
+	if err := write("table6.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("service\toperating_country\tasn_countries\n")
+	for _, row := range res.Table7 {
+		fmt.Fprintf(&b, "%s\t%s\t%s\n", row.Label, row.OperatingCountry,
+			strings.Join(dedupStrings(row.ASNCountries), ","))
+	}
+	if err := write("table7.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("service\tcountry\tfraction\n")
+	for _, l := range labels {
+		for _, share := range res.Figure2[l] {
+			fmt.Fprintf(&b, "%s\t%s\t%.4f\n", l, share.Country, share.Fraction)
+		}
+	}
+	if err := write("figure2.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("service\tpaid_accounts\tpaid_days\tmonthly_usd\n")
+	fmt.Fprintf(&b, "Boostgram\t%d\t%d\t%.2f\n",
+		res.Table8Boostgram.PaidAccounts, res.Table8Boostgram.PaidDays, res.Table8Boostgram.Monthly)
+	fmt.Fprintf(&b, "Insta*-low\t%d\t%d\t%.2f\n",
+		res.Table8InstaLow.PaidAccounts, res.Table8InstaLow.PaidDays, res.Table8InstaLow.Monthly)
+	fmt.Fprintf(&b, "Insta*-high\t%d\t%d\t%.2f\n",
+		res.Table8InstaHigh.PaidAccounts, res.Table8InstaHigh.PaidDays, res.Table8InstaHigh.Monthly)
+	if err := write("table8.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("product\taccounts\trevenue_usd\n")
+	t9 := res.Table9
+	fmt.Fprintf(&b, "no_outbound\t%d\t%.2f\n", t9.NoOutboundAccounts, t9.NoOutboundRevenue)
+	fmt.Fprintf(&b, "one_time_likes\t%d\t%.2f\n", t9.OneTimeBuyers, t9.OneTimeRevenue)
+	pricing := aas.SpecByName(aas.NameHublaagram).Collusion
+	for i := range t9.TierAccounts {
+		fmt.Fprintf(&b, "tier_%d_%d\t%d\t%.2f\n",
+			pricing.MonthlyTiers[i].MinLikes, pricing.MonthlyTiers[i].MaxLikes,
+			t9.TierAccounts[i], t9.TierRevenue[i])
+	}
+	fmt.Fprintf(&b, "ads_low\t%d\t%.2f\n", t9.AdImpressions, t9.AdRevenueLow)
+	fmt.Fprintf(&b, "ads_high\t%d\t%.2f\n", t9.AdImpressions, t9.AdRevenueHigh)
+	fmt.Fprintf(&b, "total_low\t\t%.2f\n", t9.MonthlyLow)
+	fmt.Fprintf(&b, "total_high\t\t%.2f\n", t9.MonthlyHigh)
+	if err := write("table9.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("service\tnew_fraction\tpreexisting_fraction\n")
+	for _, l := range labels {
+		if s, ok := res.Table10[l]; ok {
+			fmt.Fprintf(&b, "%s\t%.4f\t%.4f\n", l, s.NewFraction, s.PreexistingFraction)
+		}
+	}
+	if err := write("table10.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	types := []platform.ActionType{platform.ActionLike, platform.ActionFollow, platform.ActionComment, platform.ActionUnfollow}
+	b.WriteString("service")
+	for _, t := range types {
+		fmt.Fprintf(&b, "\t%s", t)
+	}
+	b.WriteString("\n")
+	for _, l := range labels {
+		b.WriteString(l)
+		for _, t := range types {
+			fmt.Fprintf(&b, "\t%.4f", res.Table11[l][t])
+		}
+		b.WriteString("\n")
+	}
+	if err := write("table11.tsv", b.String()); err != nil {
+		return err
+	}
+
+	b.Reset()
+	b.WriteString("service\tday\tactive_longterm\tbirths\tdeaths\n")
+	for _, l := range labels {
+		ss, ok := res.Stability[l]
+		if !ok {
+			continue
+		}
+		for d := range ss.ActivePerDay {
+			fmt.Fprintf(&b, "%s\t%d\t%d\t%d\t%d\n", l, d, ss.ActivePerDay[d], ss.Births[d], ss.Deaths[d])
+		}
+	}
+	if err := write("stability.tsv", b.String()); err != nil {
+		return err
+	}
+
+	// CDF series for Figures 3 and 4, plus rendered SVGs.
+	if err := write("figure3.tsv", cdfSeriesTSV(res.Figure3)); err != nil {
+		return err
+	}
+	if err := write("figure4.tsv", cdfSeriesTSV(res.Figure4)); err != nil {
+		return err
+	}
+	return ExportBusinessSVG(res, dir)
+}
+
+// cdfSeriesTSV renders sample\tx\tcdf rows (64 quantile-spaced points per
+// labeled CDF) — the Figure 3/4 plot data.
+func cdfSeriesTSV(cdfs map[string]*stats.CDF) string {
+	labels := make([]string, 0, len(cdfs))
+	for l := range cdfs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	b.WriteString("sample\tx\tcdf\n")
+	for _, l := range labels {
+		for _, pt := range cdfs[l].Series(64) {
+			fmt.Fprintf(&b, "%s\t%.4g\t%.4f\n", l, pt.X, pt.Y)
+		}
+	}
+	return b.String()
+}
+
+// ExportIntervention writes Figures 5–7 day series as TSVs into dir.
+func ExportIntervention(res *InterventionResults, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("day\tblock\tdelay\tcontrol\tthreshold\n")
+	for d := 0; d < res.Figure5.Days; d++ {
+		fmt.Fprintf(&b, "%d\t%s\t%s\t%s\t%.2f\n", d,
+			tsvCell(res.Figure5.Block, d), tsvCell(res.Figure5.Delay, d),
+			tsvCell(res.Figure5.Control, d), res.Figure5.Threshold)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure5.tsv"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	writeElig := func(name string, s EligibilitySeries) error {
+		var b strings.Builder
+		b.WriteString("day\tblock\tdelay\tcontrol\n")
+		for d := 0; d < s.Days; d++ {
+			fmt.Fprintf(&b, "%d\t%s\t%s\t%s\n", d,
+				tsvCell(s.Arms[intervention.AssignBlock], d),
+				tsvCell(s.Arms[intervention.AssignDelay], d),
+				tsvCell(s.Arms[intervention.AssignControl], d))
+		}
+		return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+	}
+	if err := writeElig("figure6.tsv", res.Figure6); err != nil {
+		return err
+	}
+	if err := writeElig("figure7.tsv", res.Figure7); err != nil {
+		return err
+	}
+	return ExportInterventionSVG(res, dir)
+}
+
+func tsvCell(s DailySeries, d int) string {
+	if d >= len(s.Seen) || !s.Seen[d] {
+		return "NA"
+	}
+	return fmt.Sprintf("%.4f", s.Values[d])
+}

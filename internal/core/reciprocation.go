@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/clock"
+	"footsteps/internal/honeypot"
+	"footsteps/internal/platform"
+)
+
+// Table5Cell is one row of Table 5: the probability that an outbound
+// action of DriveType from a Kind honeypot enrolled with Service induces
+// a reciprocated inbound like / follow.
+type Table5Cell struct {
+	Service   string
+	Kind      honeypot.Kind
+	DriveType platform.ActionType
+
+	Honeypots    int
+	Outbound     int
+	InLikeRate   float64
+	InFollowRate float64
+}
+
+// Table5 is the full reciprocation-measurement result.
+type Table5 struct {
+	Cells []Table5Cell
+}
+
+// Cell finds one measurement cell.
+func (t *Table5) Cell(service string, kind honeypot.Kind, drive platform.ActionType) (Table5Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Service == service && c.Kind == kind && c.DriveType == drive {
+			return c, true
+		}
+	}
+	return Table5Cell{}, false
+}
+
+// ReciprocationStudy reproduces the §4.3 experiment: for every reciprocity
+// service and each of the like/follow offerings, it registers emptyPer
+// empty and livedPer lived-in honeypots on free trials, lets the services
+// drive outbound actions for the full trial, allows reaction time, and
+// measures reciprocation. Run it on a fresh world.
+func (w *World) ReciprocationStudy(emptyPer, livedPer int) (*Table5, error) {
+	type cellKey struct {
+		service string
+		kind    honeypot.Kind
+		drive   platform.ActionType
+	}
+	accounts := make(map[cellKey][]*honeypot.Account)
+
+	names := make([]string, 0, len(w.Recip))
+	for name := range w.Recip {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	maxTrial := 0
+	for _, name := range names {
+		svc := w.Recip[name]
+		if trial := svc.Spec().Reciprocity.ActualTrialDays(); trial > maxTrial {
+			maxTrial = trial
+		}
+		for _, pair := range []struct {
+			offer aas.Offering
+			drive platform.ActionType
+		}{
+			{aas.OfferLike, platform.ActionLike},
+			{aas.OfferFollow, platform.ActionFollow},
+		} {
+			for _, kindCount := range []struct {
+				kind honeypot.Kind
+				n    int
+			}{{honeypot.Empty, emptyPer}, {honeypot.LivedIn, livedPer}} {
+				for i := 0; i < kindCount.n; i++ {
+					hp, err := w.Honeypots.Create(kindCount.kind)
+					if err != nil {
+						return nil, err
+					}
+					if _, err := svc.EnrollTrial(hp.Username, hp.Password, pair.offer); err != nil {
+						return nil, fmt.Errorf("enroll %s with %s: %w", hp.Username, name, err)
+					}
+					w.Honeypots.MarkEnrolled(hp, name)
+					key := cellKey{service: name, kind: kindCount.kind, drive: pair.drive}
+					accounts[key] = append(accounts[key], hp)
+				}
+			}
+		}
+	}
+
+	// Automation has been live since world construction; run the trials
+	// out and leave two days for delayed organic reactions to land.
+	w.Sched.RunFor(time.Duration(maxTrial+3) * clock.Day)
+
+	table := &Table5{}
+	for _, name := range names {
+		for _, drive := range []platform.ActionType{platform.ActionLike, platform.ActionFollow} {
+			for _, kind := range []honeypot.Kind{honeypot.Empty, honeypot.LivedIn} {
+				hps := accounts[cellKey{service: name, kind: kind, drive: drive}]
+				if len(hps) == 0 {
+					continue
+				}
+				cell := Table5Cell{Service: name, Kind: kind, DriveType: drive, Honeypots: len(hps)}
+				var likeReciprocators, followReciprocators int
+				for _, hp := range hps {
+					cell.Outbound += hp.Outbound[drive]
+					for _, perActor := range hp.InboundDedup {
+						if perActor[platform.ActionLike] > 0 {
+							likeReciprocators++
+						}
+						if perActor[platform.ActionFollow] > 0 {
+							followReciprocators++
+						}
+					}
+				}
+				if cell.Outbound > 0 {
+					cell.InLikeRate = float64(likeReciprocators) / float64(cell.Outbound)
+					cell.InFollowRate = float64(followReciprocators) / float64(cell.Outbound)
+				}
+				table.Cells = append(table.Cells, cell)
+			}
+		}
+	}
+	return table, nil
+}

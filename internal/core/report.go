@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/honeypot"
+	"footsteps/internal/intervention"
+	"footsteps/internal/platform"
+)
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func usd(v float64) string { return fmt.Sprintf("$%.0f", v) }
+
+// FormatTable1 renders the service/offering matrix from the catalog.
+func FormatTable1() string {
+	offerings := []aas.Offering{aas.OfferLike, aas.OfferFollow, aas.OfferComment, aas.OfferPost, aas.OfferUnfollow}
+	header := []string{"Service", "Type"}
+	for _, o := range offerings {
+		header = append(header, o.String())
+	}
+	var rows [][]string
+	for _, spec := range aas.Catalog() {
+		row := []string{spec.Name, spec.Technique.String()}
+		for _, o := range offerings {
+			mark := ""
+			if spec.Offers(o) {
+				mark = "*"
+			}
+			row = append(row, mark)
+		}
+		rows = append(rows, row)
+	}
+	return "Table 1: services offered per AAS\n" + table(header, rows)
+}
+
+// FormatTable2 renders the reciprocity pricing table.
+func FormatTable2() string {
+	var rows [][]string
+	for _, spec := range aas.Catalog() {
+		if spec.Technique != aas.TechniqueReciprocity {
+			continue
+		}
+		p := spec.Reciprocity
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprintf("%d days", p.TrialDays),
+			fmt.Sprintf("%d", p.MinPaidDays),
+			fmt.Sprintf("$%.2f", p.CostPerPeriod),
+		})
+	}
+	return "Table 2: reciprocity AAS trial and pricing\n" +
+		table([]string{"Service", "Trial", "Min Paid Days", "Cost"}, rows)
+}
+
+// FormatTable3 renders Hublaagram's price list.
+func FormatTable3() string {
+	p := aas.SpecByName(aas.NameHublaagram).Collusion
+	rows := [][]string{
+		{"No collusion network", fmt.Sprintf("$%.0f", p.NoOutboundFee), "Life"},
+	}
+	for _, pkg := range p.OneTime {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d Likes", pkg.Likes), fmt.Sprintf("$%.0f", pkg.Fee), "Immediate",
+		})
+	}
+	for _, tier := range p.MonthlyTiers {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d-%d Likes", tier.MinLikes, tier.MaxLikes),
+			fmt.Sprintf("$%.0f", tier.MonthlyFee), "Month",
+		})
+	}
+	return "Table 3: Hublaagram per-account costs\n" +
+		table([]string{"Description", "Cost", "Duration"}, rows)
+}
+
+// FormatTable4 renders Followersgratis's payment options.
+func FormatTable4() string {
+	p := aas.SpecByName(aas.NameFollowersgratis).Collusion
+	var rows [][]string
+	for _, pkg := range p.OneTime {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d Likes", pkg.Likes), fmt.Sprintf("$%.2f", pkg.Fee),
+		})
+	}
+	return "Table 4: Followersgratis payment options\n" +
+		table([]string{"Description", "Cost"}, rows)
+}
+
+// FormatTable5 renders a measured reciprocation table.
+func FormatTable5(t *Table5) string {
+	var rows [][]string
+	for _, c := range t.Cells {
+		kind := "E"
+		if c.Kind == honeypot.LivedIn {
+			kind = "L"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%s (%s)", c.Service, kind),
+			c.DriveType.String() + "s",
+			pct(c.InLikeRate),
+			pct(c.InFollowRate),
+			fmt.Sprintf("%d", c.Outbound),
+		})
+	}
+	return "Table 5: reciprocation probability per outbound action\n" +
+		table([]string{"Service", "Outbound", "In Likes", "In Follows", "N out"}, rows)
+}
+
+// FormatBusiness renders Tables 6–11 and the Figure 2–4 summaries.
+func FormatBusiness(r *BusinessResults) string {
+	var b strings.Builder
+
+	labels := make([]string, 0, len(r.Table6))
+	for l := range r.Table6 {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	var rows [][]string
+	for _, l := range labels {
+		s := r.Table6[l]
+		if s.Customers == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			l, fmt.Sprintf("%d", s.Customers),
+			fmt.Sprintf("%d (%s)", s.LongTerm, pct(float64(s.LongTerm)/float64(s.Customers))),
+			fmt.Sprintf("%d (%s)", s.ShortTerm, pct(float64(s.ShortTerm)/float64(s.Customers))),
+			pct(s.LongActions),
+		})
+	}
+	b.WriteString("Table 6: customers per AAS over the window\n")
+	b.WriteString(table([]string{"Service", "Customers", "Long-term", "Short-term", "LT action share"}, rows))
+
+	rows = rows[:0]
+	for _, l := range labels {
+		rows = append(rows, []string{l, pct(r.Conversion[l]), fmt.Sprintf("%+.1f%%", r.Growth[l]*100)})
+	}
+	b.WriteString("\n§5.1 user stability: first-month long-term conversion and long-term growth\n")
+	b.WriteString(table([]string{"Service", "Conversion", "Growth"}, rows))
+
+	rows = rows[:0]
+	for _, l := range labels {
+		if ss, ok := r.Stability[l]; ok && len(ss.ActivePerDay) > 0 {
+			mid := ss.ActivePerDay[len(ss.ActivePerDay)/2]
+			rows = append(rows, []string{
+				l,
+				fmt.Sprintf("%d", mid),
+				fmt.Sprintf("%.2f/day", ss.MeanBirthRate()),
+				fmt.Sprintf("%.2f/day", ss.MeanDeathRate()),
+			})
+		}
+	}
+	b.WriteString("\n§5.1 long-term population: mid-window actives, birth and death rates\n")
+	b.WriteString(table([]string{"Service", "Active (mid)", "Births", "Deaths"}, rows))
+
+	rows = rows[:0]
+	for _, row := range r.Table7 {
+		rows = append(rows, []string{row.Label, row.OperatingCountry, strings.Join(dedupStrings(row.ASNCountries), ", ")})
+	}
+	b.WriteString("\nTable 7: operating country and ASN locations\n")
+	b.WriteString(table([]string{"Service", "Operating Country", "ASN Location"}, rows))
+
+	b.WriteString("\nFigure 2: customer account locations by country\n")
+	for _, l := range labels {
+		shares := r.Figure2[l]
+		parts := make([]string, 0, len(shares))
+		for _, s := range shares {
+			parts = append(parts, fmt.Sprintf("%s %s", s.Country, pct(s.Fraction)))
+		}
+		fmt.Fprintf(&b, "  %-12s %s\n", l, strings.Join(parts, " | "))
+	}
+
+	rows = [][]string{
+		{"Boostgram", fmt.Sprintf("%d", r.Table8Boostgram.PaidAccounts), "$99/month", usd(r.Table8Boostgram.Monthly)},
+		{"Insta* (Low)", fmt.Sprintf("%d", r.Table8InstaLow.PaidAccounts), "$0.34/day", usd(r.Table8InstaLow.Monthly)},
+		{"Insta* (High)", fmt.Sprintf("%d", r.Table8InstaHigh.PaidAccounts), "$3.15/week", usd(r.Table8InstaHigh.Monthly)},
+	}
+	b.WriteString("\nTable 8: estimated monthly gross revenue, reciprocity AASs\n")
+	b.WriteString(table([]string{"Service", "Paid Accounts", "Fee", "Monthly Revenue"}, rows))
+
+	t9 := r.Table9
+	rows = [][]string{
+		{"No outbound", fmt.Sprintf("%d", t9.NoOutboundAccounts), "$15 once", usd(t9.NoOutboundRevenue)},
+		{"One-time likes", fmt.Sprintf("%d", t9.OneTimeBuyers), "$10+", usd(t9.OneTimeRevenue)},
+	}
+	pricing := aas.SpecByName(aas.NameHublaagram).Collusion
+	for i, tier := range pricing.MonthlyTiers {
+		if i < len(t9.TierAccounts) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d-%d likes/photo", tier.MinLikes, tier.MaxLikes),
+				fmt.Sprintf("%d", t9.TierAccounts[i]),
+				fmt.Sprintf("$%.0f/month", tier.MonthlyFee),
+				usd(t9.TierRevenue[i]),
+			})
+		}
+	}
+	rows = append(rows,
+		[]string{"Ads (low CPM)", fmt.Sprintf("%d impressions", t9.AdImpressions), "$0.60 CPM", usd(t9.AdRevenueLow)},
+		[]string{"Ads (high CPM)", "", "$4.00 CPM", usd(t9.AdRevenueHigh)},
+		[]string{"TOTAL monthly", "", "", fmt.Sprintf("%s – %s", usd(t9.MonthlyLow), usd(t9.MonthlyHigh))},
+	)
+	b.WriteString("\nTable 9: Hublaagram gross revenue estimate\n")
+	b.WriteString(table([]string{"Product", "Accounts", "Fee", "Revenue"}, rows))
+
+	rows = rows[:0]
+	for _, l := range labels {
+		if s, ok := r.Table10[l]; ok {
+			rows = append(rows, []string{l, pct(s.NewFraction), pct(s.PreexistingFraction)})
+		}
+	}
+	b.WriteString("\nTable 10: revenue from new vs preexisting paying customers\n")
+	b.WriteString(table([]string{"Service", "New", "Preexisting"}, rows))
+
+	types := []platform.ActionType{platform.ActionLike, platform.ActionFollow, platform.ActionComment, platform.ActionUnfollow}
+	header := []string{"Service"}
+	for _, t := range types {
+		header = append(header, t.String()+"s")
+	}
+	rows = rows[:0]
+	for _, l := range labels {
+		mix := r.Table11[l]
+		row := []string{l}
+		for _, t := range types {
+			row = append(row, pct(mix[t]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString("\nTable 11: action mix per AAS\n")
+	b.WriteString(table(header, rows))
+
+	fmt.Fprintf(&b, "\n§5.1 multi-service overlap: %d in all three, %d in two reciprocity AASs, %d in a reciprocity AAS plus Hublaagram\n",
+		r.Overlap.AllThree, r.Overlap.TwoReciprocity, r.Overlap.RecipAndCollusion)
+
+	b.WriteString("\nFigures 3/4: degree medians of targeted vs random accounts\n")
+	figLabels := make([]string, 0, len(r.Figure3))
+	for l := range r.Figure3 {
+		figLabels = append(figLabels, l)
+	}
+	sort.Strings(figLabels)
+	rows = rows[:0]
+	for _, l := range figLabels {
+		rows = append(rows, []string{
+			l,
+			fmt.Sprintf("%.0f", r.Figure3[l].Median()),
+			fmt.Sprintf("%.0f", r.Figure4[l].Median()),
+		})
+	}
+	b.WriteString(table([]string{"Sample", "Median following (F3)", "Median followers (F4)"}, rows))
+
+	return b.String()
+}
+
+// FormatIntervention renders Figures 5–7 as day series.
+func FormatIntervention(r *InterventionResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Boostgram median follows/user/day (threshold %.0f)\n", r.Figure5.Threshold)
+	fmt.Fprintf(&b, "%-5s %10s %10s %10s\n", "day", "block", "delay", "control")
+	for d := 0; d < r.Figure5.Days; d++ {
+		fmt.Fprintf(&b, "%-5d %10s %10s %10s\n", d,
+			seriesCell(r.Figure5.Block, d), seriesCell(r.Figure5.Delay, d), seriesCell(r.Figure5.Control, d))
+	}
+
+	writeElig := func(title string, s EligibilitySeries) {
+		fmt.Fprintf(&b, "\n%s\n", title)
+		fmt.Fprintf(&b, "%-5s %10s %10s %10s\n", "day", "block", "delay", "control")
+		for d := 0; d < s.Days; d++ {
+			fmt.Fprintf(&b, "%-5d %10s %10s %10s\n", d,
+				seriesCell(s.Arms[intervention.AssignBlock], d),
+				seriesCell(s.Arms[intervention.AssignDelay], d),
+				seriesCell(s.Arms[intervention.AssignControl], d))
+		}
+	}
+	writeElig("Figure 6: Hublaagram daily likes eligible for countermeasure", r.Figure6)
+	writeElig("Figure 7: Boostgram daily follows eligible for countermeasure", r.Figure7)
+	fmt.Fprintf(&b, "\nBenign actions touched over the experiment: %d\n", r.BenignTouched)
+	fmt.Fprintf(&b, "Customer complaints to their AAS: %d from the block arm, %d from the delay arm, %d control\n",
+		r.Complaints[intervention.AssignBlock], r.Complaints[intervention.AssignDelay],
+		r.Complaints[intervention.AssignControl])
+	fmt.Fprintf(&b, "Benign-user appeals to the platform: %d\n", r.PlatformComplaints)
+	return b.String()
+}
+
+func seriesCell(s DailySeries, d int) string {
+	if d >= len(s.Seen) || !s.Seen[d] {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", s.Values[d])
+}
+
+func dedupStrings(xs []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FormatRevenueSummary prints the headline §5 finding: combined monthly
+// revenue across services.
+func FormatRevenueSummary(r *BusinessResults) string {
+	total := r.Table8Boostgram.Monthly +
+		(r.Table8InstaLow.Monthly+r.Table8InstaHigh.Monthly)/2 +
+		(r.Table9.MonthlyLow+r.Table9.MonthlyHigh)/2
+	return fmt.Sprintf("Combined estimated monthly gross revenue (mid-range): %s\n", usd(total))
+}

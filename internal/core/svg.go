@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"footsteps/internal/intervention"
+	"footsteps/internal/plot"
+	"footsteps/internal/stats"
+)
+
+// ExportInterventionSVG renders Figures 5–7 as SVG files in dir.
+func ExportInterventionSVG(res *InterventionResults, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	days := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		return xs
+	}
+	values := func(s DailySeries) []float64 {
+		ys := make([]float64, len(s.Values))
+		for i := range ys {
+			if s.Seen[i] {
+				ys[i] = s.Values[i]
+			} else {
+				ys[i] = math.NaN()
+			}
+		}
+		return ys
+	}
+
+	fig5 := plot.Chart{
+		Title:  "Figure 5: Boostgram median follows per user per day",
+		XLabel: "experiment day",
+		YLabel: "median follows/user",
+		HLine:  res.Figure5.Threshold,
+		Series: []plot.Series{
+			{Name: "block", X: days(res.Figure5.Days), Y: values(res.Figure5.Block)},
+			{Name: "delay", X: days(res.Figure5.Days), Y: values(res.Figure5.Delay), Dashed: true},
+			{Name: "control", X: days(res.Figure5.Days), Y: values(res.Figure5.Control)},
+		},
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure5.svg"), []byte(fig5.SVG()), 0o644); err != nil {
+		return err
+	}
+
+	elig := func(title string, s EligibilitySeries) plot.Chart {
+		return plot.Chart{
+			Title:  title,
+			XLabel: "experiment day",
+			YLabel: "eligible fraction",
+			HLine:  math.NaN(),
+			Series: []plot.Series{
+				{Name: "block", X: days(s.Days), Y: values(s.Arms[intervention.AssignBlock])},
+				{Name: "delay", X: days(s.Days), Y: values(s.Arms[intervention.AssignDelay]), Dashed: true},
+				{Name: "control", X: days(s.Days), Y: values(s.Arms[intervention.AssignControl])},
+			},
+		}
+	}
+	fig6 := elig("Figure 6: Hublaagram likes eligible for countermeasure", res.Figure6)
+	if err := os.WriteFile(filepath.Join(dir, "figure6.svg"), []byte(fig6.SVG()), 0o644); err != nil {
+		return err
+	}
+	fig7 := elig("Figure 7: Boostgram follows eligible for countermeasure", res.Figure7)
+	return os.WriteFile(filepath.Join(dir, "figure7.svg"), []byte(fig7.SVG()), 0o644)
+}
+
+// ExportBusinessSVG renders the Figure 3/4 CDFs as SVG files in dir.
+func ExportBusinessSVG(res *BusinessResults, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	render := func(title, xlabel string, cdfs map[string]*stats.CDF) plot.Chart {
+		labels := make([]string, 0, len(cdfs))
+		for l := range cdfs {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		ch := plot.Chart{Title: title, XLabel: xlabel, YLabel: "CDF", HLine: math.NaN()}
+		for _, l := range labels {
+			pts := cdfs[l].Series(64)
+			xs := make([]float64, len(pts))
+			ys := make([]float64, len(pts))
+			for i, p := range pts {
+				xs[i], ys[i] = p.X, p.Y
+			}
+			ch.Series = append(ch.Series, plot.Series{Name: l, X: xs, Y: ys, Dashed: l == "Random"})
+		}
+		return ch
+	}
+	fig3 := render("Figure 3: accounts followed by targets (out-degree)", "accounts followed", res.Figure3)
+	if err := os.WriteFile(filepath.Join(dir, "figure3.svg"), []byte(fig3.SVG()), 0o644); err != nil {
+		return err
+	}
+	fig4 := render("Figure 4: followers of targets (in-degree)", "followers", res.Figure4)
+	return os.WriteFile(filepath.Join(dir, "figure4.svg"), []byte(fig4.SVG()), 0o644)
+}

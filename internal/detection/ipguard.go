@@ -1,0 +1,92 @@
+package detection
+
+import (
+	"net/netip"
+
+	"footsteps/internal/platform"
+)
+
+// IPVolumeGuard models the platform's pre-existing abuse defenses: a
+// per-IP daily action budget that throttles "high volumes of abuse
+// originating from a small number of IP addresses" (§5).
+//
+// This is the system that had already neutered Followersgratis before the
+// study began — its four-address footprint cannot push meaningful volume
+// through a per-IP cap — while the other services' wider address pools
+// (and, post-evasion, their proxy networks) sail under it.
+//
+// The guard implements platform.Gatekeeper. Chain it in front of an
+// intervention controller with Chain.
+type IPVolumeGuard struct {
+	// DailyPerIP caps allowed actions per source address per day.
+	DailyPerIP int
+
+	counts map[netip.Addr]*ipWindow
+
+	// Throttled counts actions rejected, by client fingerprint — the
+	// platform's view of who the guard is squeezing.
+	Throttled map[string]int
+}
+
+type ipWindow struct {
+	day int64
+	n   int
+}
+
+// NewIPVolumeGuard returns a guard with the given per-IP daily budget.
+func NewIPVolumeGuard(dailyPerIP int) *IPVolumeGuard {
+	return &IPVolumeGuard{
+		DailyPerIP: dailyPerIP,
+		counts:     make(map[netip.Addr]*ipWindow),
+		Throttled:  make(map[string]int),
+	}
+}
+
+// Check implements platform.Gatekeeper: actions beyond an address's daily
+// budget are blocked synchronously. Logins always pass — the guard polices
+// action volume, not presence.
+func (g *IPVolumeGuard) Check(req platform.Event) platform.Verdict {
+	if req.Type == platform.ActionLogin || g.DailyPerIP <= 0 {
+		return platform.Allow
+	}
+	day := req.Time.Unix() / 86400
+	w := g.counts[req.IP]
+	if w == nil {
+		w = &ipWindow{day: day}
+		g.counts[req.IP] = w
+	}
+	if w.day != day {
+		w.day, w.n = day, 0
+	}
+	if w.n >= g.DailyPerIP {
+		g.Throttled[req.Client]++
+		return platform.Verdict{Kind: platform.VerdictBlock}
+	}
+	w.n++
+	return platform.Allow
+}
+
+// TotalThrottled sums rejections across fingerprints.
+func (g *IPVolumeGuard) TotalThrottled() int {
+	n := 0
+	for _, v := range g.Throttled {
+		n += v
+	}
+	return n
+}
+
+// Chain composes gatekeepers: the first non-allow verdict wins. Use it to
+// stack the pre-existing IP guard under an experiment's controller.
+func Chain(gks ...platform.Gatekeeper) platform.Gatekeeper {
+	return platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		for _, gk := range gks {
+			if gk == nil {
+				continue
+			}
+			if v := gk.Check(req); v.Kind != platform.VerdictAllow {
+				return v
+			}
+		}
+		return platform.Allow
+	})
+}

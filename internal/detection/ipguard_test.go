@@ -1,0 +1,100 @@
+package detection
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/platform"
+)
+
+func guardReq(ip string, client string, at time.Time) platform.Event {
+	return platform.Event{
+		Time: at, Type: platform.ActionLike, Actor: 1,
+		IP: netip.MustParseAddr(ip), Client: client,
+	}
+}
+
+func TestIPVolumeGuardCapsPerIP(t *testing.T) {
+	g := NewIPVolumeGuard(3)
+	at := clock.Epoch
+	for i := 0; i < 3; i++ {
+		if v := g.Check(guardReq("10.0.0.1", "spoof", at)); v.Kind != platform.VerdictAllow {
+			t.Fatalf("action %d blocked below cap", i)
+		}
+	}
+	if v := g.Check(guardReq("10.0.0.1", "spoof", at)); v.Kind != platform.VerdictBlock {
+		t.Fatal("4th action from same IP not blocked")
+	}
+	// A different IP has its own budget.
+	if v := g.Check(guardReq("10.0.0.2", "spoof", at)); v.Kind != platform.VerdictAllow {
+		t.Fatal("fresh IP blocked")
+	}
+	if g.Throttled["spoof"] != 1 || g.TotalThrottled() != 1 {
+		t.Fatalf("throttle accounting %v", g.Throttled)
+	}
+}
+
+func TestIPVolumeGuardDailyReset(t *testing.T) {
+	g := NewIPVolumeGuard(1)
+	at := clock.Epoch
+	g.Check(guardReq("10.0.0.1", "x", at))
+	if v := g.Check(guardReq("10.0.0.1", "x", at)); v.Kind != platform.VerdictBlock {
+		t.Fatal("over-budget action allowed")
+	}
+	if v := g.Check(guardReq("10.0.0.1", "x", at.Add(24*time.Hour))); v.Kind != platform.VerdictAllow {
+		t.Fatal("budget did not reset next day")
+	}
+}
+
+func TestIPVolumeGuardPassesLogins(t *testing.T) {
+	g := NewIPVolumeGuard(1)
+	at := clock.Epoch
+	for i := 0; i < 5; i++ {
+		ev := guardReq("10.0.0.1", "x", at)
+		ev.Type = platform.ActionLogin
+		if v := g.Check(ev); v.Kind != platform.VerdictAllow {
+			t.Fatal("login blocked by volume guard")
+		}
+	}
+}
+
+func TestIPVolumeGuardDisabled(t *testing.T) {
+	g := NewIPVolumeGuard(0)
+	at := clock.Epoch
+	for i := 0; i < 100; i++ {
+		if v := g.Check(guardReq("10.0.0.1", "x", at)); v.Kind != platform.VerdictAllow {
+			t.Fatal("disabled guard blocked")
+		}
+	}
+}
+
+func TestChainFirstVerdictWins(t *testing.T) {
+	blockLikes := platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		if req.Type == platform.ActionLike {
+			return platform.Verdict{Kind: platform.VerdictBlock}
+		}
+		return platform.Allow
+	})
+	delayFollows := platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
+		if req.Type == platform.ActionFollow {
+			return platform.Verdict{Kind: platform.VerdictDelayRemove}
+		}
+		return platform.Allow
+	})
+	chained := Chain(nil, blockLikes, delayFollows)
+
+	like := platform.Event{Type: platform.ActionLike}
+	if v := chained.Check(like); v.Kind != platform.VerdictBlock {
+		t.Fatal("chain missed block")
+	}
+	follow := platform.Event{Type: platform.ActionFollow}
+	if v := chained.Check(follow); v.Kind != platform.VerdictDelayRemove {
+		t.Fatal("chain missed delay")
+	}
+	comment := platform.Event{Type: platform.ActionComment}
+	if v := chained.Check(comment); v.Kind != platform.VerdictAllow {
+		t.Fatal("chain blocked allowed action")
+	}
+}

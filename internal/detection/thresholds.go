@@ -1,0 +1,183 @@
+package detection
+
+import (
+	"time"
+
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/stats"
+)
+
+// Thresholds holds the per-ASN, per-action-type daily activity thresholds
+// of §6.2. Actions by an account above its ASN's threshold on a given day
+// are "eligible" for countermeasures.
+type Thresholds struct {
+	// PerASN maps ASN → action type → daily per-account threshold.
+	PerASN map[netsim.ASN]map[platform.ActionType]float64
+}
+
+// Lookup returns the threshold for (asn, t); ok is false when the ASN has
+// no computed threshold (countermeasures never touch such traffic — this
+// is exactly why the proxy-network evasion of §6.4 works).
+func (t Thresholds) Lookup(asn netsim.ASN, typ platform.ActionType) (float64, bool) {
+	byType, ok := t.PerASN[asn]
+	if !ok {
+		return 0, false
+	}
+	v, ok := byType[typ]
+	return v, ok
+}
+
+// thresholdTypes are the action types the interventions police.
+var thresholdTypes = []platform.ActionType{platform.ActionLike, platform.ActionFollow}
+
+// Calibrator accumulates per-account daily action counts, split into AAS
+// and benign traffic by a classifier, and computes the §6.2 thresholds:
+//
+//   - ASNs carrying both AAS and benign traffic: the daily 99th percentile
+//     of benign per-account activity (≤1% false positives by construction);
+//   - ASNs carrying only AAS traffic: the daily 25th percentile of the
+//     abusive activity itself.
+//
+// Feed it events via Observe, close each day with EndDay, then Compute.
+type Calibrator struct {
+	classify func(platform.Event) (string, bool)
+
+	// MixedPercentile is the benign-activity quantile used on ASNs with
+	// blended traffic (paper: 0.99 — at most 1% false positives).
+	MixedPercentile float64
+	// DedicatedPercentile is the abuse-activity quantile used on
+	// AAS-only ASNs (paper: 0.25).
+	DedicatedPercentile float64
+
+	// current day accumulation: per ASN, per account, per type.
+	today map[netsim.ASN]map[platform.AccountID]map[platform.ActionType]int
+	aas   map[netsim.ASN]bool // ASN saw AAS traffic today (any day)
+
+	// samples: per ASN and type, the per-account-day counts.
+	benignSamples map[netsim.ASN]map[platform.ActionType][]float64
+	aasSamples    map[netsim.ASN]map[platform.ActionType][]float64
+	benignSeen    map[netsim.ASN]bool
+
+	todayIsAAS map[netsim.ASN]map[platform.AccountID]bool
+}
+
+// NewCalibrator builds a calibrator over the given classifier function.
+func NewCalibrator(classify func(platform.Event) (string, bool)) *Calibrator {
+	return &Calibrator{
+		classify:            classify,
+		MixedPercentile:     0.99,
+		DedicatedPercentile: 0.25,
+		today:               make(map[netsim.ASN]map[platform.AccountID]map[platform.ActionType]int),
+		aas:                 make(map[netsim.ASN]bool),
+		benignSamples:       make(map[netsim.ASN]map[platform.ActionType][]float64),
+		aasSamples:          make(map[netsim.ASN]map[platform.ActionType][]float64),
+		benignSeen:          make(map[netsim.ASN]bool),
+		todayIsAAS:          make(map[netsim.ASN]map[platform.AccountID]bool),
+	}
+}
+
+// Observe ingests one event into the current day.
+func (c *Calibrator) Observe(ev platform.Event) {
+	if ev.Outcome != platform.OutcomeAllowed || ev.Enforcement || ev.Type == platform.ActionLogin {
+		return
+	}
+	interesting := false
+	for _, t := range thresholdTypes {
+		if ev.Type == t {
+			interesting = true
+		}
+	}
+	if !interesting {
+		return
+	}
+	byAcct := c.today[ev.ASN]
+	if byAcct == nil {
+		byAcct = make(map[platform.AccountID]map[platform.ActionType]int)
+		c.today[ev.ASN] = byAcct
+	}
+	byType := byAcct[ev.Actor]
+	if byType == nil {
+		byType = make(map[platform.ActionType]int)
+		byAcct[ev.Actor] = byType
+	}
+	byType[ev.Type]++
+
+	isAAS := c.todayIsAAS[ev.ASN]
+	if isAAS == nil {
+		isAAS = make(map[platform.AccountID]bool)
+		c.todayIsAAS[ev.ASN] = isAAS
+	}
+	if _, aas := c.classify(ev); aas {
+		isAAS[ev.Actor] = true
+		c.aas[ev.ASN] = true
+	}
+}
+
+// EndDay folds the current day's counts into the percentile samples.
+func (c *Calibrator) EndDay() {
+	for asn, byAcct := range c.today {
+		for acct, byType := range byAcct {
+			aasAcct := c.todayIsAAS[asn][acct]
+			dest := c.benignSamples
+			if aasAcct {
+				dest = c.aasSamples
+			} else {
+				c.benignSeen[asn] = true
+			}
+			byTypeDest := dest[asn]
+			if byTypeDest == nil {
+				byTypeDest = make(map[platform.ActionType][]float64)
+				dest[asn] = byTypeDest
+			}
+			for _, t := range thresholdTypes {
+				if n := byType[t]; n > 0 {
+					byTypeDest[t] = append(byTypeDest[t], float64(n))
+				}
+			}
+		}
+	}
+	c.today = make(map[netsim.ASN]map[platform.AccountID]map[platform.ActionType]int)
+	c.todayIsAAS = make(map[netsim.ASN]map[platform.AccountID]bool)
+}
+
+// Compute derives thresholds for every ASN that carried AAS traffic.
+// Thresholds are frozen at computation time and never adjusted afterwards
+// ("we computed the activity level thresholds at the start of each
+// experiment and did not change them", §6.2).
+func (c *Calibrator) Compute() Thresholds {
+	out := Thresholds{PerASN: make(map[netsim.ASN]map[platform.ActionType]float64)}
+	for asn := range c.aas {
+		byType := make(map[platform.ActionType]float64)
+		for _, t := range thresholdTypes {
+			var v float64
+			if c.benignSeen[asn] {
+				// Mixed ASN: 99th percentile of benign per-account days.
+				samples := c.benignSamples[asn][t]
+				if len(samples) == 0 {
+					continue
+				}
+				v = stats.Quantile(samples, c.MixedPercentile)
+			} else {
+				// Dedicated AAS ASN: 25th percentile of the abuse itself.
+				samples := c.aasSamples[asn][t]
+				if len(samples) == 0 {
+					continue
+				}
+				v = stats.Quantile(samples, c.DedicatedPercentile)
+			}
+			if v < 1 {
+				v = 1
+			}
+			byType[t] = v
+		}
+		if len(byType) > 0 {
+			out.PerASN[asn] = byType
+		}
+	}
+	return out
+}
+
+// CalibrationWindow is the default number of days of traffic used to
+// compute thresholds before an experiment.
+const CalibrationWindow = 7 * 24 * time.Hour

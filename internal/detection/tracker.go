@@ -1,0 +1,274 @@
+package detection
+
+import (
+	"sort"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+)
+
+// AccountActivity is everything the platform knows about one AAS customer
+// account's involvement with one service over the measurement window.
+type AccountActivity struct {
+	Account platform.AccountID
+	// Daily maps day index → outbound actions driven by the service.
+	Daily map[int]map[platform.ActionType]int
+	// InboundDaily maps day index → inbound actions delivered by the
+	// service to this account (collusion networks).
+	InboundDaily map[int]map[platform.ActionType]int
+
+	// Per-post inbound like bookkeeping for the Hublaagram revenue model:
+	// totals, and the peak observed in any single hour.
+	PostLikes      map[platform.PostID]int
+	PeakHourlyLike int
+
+	curHourPost  platform.PostID
+	curHour      int64
+	curHourCount int
+}
+
+// ActiveDays returns the sorted day indices with any (in- or outbound)
+// service activity.
+func (a *AccountActivity) ActiveDays() []int {
+	seen := make(map[int]bool, len(a.Daily)+len(a.InboundDaily))
+	for d := range a.Daily {
+		seen[d] = true
+	}
+	for d := range a.InboundDaily {
+		seen[d] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MaxConsecutiveDays returns the length of the longest run of consecutive
+// active days — the quantity behind the long-term/short-term split (§5.1).
+func (a *AccountActivity) MaxConsecutiveDays() int {
+	days := a.ActiveDays()
+	if len(days) == 0 {
+		return 0
+	}
+	best, run := 1, 1
+	for i := 1; i < len(days); i++ {
+		if days[i] == days[i-1]+1 {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// HasOutbound reports whether the service ever drove actions FROM this
+// account. Reciprocity-service targets have inbound only and are not
+// customers; collusion-network participants are customers either way.
+func (a *AccountActivity) HasOutbound() bool {
+	for _, byType := range a.Daily {
+		for _, n := range byType {
+			if n > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TotalOutbound sums outbound actions of type t.
+func (a *AccountActivity) TotalOutbound(t platform.ActionType) int {
+	n := 0
+	for _, byType := range a.Daily {
+		n += byType[t]
+	}
+	return n
+}
+
+// TotalInbound sums inbound actions of type t.
+func (a *AccountActivity) TotalInbound(t platform.ActionType) int {
+	n := 0
+	for _, byType := range a.InboundDaily {
+		n += byType[t]
+	}
+	return n
+}
+
+// OutboundOnDay returns the outbound count of type t on the given day.
+func (a *AccountActivity) OutboundOnDay(day int, t platform.ActionType) int {
+	return a.Daily[day][t]
+}
+
+// MedianLikesPerPost returns the median of inbound like totals across the
+// account's touched posts (the Hublaagram tiering statistic).
+func (a *AccountActivity) MedianLikesPerPost() float64 {
+	if len(a.PostLikes) == 0 {
+		return 0
+	}
+	vals := make([]int, 0, len(a.PostLikes))
+	for _, n := range a.PostLikes {
+		vals = append(vals, n)
+	}
+	sort.Ints(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return float64(vals[mid])
+	}
+	return float64(vals[mid-1]+vals[mid]) / 2
+}
+
+// PostsWithAtLeast counts touched posts with at least n service likes.
+func (a *AccountActivity) PostsWithAtLeast(n int) int {
+	c := 0
+	for _, total := range a.PostLikes {
+		if total >= n {
+			c++
+		}
+	}
+	return c
+}
+
+// ServiceActivity aggregates everything attributed to one AAS label.
+type ServiceActivity struct {
+	Label string
+	// ByAccount: service-driven activity per customer account. For
+	// reciprocity services the customer is the actor; for collusion
+	// networks every actor is a customer and every target is too.
+	ByAccount map[platform.AccountID]*AccountActivity
+	// Actions tallies all attributed outbound actions by type (Table 11).
+	Actions map[platform.ActionType]int
+	// Targets records distinct organic accounts that received attributed
+	// actions (the Figure 3/4 sample frame). Bounded: sampling keeps the
+	// first cap entries.
+	Targets map[platform.AccountID]bool
+	// ASNs is the service's observed network footprint (Table 7).
+	ASNs map[netsim.ASN]bool
+}
+
+func newServiceActivity(label string) *ServiceActivity {
+	return &ServiceActivity{
+		Label:     label,
+		ByAccount: make(map[platform.AccountID]*AccountActivity),
+		Actions:   make(map[platform.ActionType]int),
+		Targets:   make(map[platform.AccountID]bool),
+		ASNs:      make(map[netsim.ASN]bool),
+	}
+}
+
+func (s *ServiceActivity) account(id platform.AccountID) *AccountActivity {
+	a := s.ByAccount[id]
+	if a == nil {
+		a = &AccountActivity{
+			Account:      id,
+			Daily:        make(map[int]map[platform.ActionType]int),
+			InboundDaily: make(map[int]map[platform.ActionType]int),
+			PostLikes:    make(map[platform.PostID]int),
+		}
+		s.ByAccount[id] = a
+	}
+	return a
+}
+
+// Customers returns the number of distinct accounts seen in the service.
+func (s *ServiceActivity) Customers() int { return len(s.ByAccount) }
+
+// targetCap bounds the Targets sample frame.
+const targetCap = 100000
+
+// Tracker consumes the event stream and maintains per-service activity.
+// Wire it with Subscribe on the platform log, passing classified events to
+// Observe.
+type Tracker struct {
+	classifier *Classifier
+	services   map[string]*ServiceActivity
+	start      time.Time
+}
+
+// NewTracker builds a tracker over a trained classifier. start anchors day
+// indices (usually the measurement window's first instant).
+func NewTracker(c *Classifier, start time.Time) *Tracker {
+	return &Tracker{classifier: c, services: make(map[string]*ServiceActivity), start: start}
+}
+
+// Day converts an event time to a day index relative to the window start.
+func (t *Tracker) Day(at time.Time) int {
+	return int(at.Sub(t.start) / clock.Day)
+}
+
+// Observe ingests one platform event. Duplicate no-op actions (re-liking
+// a post) count as attempts for attribution purposes but are excluded: the
+// platform state did not change.
+func (t *Tracker) Observe(ev platform.Event) {
+	if ev.Outcome != platform.OutcomeAllowed || ev.Enforcement || ev.Duplicate {
+		return
+	}
+	label, ok := t.classifier.Classify(ev)
+	if !ok {
+		return
+	}
+	svc := t.services[label]
+	if svc == nil {
+		svc = newServiceActivity(label)
+		t.services[label] = svc
+	}
+	svc.ASNs[ev.ASN] = true
+	if ev.Type == platform.ActionLogin {
+		// Service logins mark the account as enrolled but are not actions.
+		svc.account(ev.Actor)
+		return
+	}
+	day := t.Day(ev.Time)
+	svc.Actions[ev.Type]++
+
+	actor := svc.account(ev.Actor)
+	byType := actor.Daily[day]
+	if byType == nil {
+		byType = make(map[platform.ActionType]int)
+		actor.Daily[day] = byType
+	}
+	byType[ev.Type]++
+
+	if ev.Target != 0 && ev.Target != ev.Actor {
+		if len(svc.Targets) < targetCap {
+			svc.Targets[ev.Target] = true
+		}
+		tgt := svc.account(ev.Target)
+		inByType := tgt.InboundDaily[day]
+		if inByType == nil {
+			inByType = make(map[platform.ActionType]int)
+			tgt.InboundDaily[day] = inByType
+		}
+		inByType[ev.Type]++
+
+		if ev.Type == platform.ActionLike {
+			tgt.PostLikes[ev.Post]++
+			hour := ev.Time.Unix() / 3600
+			if tgt.curHour != hour || tgt.curHourPost != ev.Post {
+				tgt.curHour, tgt.curHourPost, tgt.curHourCount = hour, ev.Post, 0
+			}
+			tgt.curHourCount++
+			if tgt.curHourCount > tgt.PeakHourlyLike {
+				tgt.PeakHourlyLike = tgt.curHourCount
+			}
+		}
+	}
+}
+
+// Service returns the aggregate for a label (nil when unseen).
+func (t *Tracker) Service(label string) *ServiceActivity { return t.services[label] }
+
+// Labels returns the labels with observed activity, sorted.
+func (t *Tracker) Labels() []string {
+	out := make([]string, 0, len(t.services))
+	for l := range t.services {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

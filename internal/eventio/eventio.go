@@ -1,0 +1,258 @@
+// Package eventio persists platform event streams: a compact binary codec
+// for bulk capture and a JSON-lines codec for interoperability.
+//
+// The binary format ("FSEV1") writes one varint-encoded record per event
+// with an inline string table for client fingerprints, which repeat
+// heavily — a 90-day capture compresses to a few bytes per event. Streams
+// are append-only and self-delimiting, so a Reader can consume a capture
+// while it is still being written.
+package eventio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/socialgraph"
+)
+
+// magic identifies a binary event stream and its version.
+var magic = []byte("FSEV1\n")
+
+// ErrBadMagic is returned when a stream does not start with the format
+// header.
+var ErrBadMagic = errors.New("eventio: not a FSEV1 event stream")
+
+// record opcodes.
+const (
+	opEvent  = 0 // an event record
+	opString = 1 // a string-table addition (fingerprint)
+)
+
+// Writer encodes events to a binary stream. It is not safe for concurrent
+// use; attach it to the single-threaded event log.
+type Writer struct {
+	w       *bufio.Writer
+	strings map[string]uint64
+	scratch []byte
+	count   uint64
+}
+
+// NewWriter writes the header and returns a writer. Call Flush before
+// closing the underlying file.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, strings: make(map[string]uint64)}, nil
+}
+
+// Attach subscribes the writer to an event log. Encoding errors are
+// surfaced through Err after the fact (the log has no error channel);
+// in practice they only occur when the underlying medium fails.
+func (w *Writer) Attach(log *platform.EventLog) *Writer {
+	log.Subscribe(func(ev platform.Event) { _ = w.Write(ev) })
+	return w
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	w.scratch = binary.AppendUvarint(w.scratch[:0], v)
+	w.w.Write(w.scratch)
+}
+
+// stringRef interns s, emitting a string-table record on first use.
+func (w *Writer) stringRef(s string) uint64 {
+	if id, ok := w.strings[s]; ok {
+		return id
+	}
+	id := uint64(len(w.strings))
+	w.strings[s] = id
+	w.w.WriteByte(opString)
+	w.putUvarint(uint64(len(s)))
+	w.w.WriteString(s)
+	return id
+}
+
+// Write encodes one event.
+func (w *Writer) Write(ev platform.Event) error {
+	clientRef := w.stringRef(ev.Client)
+	w.w.WriteByte(opEvent)
+	w.putUvarint(ev.Seq)
+	w.putUvarint(uint64(ev.Time.UnixNano()))
+	w.putUvarint(uint64(ev.Type))
+	w.putUvarint(uint64(ev.Actor))
+	w.putUvarint(uint64(ev.Target))
+	w.putUvarint(uint64(ev.Post))
+	var ipBits uint64
+	if ev.IP.Is4() {
+		b := ev.IP.As4()
+		ipBits = uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	}
+	w.putUvarint(ipBits)
+	w.putUvarint(uint64(ev.ASN))
+	w.putUvarint(clientRef)
+	var flags uint64
+	flags |= uint64(ev.Outcome) & 0x3
+	flags |= uint64(ev.API) << 2
+	if ev.Enforcement {
+		flags |= 1 << 3
+	}
+	if ev.Duplicate {
+		flags |= 1 << 4
+	}
+	w.putUvarint(flags)
+	w.count++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a binary event stream.
+type Reader struct {
+	r       *bufio.Reader
+	strings []string
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (r *Reader) Next() (platform.Event, error) {
+	for {
+		op, err := r.r.ReadByte()
+		if err != nil {
+			return platform.Event{}, err
+		}
+		switch op {
+		case opString:
+			n, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return platform.Event{}, fmt.Errorf("eventio: string length: %w", err)
+			}
+			if n > 1<<16 {
+				return platform.Event{}, fmt.Errorf("eventio: implausible string length %d", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r.r, buf); err != nil {
+				return platform.Event{}, err
+			}
+			r.strings = append(r.strings, string(buf))
+		case opEvent:
+			return r.readEvent()
+		default:
+			return platform.Event{}, fmt.Errorf("eventio: unknown opcode %d", op)
+		}
+	}
+}
+
+func (r *Reader) readEvent() (platform.Event, error) {
+	var ev platform.Event
+	fields := make([]uint64, 10)
+	for i := range fields {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, fmt.Errorf("eventio: truncated event: %w", err)
+		}
+		fields[i] = v
+	}
+	ev.Seq = fields[0]
+	ev.Time = time.Unix(0, int64(fields[1])).UTC()
+	ev.Type = platform.ActionType(fields[2])
+	ev.Actor = socialgraph.AccountID(fields[3])
+	ev.Target = socialgraph.AccountID(fields[4])
+	ev.Post = socialgraph.PostID(fields[5])
+	if ip := fields[6]; ip != 0 {
+		ev.IP = netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	}
+	ev.ASN = netsim.ASN(fields[7])
+	if ref := fields[8]; ref < uint64(len(r.strings)) {
+		ev.Client = r.strings[ref]
+	} else {
+		return ev, fmt.Errorf("eventio: dangling string ref %d", fields[8])
+	}
+	flags := fields[9]
+	ev.Outcome = platform.Outcome(flags & 0x3)
+	ev.API = platform.APIKind((flags >> 2) & 0x1)
+	ev.Enforcement = flags&(1<<3) != 0
+	ev.Duplicate = flags&(1<<4) != 0
+	return ev, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]platform.Event, error) {
+	var out []platform.Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// jsonEvent is the interchange shape for the JSONL codec.
+type jsonEvent struct {
+	Seq         uint64 `json:"seq"`
+	Time        string `json:"time"`
+	Type        string `json:"type"`
+	Actor       uint64 `json:"actor"`
+	Target      uint64 `json:"target,omitempty"`
+	Post        uint64 `json:"post,omitempty"`
+	IP          string `json:"ip,omitempty"`
+	ASN         uint32 `json:"asn,omitempty"`
+	Client      string `json:"client,omitempty"`
+	API         string `json:"api"`
+	Outcome     string `json:"outcome"`
+	Enforcement bool   `json:"enforcement,omitempty"`
+	Duplicate   bool   `json:"duplicate,omitempty"`
+}
+
+// WriteJSONL encodes events as JSON lines, one event per line.
+func WriteJSONL(w io.Writer, events []platform.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		je := jsonEvent{
+			Seq: ev.Seq, Time: ev.Time.UTC().Format(time.RFC3339Nano),
+			Type: ev.Type.String(), Actor: uint64(ev.Actor),
+			Target: uint64(ev.Target), Post: uint64(ev.Post),
+			ASN: uint32(ev.ASN), Client: ev.Client,
+			API: ev.API.String(), Outcome: ev.Outcome.String(),
+			Enforcement: ev.Enforcement, Duplicate: ev.Duplicate,
+		}
+		if ev.IP.IsValid() {
+			je.IP = ev.IP.String()
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

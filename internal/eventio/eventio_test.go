@@ -1,0 +1,266 @@
+package eventio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/socialgraph"
+)
+
+func sampleEvents() []platform.Event {
+	return []platform.Event{
+		{
+			Seq: 1, Time: clock.Epoch, Type: platform.ActionLogin,
+			Actor: 10, IP: netip.MustParseAddr("10.1.2.3"), ASN: 1001,
+			Client: "mobile-spoof-instastar", API: platform.APIPrivate,
+			Outcome: platform.OutcomeAllowed,
+		},
+		{
+			Seq: 2, Time: clock.Epoch.Add(90 * time.Minute), Type: platform.ActionLike,
+			Actor: 10, Target: 20, Post: 7, IP: netip.MustParseAddr("10.1.2.3"),
+			ASN: 1001, Client: "mobile-spoof-instastar", API: platform.APIPrivate,
+			Outcome: platform.OutcomeBlocked,
+		},
+		{
+			Seq: 3, Time: clock.Epoch.Add(2 * time.Hour), Type: platform.ActionFollow,
+			Actor: 11, Target: 21, Client: "mobile-official", API: platform.APIOAuth,
+			Outcome: platform.OutcomeAllowed, Duplicate: true,
+		},
+		{
+			Seq: 4, Time: clock.Epoch.Add(26 * time.Hour), Type: platform.ActionUnfollow,
+			Actor: 10, Target: 21, Client: "", Outcome: platform.OutcomeAllowed,
+			Enforcement: true,
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sampleEvents()
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("count %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	check := func(seq uint32, typ, outcome uint8, actor, target, post uint32, asn uint16, hours uint16, flags uint8) bool {
+		ev := platform.Event{
+			Seq:         uint64(seq),
+			Time:        clock.Epoch.Add(time.Duration(hours) * time.Hour),
+			Type:        platform.ActionType(typ % 6),
+			Actor:       socialgraph.AccountID(actor),
+			Target:      socialgraph.AccountID(target),
+			Post:        socialgraph.PostID(post),
+			ASN:         netsim.ASN(asn),
+			Client:      "client-" + string(rune('a'+typ%5)),
+			API:         platform.APIKind(flags & 1),
+			Outcome:     platform.Outcome(outcome % 4),
+			Enforcement: flags&2 != 0,
+			Duplicate:   flags&4 != 0,
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Write(ev)
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		return err == nil && got == ev
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringTableDeduplicates(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	ev := sampleEvents()[0]
+	for i := 0; i < 1000; i++ {
+		ev.Seq = uint64(i)
+		w.Write(ev)
+	}
+	w.Flush()
+	// With the fingerprint interned once, 1000 events should take well
+	// under 40 bytes each.
+	if per := buf.Len() / 1000; per > 40 {
+		t.Fatalf("encoding %d bytes/event, string table not working", per)
+	}
+	r, _ := NewReader(&buf)
+	got, err := r.ReadAll()
+	if err != nil || len(got) != 1000 {
+		t.Fatalf("decode: %d events, err %v", len(got), err)
+	}
+	if got[999].Client != ev.Client {
+		t.Fatal("string ref resolution broken")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTFSEV stream")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(sampleEvents()[0])
+	w.Flush()
+	// Chop mid-record.
+	raw := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record decoded without error")
+	}
+}
+
+func TestAttachCapturesLiveStream(t *testing.T) {
+	var log platform.EventLog
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Attach(&log)
+	for i := 0; i < 5; i++ {
+		log.Emit(platform.Event{Time: clock.Epoch, Type: platform.ActionLike, Actor: 1, Client: "c"})
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	got, err := r.ReadAll()
+	if err != nil || len(got) != 5 {
+		t.Fatalf("captured %d events, err %v", len(got), err)
+	}
+	// Seq was assigned by the log.
+	if got[4].Seq != 5 {
+		t.Fatalf("seq %d", got[4].Seq)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"type":"login"`) {
+		t.Fatalf("line 0: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"outcome":"blocked"`) {
+		t.Fatalf("line 1: %s", lines[1])
+	}
+	if !strings.Contains(lines[3], `"enforcement":true`) {
+		t.Fatalf("line 3: %s", lines[3])
+	}
+	// IP omitted when invalid.
+	if strings.Contains(lines[2], `"ip"`) {
+		t.Fatalf("line 2 has IP: %s", lines[2])
+	}
+}
+
+func TestReaderStopsAtEOFCleanly(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		ev.Seq = uint64(i)
+		w.Write(ev)
+	}
+	w.Flush()
+	b.SetBytes(int64(buf.Len() / max(b.N, 1)))
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	ev := sampleEvents()[1]
+	for i := 0; i < 100000; i++ {
+		ev.Seq = uint64(i)
+		w.Write(ev)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewReader(bytes.NewReader(raw))
+		n := 0
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		if n != 100000 {
+			b.Fatalf("decoded %d", n)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

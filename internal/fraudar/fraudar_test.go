@@ -1,0 +1,191 @@
+package fraudar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"footsteps/internal/rng"
+)
+
+// plant builds a graph with a dense fraud block (srcs × tgts, every edge
+// present) on top of a sparse organic background.
+func plant(r *rng.RNG, fraudSrcs, fraudTgts, bgSrcs, bgTgts, bgEdges int) (*Bipartite, map[NodeID]bool) {
+	b := NewBipartite()
+	truth := make(map[NodeID]bool)
+	// Fraud block: sources 0..fraudSrcs-1, targets 100000..*.
+	for s := 0; s < fraudSrcs; s++ {
+		truth[NodeID(s)] = true
+		for t := 0; t < fraudTgts; t++ {
+			b.AddEdge(NodeID(s), NodeID(100000+t))
+		}
+	}
+	for t := 0; t < fraudTgts; t++ {
+		truth[NodeID(100000+t)] = true
+	}
+	// Background: random sparse edges between other nodes.
+	for e := 0; e < bgEdges; e++ {
+		s := NodeID(1000 + r.Intn(bgSrcs))
+		t := NodeID(200000 + r.Intn(bgTgts))
+		b.AddEdge(s, t)
+	}
+	return b, truth
+}
+
+func TestDetectRecoversPlantedBlock(t *testing.T) {
+	r := rng.New(1)
+	b, truth := plant(r, 30, 30, 500, 500, 2000)
+	res := Detect(b)
+	if res.Size() == 0 {
+		t.Fatal("nothing detected")
+	}
+	all := append(append([]NodeID(nil), res.Sources...), res.Targets...)
+	precision, recall := PrecisionRecall(all, truth)
+	if precision < 0.9 {
+		t.Fatalf("precision %.2f", precision)
+	}
+	if recall < 0.9 {
+		t.Fatalf("recall %.2f", recall)
+	}
+}
+
+func TestDetectResistsCamouflage(t *testing.T) {
+	// Fraud sources also spray edges at popular organic targets (the
+	// camouflage strategy). Column damping keeps the block detectable.
+	r := rng.New(2)
+	b, truth := plant(r, 25, 25, 300, 300, 1500)
+	// Popular celebrity targets receiving mass attention.
+	for celeb := 0; celeb < 5; celeb++ {
+		for s := 0; s < 200; s++ {
+			b.AddEdge(NodeID(1000+s), NodeID(300000+celeb))
+		}
+		// Camouflage: every fraud source hits the celebrities too.
+		for s := 0; s < 25; s++ {
+			b.AddEdge(NodeID(s), NodeID(300000+celeb))
+		}
+	}
+	res := Detect(b)
+	all := append(append([]NodeID(nil), res.Sources...), res.Targets...)
+	precision, recall := PrecisionRecall(all, truth)
+	if recall < 0.8 {
+		t.Fatalf("camouflaged recall %.2f", recall)
+	}
+	if precision < 0.6 {
+		t.Fatalf("camouflaged precision %.2f", precision)
+	}
+}
+
+func TestDetectEmptyGraph(t *testing.T) {
+	res := Detect(NewBipartite())
+	if res.Size() != 0 || res.Score != 0 {
+		t.Fatalf("empty graph result %+v", res)
+	}
+}
+
+func TestDetectSingleEdge(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 2)
+	res := Detect(b)
+	if res.Size() == 0 {
+		t.Fatal("single edge found nothing")
+	}
+	if b.Sources() != 1 || b.Targets() != 1 || b.Edges() != 1 {
+		t.Fatal("graph accounting wrong")
+	}
+}
+
+func TestDetectKFindsMultipleBlocks(t *testing.T) {
+	b := NewBipartite()
+	// Two disjoint dense blocks of different sizes.
+	for s := 0; s < 20; s++ {
+		for tt := 0; tt < 20; tt++ {
+			b.AddEdge(NodeID(s), NodeID(100000+tt))
+		}
+	}
+	for s := 0; s < 12; s++ {
+		for tt := 0; tt < 12; tt++ {
+			b.AddEdge(NodeID(500+s), NodeID(600000+tt))
+		}
+	}
+	results := DetectK(b, 5, 6)
+	if len(results) < 2 {
+		t.Fatalf("found %d blocks, want ≥2", len(results))
+	}
+	// The original graph is untouched.
+	if b.Edges() != 20*20+12*12 {
+		t.Fatal("DetectK mutated input graph")
+	}
+	// First block is the denser one.
+	if len(results[0].Sources) < len(results[1].Sources) {
+		t.Fatalf("blocks out of density order: %v then %v", results[0], results[1])
+	}
+}
+
+func TestDetectKZero(t *testing.T) {
+	if DetectK(NewBipartite(), 0, 1) != nil {
+		t.Fatal("k=0 returned blocks")
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	p, r := PrecisionRecall(nil, map[NodeID]bool{1: true})
+	if p != 0 || r != 0 {
+		t.Fatal("empty detection should score zero")
+	}
+	p, r = PrecisionRecall([]NodeID{1, 2}, map[NodeID]bool{1: true})
+	if p != 0.5 || r != 1 {
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{Sources: []NodeID{1}, Targets: []NodeID{2, 3}, Score: 1.5}.String()
+	if !strings.Contains(s, "1 sources") || !strings.Contains(s, "2 targets") {
+		t.Fatalf("string %q", s)
+	}
+}
+
+// Property: the detected block's score never exceeds the whole graph's
+// best possible average degree bound (edges per node is an upper bound on
+// g when weights ≤ 1), and all returned nodes existed in the graph.
+func TestDetectInvariants(t *testing.T) {
+	check := func(seed uint16, nEdges uint8) bool {
+		r := rng.New(uint64(seed))
+		b := NewBipartite()
+		for i := 0; i < int(nEdges)+1; i++ {
+			b.AddEdge(NodeID(r.Intn(20)), NodeID(100+r.Intn(20)))
+		}
+		res := Detect(b)
+		if res.Score < 0 {
+			return false
+		}
+		for _, s := range res.Sources {
+			if _, ok := b.sources[s]; !ok {
+				return false
+			}
+		}
+		for _, tgt := range res.Targets {
+			if _, ok := b.targets[tgt]; !ok {
+				return false
+			}
+		}
+		// Score bound: total edges / total nodes is the maximum possible
+		// average (weights ≤ 1).
+		if res.Size() > 0 && res.Score > float64(b.Edges()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	r := rng.New(1)
+	g, _ := plant(r, 50, 50, 2000, 2000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(g)
+	}
+}

@@ -1,0 +1,281 @@
+package honeypot
+
+import (
+	"testing"
+	"time"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/behavior"
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+)
+
+type world struct {
+	plat  *platform.Platform
+	sched *clock.Scheduler
+	reg   *netsim.Registry
+	fw    *Framework
+	r     *rng.RNG
+}
+
+func newWorld(t *testing.T, seed uint64) *world {
+	t.Helper()
+	reg := netsim.NewRegistry()
+	aas.RegisterNetworks(reg)
+	sched := clock.NewScheduler(clock.New())
+	plat := platform.New(platform.DefaultConfig(), socialgraph.New(), reg, sched)
+	r := rng.New(seed)
+	fw := New(plat, sched, r.Split("hp"))
+	fw.Wire()
+	return &world{plat: plat, sched: sched, reg: reg, fw: fw, r: r}
+}
+
+func (w *world) celebrities(t *testing.T, n int) []platform.AccountID {
+	t.Helper()
+	ids := make([]platform.AccountID, n)
+	for i := range ids {
+		id, err := w.plat.RegisterAccount(
+			"celeb-"+string(rune('a'+i)), "pw", platform.Profile{PhotoCount: 50,
+				HasProfilePic: true, HasBio: true, HasName: true}, "USA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestCreateEmptyAccount(t *testing.T) {
+	w := newWorld(t, 1)
+	a, err := w.fw.Create(Empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kind != Empty {
+		t.Fatalf("kind %v", a.Kind)
+	}
+	prof, _ := w.plat.AccountProfile(a.ID)
+	if prof.PhotoCount < 10 {
+		t.Fatalf("empty honeypot has %d photos, want ≥10", prof.PhotoCount)
+	}
+	if prof.LivedIn() {
+		t.Fatal("empty honeypot profile reads as lived-in")
+	}
+	if got, ok := w.fw.Account(a.ID); !ok || got != a {
+		t.Fatal("Account lookup failed")
+	}
+}
+
+func TestCreateLivedInFollowsCelebrities(t *testing.T) {
+	w := newWorld(t, 2)
+	w.fw.SetHighProfile(w.celebrities(t, 25))
+	a, err := w.fw.Create(LivedIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := w.plat.AccountProfile(a.ID)
+	if !prof.LivedIn() {
+		t.Fatal("lived-in honeypot profile not lived-in")
+	}
+	out := w.plat.Graph().OutDegree(a.ID)
+	if out < 10 || out > 20 {
+		t.Fatalf("lived-in follows %d high-profile accounts, want 10–20", out)
+	}
+	// Setup follows must not pollute the measurement counters.
+	if a.Outbound.Total() != 0 {
+		t.Fatalf("outbound counters %v after setup", a.Outbound)
+	}
+	// Lived-in accounts start with no followers (§4.1.1).
+	if w.plat.Graph().InDegree(a.ID) != 0 {
+		t.Fatal("lived-in honeypot has followers at creation")
+	}
+}
+
+func TestMonitoringCountsDirections(t *testing.T) {
+	w := newWorld(t, 3)
+	a, _ := w.fw.Create(Empty)
+	b, _ := w.fw.Create(Empty)
+
+	sessA, err := w.fw.login(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidB, _ := w.plat.LatestPost(b.ID)
+	sessA.Like(pidB)
+	sessA.Follow(b.ID)
+	sessA.Like(pidB) // duplicate
+
+	if a.Outbound[platform.ActionLike] != 1 || a.Outbound[platform.ActionFollow] != 1 {
+		t.Fatalf("outbound %v", a.Outbound)
+	}
+	if a.Duplicates != 1 {
+		t.Fatalf("duplicates %d", a.Duplicates)
+	}
+	if b.Inbound[platform.ActionLike] != 1 || b.Inbound[platform.ActionFollow] != 1 {
+		t.Fatalf("inbound %v", b.Inbound)
+	}
+	if b.InboundDedup[a.ID][platform.ActionLike] != 1 {
+		t.Fatalf("dedup %v", b.InboundDedup)
+	}
+}
+
+func TestReciprocationRateDedupsActors(t *testing.T) {
+	w := newWorld(t, 4)
+	a, _ := w.fw.Create(Empty)
+	// Manually shape counters: 100 outbound follows, 12 distinct actors
+	// followed back (one of them twice — still one reciprocation).
+	a.Outbound[platform.ActionFollow] = 100
+	for i := 0; i < 12; i++ {
+		actor := platform.AccountID(1000 + i)
+		a.InboundDedup[actor] = Counts{platform.ActionFollow: 1}
+	}
+	a.InboundDedup[platform.AccountID(1000)][platform.ActionFollow] = 2
+	if got := a.ReciprocationRate(platform.ActionFollow, platform.ActionFollow); got != 0.12 {
+		t.Fatalf("rate %v, want 0.12", got)
+	}
+	if got := a.ReciprocationRate(platform.ActionLike, platform.ActionLike); got != 0 {
+		t.Fatalf("rate with no outbound %v", got)
+	}
+}
+
+func TestInactiveBaselineStaysQuiet(t *testing.T) {
+	w := newWorld(t, 5)
+	inactive, err := w.fw.CreateBatch(Inactive, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated platform traffic occurs...
+	x, _ := w.plat.RegisterAccount("x", "pw", platform.Profile{PhotoCount: 3}, "USA")
+	y, _ := w.plat.RegisterAccount("y", "pw", platform.Profile{PhotoCount: 3}, "USA")
+	sess, _ := w.plat.Login("x", "pw", platform.ClientInfo{IP: w.reg.Allocate(aas.ASNResUSA)})
+	sess.Follow(y)
+	_ = x
+	w.sched.RunFor(10 * 24 * time.Hour)
+
+	if noisy := w.fw.BaselineQuiet(); len(noisy) != 0 {
+		t.Fatalf("%d inactive accounts saw activity", len(noisy))
+	}
+	if len(inactive) != 50 {
+		t.Fatalf("created %d", len(inactive))
+	}
+}
+
+func TestBaselineDetectsNoise(t *testing.T) {
+	w := newWorld(t, 6)
+	a, _ := w.fw.Create(Inactive)
+	b, _ := w.fw.Create(Empty)
+	sess, _ := w.fw.login(b)
+	sess.Follow(a.ID)
+	noisy := w.fw.BaselineQuiet()
+	if len(noisy) != 1 || noisy[0] != a {
+		t.Fatalf("BaselineQuiet = %v", noisy)
+	}
+}
+
+func TestDeleteRemovesActionsAndStopsMonitoring(t *testing.T) {
+	w := newWorld(t, 7)
+	a, _ := w.fw.Create(Empty)
+	b, _ := w.fw.Create(Empty)
+	sessA, _ := w.fw.login(a)
+	sessA.Follow(b.ID)
+	if w.plat.Graph().InDegree(b.ID) != 1 {
+		t.Fatal("setup follow missing")
+	}
+	if err := w.fw.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's deletion semantics: all actions to or from the account
+	// are removed from the platform.
+	if w.plat.Graph().InDegree(b.ID) != 0 {
+		t.Fatal("deleted honeypot's follow survives")
+	}
+	if w.plat.Exists(a.ID) {
+		t.Fatal("account still on platform")
+	}
+	// Double delete is a no-op.
+	if err := w.fw.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	// New inbound to the deleted account's ID no longer counts.
+	before := a.Inbound.Total()
+	w.sched.RunFor(time.Hour)
+	if a.Inbound.Total() != before {
+		t.Fatal("monitoring continued after deletion")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	w := newWorld(t, 8)
+	w.fw.CreateBatch(Empty, 5)
+	w.fw.CreateBatch(Inactive, 5)
+	if err := w.fw.DeleteAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range w.fw.Accounts() {
+		if w.plat.Exists(a.ID) {
+			t.Fatal("account survived DeleteAll")
+		}
+	}
+}
+
+func TestEnrollmentAttribution(t *testing.T) {
+	// End-to-end: honeypot enrolled with a reciprocity AAS receives
+	// reciprocal actions attributable to that service; enforcement
+	// removals are tallied separately.
+	w := newWorld(t, 9)
+	pop := behavior.New(behavior.DefaultModel(), w.plat, w.sched, w.r.Split("pop"))
+	spec := aas.SpecByName(aas.NameBoostgram)
+	svc := aas.NewReciprocityService(spec, w.plat, w.sched, w.r.Split("svc"))
+	svc.SetTargetPool(pop.AddCuratedPool("bg", spec.TargetPool, 3000))
+	pop.Wire()
+
+	a, _ := w.fw.Create(Empty)
+	c, err := svc.EnrollTrial(a.Username, a.Password, aas.OfferFollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.fw.MarkEnrolled(a, spec.Name)
+	if c.Account != a.ID {
+		t.Fatal("enrollment bound to wrong account")
+	}
+	svc.Run(3, 0)
+	w.sched.RunFor(5 * 24 * time.Hour)
+
+	if a.Outbound[platform.ActionFollow] == 0 {
+		t.Fatal("service drove no follows")
+	}
+	if a.Inbound[platform.ActionFollow] == 0 {
+		t.Fatal("no reciprocal follows observed")
+	}
+	rate := a.ReciprocationRate(platform.ActionFollow, platform.ActionFollow)
+	if rate < 0.05 || rate > 0.20 {
+		t.Fatalf("follow reciprocation %v, want ≈0.10 (Table 5)", rate)
+	}
+	if a.EnrolledWith != aas.NameBoostgram {
+		t.Fatal("attribution label missing")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Empty.String() != "empty" || LivedIn.String() != "lived-in" ||
+		Inactive.String() != "inactive" || Kind(9).String() != "unknown" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestCreateBeforeWirePanics(t *testing.T) {
+	reg := netsim.NewRegistry()
+	aas.RegisterNetworks(reg)
+	sched := clock.NewScheduler(clock.New())
+	plat := platform.New(platform.DefaultConfig(), socialgraph.New(), reg, sched)
+	fw := New(plat, sched, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Create before Wire did not panic")
+		}
+	}()
+	fw.Create(Empty)
+}

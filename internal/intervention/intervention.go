@@ -1,0 +1,261 @@
+// Package intervention implements the countermeasure experiments of §6:
+// the deterministic 10-bin account partition, the per-ASN activity
+// thresholds as an enforcement signal, the synchronous-block and
+// delayed-removal countermeasures, and the narrow/broad experiment
+// policies.
+//
+// Deliberately, the controller does NOT consult the AAS classifier when
+// deciding an action's fate — §6 derives "a new signal for performing
+// countermeasures" (ASN + per-account daily threshold) precisely so that
+// adversaries probing the countermeasure cannot reverse-engineer the
+// attribution signals. The classifier is used only to compute thresholds
+// beforehand and to label metrics afterwards.
+package intervention
+
+import (
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/detection"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+)
+
+// NumBins is the fixed experiment partition width (§6.3).
+const NumBins = 10
+
+// BinOf deterministically assigns an account to one of the 10 bins.
+func BinOf(id platform.AccountID) int { return int(id % NumBins) }
+
+// Assignment is what happens to a bin's eligible actions.
+type Assignment int
+
+// Assignments.
+const (
+	AssignNone    Assignment = iota // not part of the experiment
+	AssignControl                   // tracked, never touched
+	AssignBlock                     // synchronous block
+	AssignDelay                     // allow, then remove a day later
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case AssignControl:
+		return "control"
+	case AssignBlock:
+		return "block"
+	case AssignDelay:
+		return "delay"
+	default:
+		return "none"
+	}
+}
+
+// Policy maps (experiment day, bin) to an assignment. Policies express the
+// paper's two experiment designs; custom policies slot in the same way.
+type Policy func(day, bin int) Assignment
+
+// NarrowPolicy is the §6.3 design: one block bin, one delay bin, one
+// control bin — countermeasures touch at most 20% of customers.
+func NarrowPolicy(blockBin, delayBin, controlBin int) Policy {
+	return func(_, bin int) Assignment {
+		switch bin {
+		case blockBin:
+			return AssignBlock
+		case delayBin:
+			return AssignDelay
+		case controlBin:
+			return AssignControl
+		default:
+			return AssignNone
+		}
+	}
+}
+
+// BroadPolicy is the §6.4 design: 90% of accounts receive the delay
+// countermeasure for switchDay days, then block; one bin stays control.
+func BroadPolicy(controlBin, switchDay int) Policy {
+	return func(day, bin int) Assignment {
+		if bin == controlBin {
+			return AssignControl
+		}
+		if day < switchDay {
+			return AssignDelay
+		}
+		return AssignBlock
+	}
+}
+
+// BinStats aggregates one day's attempts for one (label, action type, bin
+// assignment) cell.
+type BinStats struct {
+	Attempts int // actions seen from thresholded ASNs
+	Eligible int // attempts above the account's daily threshold
+	Blocked  int // eligible attempts synchronously blocked
+	Delayed  int // eligible attempts scheduled for removal
+}
+
+// statsKey identifies one metrics cell.
+type statsKey struct {
+	day   int
+	label string
+	typ   platform.ActionType
+	assig Assignment
+}
+
+// Controller is the enforcement hook: install it as the platform's
+// gatekeeper. It is not safe for concurrent use with a live experiment
+// reconfiguration; set policy before traffic flows.
+type Controller struct {
+	thresholds detection.Thresholds
+	classify   func(platform.Event) (string, bool)
+	policy     Policy
+	start      time.Time
+	removeLag  time.Duration
+
+	// per-account daily counters, keyed on (account, ASN, type).
+	counters map[counterKey]*dayCount
+
+	stats map[statsKey]*BinStats
+}
+
+type counterKey struct {
+	acct platform.AccountID
+	asn  netsim.ASN
+	typ  platform.ActionType
+}
+
+type dayCount struct {
+	day int
+	n   int
+}
+
+// New builds a controller. classify is used only for metrics labels and
+// may be nil (everything labeled "unknown"). removeLag is the deferred
+// removal delay (the paper used one day).
+func New(th detection.Thresholds, classify func(platform.Event) (string, bool), policy Policy, start time.Time, removeLag time.Duration) *Controller {
+	if removeLag <= 0 {
+		removeLag = 24 * time.Hour
+	}
+	return &Controller{
+		thresholds: th,
+		classify:   classify,
+		policy:     policy,
+		start:      start,
+		removeLag:  removeLag,
+		counters:   make(map[counterKey]*dayCount),
+		stats:      make(map[statsKey]*BinStats),
+	}
+}
+
+// Day returns the experiment day index for an instant.
+func (c *Controller) Day(at time.Time) int { return int(at.Sub(c.start) / clock.Day) }
+
+// Check implements platform.Gatekeeper.
+func (c *Controller) Check(req platform.Event) platform.Verdict {
+	if req.Type != platform.ActionLike && req.Type != platform.ActionFollow {
+		return platform.Allow
+	}
+	threshold, ok := c.thresholds.Lookup(req.ASN, req.Type)
+	if !ok {
+		return platform.Allow // unthresholded ASN: out of reach (§6.4)
+	}
+	day := c.Day(req.Time)
+
+	key := counterKey{acct: req.Actor, asn: req.ASN, typ: req.Type}
+	cnt := c.counters[key]
+	if cnt == nil {
+		cnt = &dayCount{day: day}
+		c.counters[key] = cnt
+	}
+	if cnt.day != day {
+		cnt.day, cnt.n = day, 0
+	}
+	cnt.n++
+
+	assig := c.policy(day, BinOf(req.Actor))
+	label := "unknown"
+	if c.classify != nil {
+		if l, ok := c.classify(req); ok {
+			label = l
+		} else {
+			label = "benign"
+		}
+	}
+	st := c.statsFor(statsKey{day: day, label: label, typ: req.Type, assig: assig})
+	st.Attempts++
+
+	eligible := float64(cnt.n) > threshold
+	if !eligible {
+		return platform.Allow
+	}
+	st.Eligible++
+
+	switch assig {
+	case AssignBlock:
+		st.Blocked++
+		return platform.Verdict{Kind: platform.VerdictBlock}
+	case AssignDelay:
+		if req.Type == platform.ActionFollow {
+			st.Delayed++
+			return platform.Verdict{Kind: platform.VerdictDelayRemove, RemoveAfter: c.removeLag}
+		}
+		return platform.Allow // no deferred removal exists for likes (§6.1)
+	default:
+		return platform.Allow
+	}
+}
+
+func (c *Controller) statsFor(k statsKey) *BinStats {
+	st := c.stats[k]
+	if st == nil {
+		st = &BinStats{}
+		c.stats[k] = st
+	}
+	return st
+}
+
+// Stats returns the metrics cell for (day, label, type, assignment);
+// zero-valued when nothing was observed.
+func (c *Controller) Stats(day int, label string, typ platform.ActionType, assig Assignment) BinStats {
+	if st := c.stats[statsKey{day: day, label: label, typ: typ, assig: assig}]; st != nil {
+		return *st
+	}
+	return BinStats{}
+}
+
+// EligibleFraction returns eligible/attempts for a cell — the y-axis of
+// Figures 6 and 7. The second result is false when no attempts were seen.
+func (c *Controller) EligibleFraction(day int, label string, typ platform.ActionType, assig Assignment) (float64, bool) {
+	st := c.Stats(day, label, typ, assig)
+	if st.Attempts == 0 {
+		return 0, false
+	}
+	return float64(st.Eligible) / float64(st.Attempts), true
+}
+
+// BenignTouched sums blocked+delayed actions attributed to benign traffic
+// over the whole experiment — the false-positive burden the thresholds are
+// designed to cap at 1% (§6.2).
+func (c *Controller) BenignTouched() int {
+	n := 0
+	for k, st := range c.stats {
+		if k.label == "benign" {
+			n += st.Blocked + st.Delayed
+		}
+	}
+	return n
+}
+
+// Labels returns the distinct labels seen in metrics.
+func (c *Controller) Labels() []string {
+	seen := make(map[string]bool)
+	for k := range c.stats {
+		seen[k.label] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	return out
+}

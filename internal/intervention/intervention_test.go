@@ -1,0 +1,237 @@
+package intervention
+
+import (
+	"testing"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/detection"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/socialgraph"
+)
+
+func socialgraphNew() *socialgraph.Graph { return socialgraph.New() }
+
+func thresholds(asn netsim.ASN, like, follow float64) detection.Thresholds {
+	return detection.Thresholds{PerASN: map[netsim.ASN]map[platform.ActionType]float64{
+		asn: {platform.ActionLike: like, platform.ActionFollow: follow},
+	}}
+}
+
+func req(actor platform.AccountID, typ platform.ActionType, asn netsim.ASN, at time.Time) platform.Event {
+	return platform.Event{Time: at, Type: typ, Actor: actor, ASN: asn, Client: "spoof"}
+}
+
+func TestBinOfDeterministicAndBalanced(t *testing.T) {
+	counts := make([]int, NumBins)
+	for i := 0; i < 10000; i++ {
+		b := BinOf(platform.AccountID(i))
+		if b != BinOf(platform.AccountID(i)) {
+			t.Fatal("BinOf not deterministic")
+		}
+		counts[b]++
+	}
+	for b, n := range counts {
+		if n != 1000 {
+			t.Fatalf("bin %d has %d accounts", b, n)
+		}
+	}
+}
+
+func TestControllerBlocksAboveThreshold(t *testing.T) {
+	// Account 13 is in bin 3 (block). Threshold: 5 follows/day.
+	ctl := New(thresholds(100, 100, 5), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 0)
+	at := clock.Epoch.Add(time.Hour)
+	actor := platform.AccountID(13)
+
+	for i := 1; i <= 5; i++ {
+		if v := ctl.Check(req(actor, platform.ActionFollow, 100, at)); v.Kind != platform.VerdictAllow {
+			t.Fatalf("action %d below threshold got %v", i, v.Kind)
+		}
+	}
+	if v := ctl.Check(req(actor, platform.ActionFollow, 100, at)); v.Kind != platform.VerdictBlock {
+		t.Fatalf("6th action got %v, want block", v.Kind)
+	}
+	// Next day the counter resets.
+	nextDay := at.Add(24 * time.Hour)
+	if v := ctl.Check(req(actor, platform.ActionFollow, 100, nextDay)); v.Kind != platform.VerdictAllow {
+		t.Fatal("counter did not reset at day boundary")
+	}
+}
+
+func TestControllerDelayOnlyForFollows(t *testing.T) {
+	// Account 14 is in bin 4 (delay). Thresholds: 2 for both types.
+	ctl := New(thresholds(100, 2, 2), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 24*time.Hour)
+	at := clock.Epoch.Add(time.Hour)
+	actor := platform.AccountID(14)
+
+	for i := 0; i < 2; i++ {
+		ctl.Check(req(actor, platform.ActionFollow, 100, at))
+		ctl.Check(req(actor, platform.ActionLike, 100, at))
+	}
+	if v := ctl.Check(req(actor, platform.ActionFollow, 100, at)); v.Kind != platform.VerdictDelayRemove || v.RemoveAfter != 24*time.Hour {
+		t.Fatalf("eligible follow in delay bin got %+v", v)
+	}
+	// Likes have no delayed removal: they pass.
+	if v := ctl.Check(req(actor, platform.ActionLike, 100, at)); v.Kind != platform.VerdictAllow {
+		t.Fatalf("eligible like in delay bin got %v", v.Kind)
+	}
+}
+
+func TestControlAndUnassignedBinsUntouched(t *testing.T) {
+	ctl := New(thresholds(100, 1, 1), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 0)
+	at := clock.Epoch.Add(time.Hour)
+	for _, actor := range []platform.AccountID{15 /* control */, 16 /* none */} {
+		for i := 0; i < 10; i++ {
+			if v := ctl.Check(req(actor, platform.ActionFollow, 100, at)); v.Kind != platform.VerdictAllow {
+				t.Fatalf("bin %d action got %v", BinOf(actor), v.Kind)
+			}
+		}
+	}
+	// Control bin still shows eligibility in metrics.
+	st := ctl.Stats(0, "unknown", platform.ActionFollow, AssignControl)
+	if st.Attempts != 10 || st.Eligible != 9 || st.Blocked != 0 {
+		t.Fatalf("control stats %+v", st)
+	}
+}
+
+func TestUnthresholdedASNOutOfReach(t *testing.T) {
+	ctl := New(thresholds(100, 1, 1), nil, BroadPolicy(0, 0), clock.Epoch, 0)
+	at := clock.Epoch.Add(time.Hour)
+	actor := platform.AccountID(13)
+	for i := 0; i < 50; i++ {
+		if v := ctl.Check(req(actor, platform.ActionFollow, 999, at)); v.Kind != platform.VerdictAllow {
+			t.Fatal("action from unthresholded ASN touched — proxy evasion would fail")
+		}
+	}
+}
+
+func TestNonPolicedTypesPass(t *testing.T) {
+	ctl := New(thresholds(100, 0, 0), nil, BroadPolicy(0, 0), clock.Epoch, 0)
+	at := clock.Epoch.Add(time.Hour)
+	if v := ctl.Check(req(7, platform.ActionComment, 100, at)); v.Kind != platform.VerdictAllow {
+		t.Fatal("comment policed")
+	}
+	if v := ctl.Check(req(7, platform.ActionUnfollow, 100, at)); v.Kind != platform.VerdictAllow {
+		t.Fatal("unfollow policed")
+	}
+}
+
+func TestBroadPolicySwitchesDelayToBlock(t *testing.T) {
+	p := BroadPolicy(9, 6)
+	if p(0, 3) != AssignDelay || p(5, 3) != AssignDelay {
+		t.Fatal("week 1 not delay")
+	}
+	if p(6, 3) != AssignBlock || p(10, 3) != AssignBlock {
+		t.Fatal("week 2 not block")
+	}
+	if p(0, 9) != AssignControl || p(10, 9) != AssignControl {
+		t.Fatal("control bin moved")
+	}
+}
+
+func TestControllerMetricsAndLabels(t *testing.T) {
+	classify := func(ev platform.Event) (string, bool) {
+		if ev.Client == "spoof" {
+			return "Svc", true
+		}
+		return "", false
+	}
+	ctl := New(thresholds(100, 2, 2), classify, NarrowPolicy(3, 4, 5), clock.Epoch, 0)
+	at := clock.Epoch.Add(time.Hour)
+
+	// AAS traffic from bin-3 account: 5 attempts, 3 eligible, 3 blocked.
+	for i := 0; i < 5; i++ {
+		ctl.Check(req(13, platform.ActionLike, 100, at))
+	}
+	// Benign traffic from a bin-3 account above threshold: false positive.
+	benign := req(23, platform.ActionLike, 100, at)
+	benign.Client = "mobile-official"
+	for i := 0; i < 4; i++ {
+		ctl.Check(benign)
+	}
+
+	st := ctl.Stats(0, "Svc", platform.ActionLike, AssignBlock)
+	if st.Attempts != 5 || st.Eligible != 3 || st.Blocked != 3 {
+		t.Fatalf("svc stats %+v", st)
+	}
+	frac, ok := ctl.EligibleFraction(0, "Svc", platform.ActionLike, AssignBlock)
+	if !ok || frac != 0.6 {
+		t.Fatalf("eligible fraction %v %v", frac, ok)
+	}
+	if _, ok := ctl.EligibleFraction(3, "Svc", platform.ActionLike, AssignBlock); ok {
+		t.Fatal("fraction reported for empty day")
+	}
+	if got := ctl.BenignTouched(); got != 2 {
+		t.Fatalf("benign touched %d, want 2 (4 attempts, threshold 2)", got)
+	}
+	labels := ctl.Labels()
+	if len(labels) != 2 {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	for a, want := range map[Assignment]string{
+		AssignNone: "none", AssignControl: "control", AssignBlock: "block", AssignDelay: "delay",
+	} {
+		if a.String() != want {
+			t.Fatalf("%d string %q", int(a), a.String())
+		}
+	}
+}
+
+// Integration: controller installed as a real platform gatekeeper truncates
+// follows at the threshold and the delay path removes them a day later.
+func TestControllerOnPlatform(t *testing.T) {
+	reg := netsim.NewRegistry()
+	reg.Register(100, "dc", "USA", netsim.KindHosting)
+	reg.Register(200, "res", "USA", netsim.KindResidential)
+	sched := clockSched()
+	plat := platformNew(reg, sched)
+
+	ctl := New(thresholds(100, 100, 3), nil, BroadPolicy(9, 0), clock.Epoch, 24*time.Hour)
+	plat.SetGatekeeper(ctl)
+
+	mk := func(name string) *platform.Session {
+		if _, err := plat.RegisterAccount(name, "pw", platform.Profile{PhotoCount: 1}, "USA"); err != nil {
+			t.Fatal(err)
+		}
+		s, err := plat.Login(name, "pw", platform.ClientInfo{IP: reg.Allocate(100), Fingerprint: "spoof"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	actor := mk("actor")
+	var targets []platform.AccountID
+	for i := 0; i < 8; i++ {
+		id, _ := plat.RegisterAccount(string(rune('a'+i)), "pw", platform.Profile{}, "USA")
+		targets = append(targets, id)
+	}
+	// Bin of actor decides block vs delay under BroadPolicy(9, 0): day 0
+	// onwards is block for all bins except 9.
+	blocked := 0
+	for _, tgt := range targets {
+		if err := actor.Follow(tgt); err == platform.ErrBlocked {
+			blocked++
+		}
+	}
+	if ctlBin := BinOf(actor.Account()); ctlBin == 9 {
+		t.Skip("actor landed in control bin")
+	}
+	if blocked != 5 {
+		t.Fatalf("blocked %d of 8 follows with threshold 3", blocked)
+	}
+	if got := plat.Graph().OutDegree(actor.Account()); got != 3 {
+		t.Fatalf("graph out-degree %d, want 3", got)
+	}
+}
+
+// test helpers constructing real platform fixtures.
+func clockSched() *clock.Scheduler { return clock.NewScheduler(clock.New()) }
+
+func platformNew(reg *netsim.Registry, sched *clock.Scheduler) *platform.Platform {
+	return platform.New(platform.DefaultConfig(), socialgraphNew(), reg, sched)
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// PrefixTrie maps IPv4 prefixes to ASNs with longest-prefix-match lookup —
+// the same semantics a BGP RIB gives an operator. The Registry uses it so
+// address ownership follows real routing rules: a more specific
+// announcement (say a /24 carved out of a provider's /12 for a proxy
+// customer) wins over the covering aggregate.
+type PrefixTrie struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	asn   ASN
+	set   bool
+}
+
+// NewPrefixTrie returns an empty routing table.
+func NewPrefixTrie() *PrefixTrie {
+	return &PrefixTrie{root: &trieNode{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *PrefixTrie) Len() int { return t.n }
+
+// Insert installs prefix → asn, replacing any previous mapping for the
+// exact prefix. Only IPv4 prefixes are accepted.
+func (t *PrefixTrie) Insert(prefix netip.Prefix, asn ASN) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("netsim: prefix %v is not IPv4", prefix)
+	}
+	if asn == 0 {
+		return fmt.Errorf("netsim: cannot install ASN 0 for %v", prefix)
+	}
+	prefix = prefix.Masked()
+	bits := prefix.Bits()
+	v := addr4(prefix.Addr())
+	node := t.root
+	for i := 0; i < bits; i++ {
+		b := (v >> (31 - i)) & 1
+		if node.child[b] == nil {
+			node.child[b] = &trieNode{}
+		}
+		node = node.child[b]
+	}
+	if !node.set {
+		t.n++
+	}
+	node.asn = asn
+	node.set = true
+	return nil
+}
+
+// Lookup returns the ASN owning addr under longest-prefix-match, or
+// (0, false) when no installed prefix covers it.
+func (t *PrefixTrie) Lookup(addr netip.Addr) (ASN, bool) {
+	if !addr.Is4() {
+		return 0, false
+	}
+	v := addr4(addr)
+	node := t.root
+	var best ASN
+	found := false
+	if node.set {
+		best, found = node.asn, true
+	}
+	for i := 0; i < 32 && node != nil; i++ {
+		b := (v >> (31 - i)) & 1
+		node = node.child[b]
+		if node != nil && node.set {
+			best, found = node.asn, true
+		}
+	}
+	return best, found
+}
+
+// Walk visits every installed prefix in address order, calling fn with the
+// prefix and its ASN. Returning false stops the walk.
+func (t *PrefixTrie) Walk(fn func(prefix netip.Prefix, asn ASN) bool) {
+	var rec func(node *trieNode, bits int, v uint32) bool
+	rec = func(node *trieNode, bits int, v uint32) bool {
+		if node == nil {
+			return true
+		}
+		if node.set {
+			addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+			if !fn(netip.PrefixFrom(addr, bits), node.asn) {
+				return false
+			}
+		}
+		if !rec(node.child[0], bits+1, v) {
+			return false
+		}
+		return rec(node.child[1], bits+1, v|1<<(31-bits))
+	}
+	rec(t.root, 0, 0)
+}
+
+func addr4(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

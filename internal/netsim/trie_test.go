@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	tr := NewPrefixTrie()
+	must := func(p string, asn ASN) {
+		if err := tr.Insert(netip.MustParsePrefix(p), asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("10.0.0.0/8", 100)
+	must("10.1.0.0/16", 200)
+	must("10.1.2.0/24", 300)
+
+	cases := []struct {
+		addr string
+		want ASN
+		ok   bool
+	}{
+		{"10.9.9.9", 100, true}, // only the /8 covers
+		{"10.1.9.9", 200, true}, // /16 beats /8
+		{"10.1.2.9", 300, true}, // /24 beats both
+		{"11.0.0.1", 0, false},  // uncovered
+		{"10.1.3.1", 200, true}, // adjacent /24 falls back to /16
+		{"10.255.255.255", 100, true},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d, %v; want %d, %v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len %d", tr.Len())
+	}
+}
+
+func TestTrieReplaceAndZeroLength(t *testing.T) {
+	tr := NewPrefixTrie()
+	p := netip.MustParsePrefix("192.168.0.0/16")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2) // replace
+	if tr.Len() != 1 {
+		t.Fatalf("Len %d after replace", tr.Len())
+	}
+	if asn, _ := tr.Lookup(netip.MustParseAddr("192.168.1.1")); asn != 2 {
+		t.Fatalf("asn %d after replace", asn)
+	}
+	// Default route covers everything.
+	tr.Insert(netip.MustParsePrefix("0.0.0.0/0"), 9)
+	if asn, ok := tr.Lookup(netip.MustParseAddr("8.8.8.8")); !ok || asn != 9 {
+		t.Fatalf("default route lookup %d %v", asn, ok)
+	}
+	// More specific still wins over default.
+	if asn, _ := tr.Lookup(netip.MustParseAddr("192.168.1.1")); asn != 2 {
+		t.Fatal("default route shadowed a specific")
+	}
+}
+
+func TestTrieRejectsBadInput(t *testing.T) {
+	tr := NewPrefixTrie()
+	if err := tr.Insert(netip.MustParsePrefix("2001:db8::/32"), 1); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+	if err := tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), 0); err == nil {
+		t.Fatal("ASN 0 accepted")
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("::1")); ok {
+		t.Fatal("IPv6 lookup matched")
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	tr := NewPrefixTrie()
+	tr.Insert(netip.MustParsePrefix("10.0.0.5/32"), 7)
+	if asn, ok := tr.Lookup(netip.MustParseAddr("10.0.0.5")); !ok || asn != 7 {
+		t.Fatal("host route miss")
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("10.0.0.6")); ok {
+		t.Fatal("host route over-matched")
+	}
+}
+
+func TestTrieWalkEnumeratesAll(t *testing.T) {
+	tr := NewPrefixTrie()
+	want := map[string]ASN{
+		"10.0.0.0/8":    100,
+		"10.1.0.0/16":   200,
+		"172.16.0.0/12": 300,
+	}
+	for p, a := range want {
+		tr.Insert(netip.MustParsePrefix(p), a)
+	}
+	got := map[string]ASN{}
+	tr.Walk(func(p netip.Prefix, asn ASN) bool {
+		got[p.String()] = asn
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v", got)
+	}
+	for p, a := range want {
+		if got[p] != a {
+			t.Errorf("walk %s = %d, want %d", p, got[p], a)
+		}
+	}
+	// Early stop.
+	visits := 0
+	tr.Walk(func(netip.Prefix, ASN) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("walk did not stop early: %d visits", visits)
+	}
+}
+
+// Property: for random prefix sets, Lookup agrees with a brute-force
+// longest-prefix scan.
+func TestTrieMatchesBruteForce(t *testing.T) {
+	type entry struct {
+		prefix netip.Prefix
+		asn    ASN
+	}
+	check := func(seeds []uint32, probes []uint32) bool {
+		tr := NewPrefixTrie()
+		var entries []entry
+		for i, s := range seeds {
+			if i >= 20 {
+				break
+			}
+			bits := int(s % 33)
+			v := s
+			addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				continue
+			}
+			asn := ASN(i + 1)
+			tr.Insert(p, asn)
+			// Later inserts replace earlier identical prefixes, as in the
+			// trie; mirror that in the brute list.
+			replaced := false
+			for j := range entries {
+				if entries[j].prefix == p {
+					entries[j].asn = asn
+					replaced = true
+				}
+			}
+			if !replaced {
+				entries = append(entries, entry{p, asn})
+			}
+		}
+		for i, pr := range probes {
+			if i >= 30 {
+				break
+			}
+			addr := netip.AddrFrom4([4]byte{byte(pr >> 24), byte(pr >> 16), byte(pr >> 8), byte(pr)})
+			var best entry
+			found := false
+			for _, e := range entries {
+				if e.prefix.Contains(addr) && (!found || e.prefix.Bits() > best.prefix.Bits()) {
+					best, found = e, true
+				}
+			}
+			got, ok := tr.Lookup(addr)
+			if ok != found {
+				return false
+			}
+			if found && got != best.asn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryAnnouncePrefix(t *testing.T) {
+	r := newTestRegistry()
+	// ASN 100 owns its /12; carve a /24 out of it for ASN 300 (a proxy
+	// customer leasing space).
+	base := r.Allocate(100)
+	carve, err := base.Prefix(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AnnouncePrefix(carve, 300); err != nil {
+		t.Fatal(err)
+	}
+	if asn, _ := r.Lookup(base); asn != 300 {
+		t.Fatalf("carved address owned by %d, want 300", asn)
+	}
+	// The rest of the /12 still belongs to 100: probe an address outside
+	// the /24 (host offset 1<<10).
+	outside := r.Allocate(100)
+	for i := 0; i < 1024; i++ {
+		outside = r.Allocate(100)
+	}
+	if asn, _ := r.Lookup(outside); asn != 100 {
+		t.Fatalf("aggregate address owned by %d, want 100", asn)
+	}
+	if err := r.AnnouncePrefix(carve, 999); err == nil {
+		t.Fatal("announce for unregistered ASN accepted")
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	tr := NewPrefixTrie()
+	for i := 1; i <= 1000; i++ {
+		v := uint32(i) << 20
+		addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		p, _ := addr.Prefix(12 + i%12)
+		tr.Insert(p, ASN(i))
+	}
+	probe := netip.MustParseAddr("0.16.0.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(probe)
+	}
+}

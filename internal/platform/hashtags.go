@@ -1,0 +1,106 @@
+package platform
+
+import "sync"
+
+// hashtagIndex tracks recent posts per hashtag. Real feeds expose roughly
+// this surface: given a tag, fetch the most recent media — which is
+// exactly the discovery API the reciprocity AASs crawl when a customer
+// supplies a hashtag list (§3.3.1).
+type hashtagIndex struct {
+	mu     sync.Mutex
+	byTag  map[string]*tagRing
+	keepup int
+}
+
+// tagRing is a bounded ring of the newest posts for one tag.
+type tagRing struct {
+	posts []PostID
+	next  int
+	full  bool
+}
+
+const defaultTagKeep = 256
+
+func newHashtagIndex() *hashtagIndex {
+	return &hashtagIndex{byTag: make(map[string]*tagRing), keepup: defaultTagKeep}
+}
+
+func (h *hashtagIndex) add(tag string, pid PostID) {
+	if tag == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.byTag[tag]
+	if r == nil {
+		r = &tagRing{posts: make([]PostID, h.keepup)}
+		h.byTag[tag] = r
+	}
+	r.posts[r.next] = pid
+	r.next++
+	if r.next == len(r.posts) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// recent returns up to k of the newest posts for tag, newest first.
+func (h *hashtagIndex) recent(tag string, k int) []PostID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.byTag[tag]
+	if r == nil || k <= 0 {
+		return nil
+	}
+	n := r.next
+	if r.full {
+		n = len(r.posts)
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]PostID, 0, k)
+	idx := r.next - 1
+	for len(out) < k {
+		if idx < 0 {
+			idx = len(r.posts) - 1
+		}
+		out = append(out, r.posts[idx])
+		idx--
+	}
+	return out
+}
+
+// TagPost associates hashtags with an existing post of account id, as if
+// they were part of the caption. World-building code uses this to tag
+// profile-seed photos; live posts tag through Session.PostTagged.
+func (p *Platform) TagPost(id AccountID, pid PostID, tags ...string) error {
+	p.mu.Lock()
+	author, ok := p.postAuthor[pid]
+	p.mu.Unlock()
+	if !ok || author != id {
+		return ErrAccountGone
+	}
+	for _, t := range tags {
+		p.tags.add(t, pid)
+	}
+	return nil
+}
+
+// RecentByTag returns up to k of the newest posts carrying the tag —
+// the hashtag discovery surface AASs crawl for targeting.
+func (p *Platform) RecentByTag(tag string, k int) []PostID {
+	return p.tags.recent(tag, k)
+}
+
+// PostTagged publishes a post carrying hashtags.
+func (s *Session) PostTagged(tags ...string) (PostID, error) {
+	pid, err := s.Post()
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range tags {
+		s.p.tags.add(t, pid)
+	}
+	return pid, nil
+}

@@ -1,0 +1,425 @@
+// Package platform implements the simulated photo-sharing service the study
+// runs against: account registration and credentials, login sessions with
+// client metadata, the action API (like, follow, unfollow, comment, post),
+// ordinary API rate limits, an event stream, and the enforcement hooks that
+// countermeasures attach to.
+//
+// The platform deliberately exposes the same surfaces Instagram exposed in
+// the paper:
+//
+//   - customers hand their credentials to AASs, which then Login and act on
+//     their behalf through the (spoofed) private mobile API;
+//   - every request carries an IP, resolved to an ASN and country, plus a
+//     client fingerprint — the signals detection keys on (§5);
+//   - a Gatekeeper interposes on every action and can allow it, block it
+//     synchronously, or allow it and schedule deferred removal (§6.1);
+//   - resetting an account's password revokes all outstanding sessions,
+//     which is exactly how users evict an AAS (§3.3.1).
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/socialgraph"
+)
+
+// AccountID aliases the graph's account identifier; the two packages share
+// one ID space.
+type AccountID = socialgraph.AccountID
+
+// PostID aliases the graph's post identifier.
+type PostID = socialgraph.PostID
+
+// Errors returned by platform operations.
+var (
+	ErrBadCredentials = errors.New("platform: bad credentials")
+	ErrSessionRevoked = errors.New("platform: session revoked")
+	ErrAccountGone    = errors.New("platform: account deleted")
+	ErrBlocked        = errors.New("platform: action blocked")
+	ErrRateLimited    = errors.New("platform: rate limited")
+	ErrUsernameTaken  = errors.New("platform: username taken")
+)
+
+// Profile captures the externally visible richness of an account — what
+// separates the paper's "empty" honeypots from "lived-in" ones (§4.1.1).
+type Profile struct {
+	PhotoCount    int // photos uploaded at creation
+	HasProfilePic bool
+	HasBio        bool
+	HasName       bool
+}
+
+// LivedIn reports whether the profile meets the paper's lived-in bar:
+// photos plus a fully populated identity.
+func (p Profile) LivedIn() bool {
+	return p.PhotoCount >= 10 && p.HasProfilePic && p.HasBio && p.HasName
+}
+
+// Config tunes a Platform.
+type Config struct {
+	// GraphWrites controls whether actions mutate the social graph. Full
+	// fidelity (true) is right for honeypot and intervention studies. The
+	// population-scale 90-day business simulation disables it and relies
+	// on the event stream, keeping memory flat; see DESIGN.md §6.
+	GraphWrites bool
+	// PrivateHourlyLimit caps actions per account per hour on the private
+	// API. Real services self-throttle below this.
+	PrivateHourlyLimit int
+	// OAuthHourlyLimit caps the public API "in a manner that precludes
+	// broad abusive use" (§2) — far below the private limit.
+	OAuthHourlyLimit int
+}
+
+// DefaultConfig matches the study's standard world. The OAuth cap of a
+// few actions per hour reflects how tightly the public API restricts
+// write actions — the reason every AAS spoofs the private client instead.
+func DefaultConfig() Config {
+	return Config{GraphWrites: true, PrivateHourlyLimit: 360, OAuthHourlyLimit: 3}
+}
+
+// Verdict is a gatekeeper's decision about one request.
+type Verdict struct {
+	Kind        VerdictKind
+	RemoveAfter time.Duration // for VerdictDelayRemove
+}
+
+// VerdictKind enumerates countermeasure decisions.
+type VerdictKind int
+
+// Verdict kinds.
+const (
+	VerdictAllow VerdictKind = iota
+	VerdictBlock
+	// VerdictDelayRemove lets the action through, then the platform
+	// undoes it RemoveAfter later. Only follows support removal; for
+	// other action types it degrades to allow (§6.1: "it was not possible
+	// to apply a delayed countermeasure on likes").
+	VerdictDelayRemove
+)
+
+// Allow is the zero verdict.
+var Allow = Verdict{Kind: VerdictAllow}
+
+// Gatekeeper interposes on every action request. The request is the Event
+// that would be emitted, before its Outcome is set.
+type Gatekeeper interface {
+	Check(req Event) Verdict
+}
+
+// GatekeeperFunc adapts a function to the Gatekeeper interface.
+type GatekeeperFunc func(req Event) Verdict
+
+// Check implements Gatekeeper.
+func (f GatekeeperFunc) Check(req Event) Verdict { return f(req) }
+
+type account struct {
+	id             AccountID
+	username       string
+	password       string
+	profile        Profile
+	homeCountry    string
+	created        time.Time
+	deleted        bool
+	sessionEpoch   uint64
+	loginCountries map[string]int
+	posts          []PostID // maintained even when GraphWrites is off
+	likeCounts     map[PostID]int
+}
+
+// Platform is the simulated service. All exported methods are safe for
+// concurrent use.
+type Platform struct {
+	cfg   Config
+	graph *socialgraph.Graph
+	net   *netsim.Registry
+	clk   *clock.Clock
+	sched *clock.Scheduler
+
+	tags *hashtagIndex
+
+	mu         sync.Mutex
+	accounts   map[AccountID]*account
+	byUsername map[string]AccountID
+	postAuthor map[PostID]AccountID
+	nextPost   PostID
+	gate       Gatekeeper
+	limiter    *hourlyLimiter
+
+	log EventLog
+}
+
+// New assembles a platform over the given substrates.
+func New(cfg Config, g *socialgraph.Graph, net *netsim.Registry, sched *clock.Scheduler) *Platform {
+	return &Platform{
+		cfg:        cfg,
+		graph:      g,
+		net:        net,
+		clk:        sched.Clock(),
+		sched:      sched,
+		tags:       newHashtagIndex(),
+		accounts:   make(map[AccountID]*account),
+		byUsername: make(map[string]AccountID),
+		postAuthor: make(map[PostID]AccountID),
+		limiter:    newHourlyLimiter(),
+	}
+}
+
+// Log exposes the event stream for subscribers (detection, monitors).
+func (p *Platform) Log() *EventLog { return &p.log }
+
+// Graph exposes the underlying social graph (read access for analyses).
+func (p *Platform) Graph() *socialgraph.Graph { return p.graph }
+
+// Net exposes the network registry.
+func (p *Platform) Net() *netsim.Registry { return p.net }
+
+// Now returns the current simulated time.
+func (p *Platform) Now() time.Time { return p.clk.Now() }
+
+// SetGatekeeper installs gk as the enforcement hook. Passing nil removes
+// all countermeasures.
+func (p *Platform) SetGatekeeper(gk Gatekeeper) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gate = gk
+}
+
+// RegisterAccount creates an account with the given credentials and profile
+// and returns its ID. The homeCountry is where the human behind the account
+// usually logs in from.
+func (p *Platform) RegisterAccount(username, password string, profile Profile, homeCountry string) (AccountID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, taken := p.byUsername[username]; taken {
+		return 0, fmt.Errorf("%w: %q", ErrUsernameTaken, username)
+	}
+	id := p.graph.CreateAccount(p.clk.Now())
+	a := &account{
+		id:             id,
+		username:       username,
+		password:       password,
+		profile:        profile,
+		homeCountry:    homeCountry,
+		created:        p.clk.Now(),
+		loginCountries: make(map[string]int),
+		likeCounts:     make(map[PostID]int),
+	}
+	p.accounts[id] = a
+	p.byUsername[username] = id
+	// The profile's initial photos exist as posts.
+	for i := 0; i < profile.PhotoCount; i++ {
+		p.addPostLocked(a)
+	}
+	return id, nil
+}
+
+func (p *Platform) addPostLocked(a *account) PostID {
+	var pid PostID
+	if p.cfg.GraphWrites {
+		var err error
+		pid, err = p.graph.AddPost(a.id, p.clk.Now())
+		if err != nil {
+			panic(fmt.Sprintf("platform: graph post for live account: %v", err))
+		}
+	} else {
+		p.nextPost++
+		pid = p.nextPost
+	}
+	a.posts = append(a.posts, pid)
+	p.postAuthor[pid] = a.id
+	return pid
+}
+
+// DeleteAccount removes the account and, per the paper's honeypot protocol,
+// all actions to or from it.
+func (p *Platform) DeleteAccount(id AccountID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted {
+		return fmt.Errorf("%w: %d", ErrAccountGone, id)
+	}
+	a.deleted = true
+	a.sessionEpoch++ // revoke sessions
+	delete(p.byUsername, a.username)
+	for _, pid := range a.posts {
+		delete(p.postAuthor, pid)
+	}
+	if p.cfg.GraphWrites {
+		return p.graph.DeleteAccount(id)
+	}
+	return nil
+}
+
+// ResetPassword changes the account's password and revokes every live
+// session — the user-level remedy for evicting an AAS.
+func (p *Platform) ResetPassword(id AccountID, newPassword string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted {
+		return fmt.Errorf("%w: %d", ErrAccountGone, id)
+	}
+	a.password = newPassword
+	a.sessionEpoch++
+	return nil
+}
+
+// Exists reports whether the account is live.
+func (p *Platform) Exists(id AccountID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	return ok && !a.deleted
+}
+
+// AccountProfile returns the account's profile.
+func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted {
+		return Profile{}, false
+	}
+	return a.profile, true
+}
+
+// Username returns the account's username.
+func (p *Platform) Username(id AccountID) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted {
+		return "", false
+	}
+	return a.username, true
+}
+
+// CreatedAt returns the account's registration time.
+func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return a.created, true
+}
+
+// MostFrequentLoginCountry implements the paper's customer-location rule:
+// "the most frequent country used to login to the account" (§5.1). The
+// second result is false when the account has never logged in.
+func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok {
+		return "", false
+	}
+	best, n := "", 0
+	for c, k := range a.loginCountries {
+		if k > n || (k == n && c < best) {
+			best, n = c, k
+		}
+	}
+	return best, n > 0
+}
+
+// Posts returns the account's post IDs in creation order.
+func (p *Platform) Posts(id AccountID) []PostID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted {
+		return nil
+	}
+	return append([]PostID(nil), a.posts...)
+}
+
+// LatestPost returns the account's most recent post, if any.
+func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.accounts[id]
+	if !ok || a.deleted || len(a.posts) == 0 {
+		return 0, false
+	}
+	return a.posts[len(a.posts)-1], true
+}
+
+// PostAuthor resolves a post to its author.
+func (p *Platform) PostAuthor(pid PostID) (AccountID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id, ok := p.postAuthor[pid]
+	return id, ok
+}
+
+// LikeCount returns the number of likes on pid as tracked by the platform
+// (valid in both graph and stateless modes).
+func (p *Platform) LikeCount(pid PostID) int {
+	p.mu.Lock()
+	author, ok := p.postAuthor[pid]
+	if !ok {
+		p.mu.Unlock()
+		return 0
+	}
+	if !p.cfg.GraphWrites {
+		n := p.accounts[author].likeCounts[pid]
+		p.mu.Unlock()
+		return n
+	}
+	p.mu.Unlock()
+	return p.graph.LikeCount(pid)
+}
+
+// ClientInfo describes the client a session presents to the platform.
+type ClientInfo struct {
+	IP          netip.Addr
+	Fingerprint string // e.g. "mobile-official-v12", "mobile-spoof-instalex"
+	API         APIKind
+}
+
+// Login authenticates and returns a session bound to the client info. The
+// login is recorded as an event and feeds geolocation.
+func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, error) {
+	p.mu.Lock()
+	id, ok := p.byUsername[username]
+	if !ok {
+		p.mu.Unlock()
+		return nil, ErrBadCredentials
+	}
+	a := p.accounts[id]
+	if a.deleted || a.password != password {
+		p.mu.Unlock()
+		return nil, ErrBadCredentials
+	}
+	country := p.net.Country(ci.IP)
+	if country != "" {
+		a.loginCountries[country]++
+	}
+	epoch := a.sessionEpoch
+	now := p.clk.Now()
+	p.mu.Unlock()
+
+	p.emit(Event{
+		Time: now, Type: ActionLogin, Actor: id, IP: ci.IP,
+		Client: ci.Fingerprint, API: ci.API, Outcome: OutcomeAllowed,
+	})
+	return &Session{p: p, id: id, epoch: epoch, client: ci}, nil
+}
+
+// emit resolves the ASN and delivers the event. Callers must NOT hold p.mu:
+// subscribers may call back into the platform.
+func (p *Platform) emit(ev Event) {
+	if asn, ok := p.net.Lookup(ev.IP); ok {
+		ev.ASN = asn
+	}
+	p.log.Emit(ev)
+}

@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+)
+
+// propWorld is a self-contained fixture usable inside quick.Check
+// closures (no *testing.T needed).
+type propWorld struct {
+	p     *Platform
+	sched *clock.Scheduler
+	reg   *netsim.Registry
+}
+
+func newPropWorld(seed uint16) *propWorld {
+	_ = seed
+	reg := netsim.NewRegistry()
+	reg.Register(10, "res", "USA", netsim.KindResidential)
+	sched := clock.NewScheduler(clock.New())
+	return &propWorld{
+		p:     New(DefaultConfig(), socialgraph.New(), reg, sched),
+		sched: sched,
+		reg:   reg,
+	}
+}
+
+// TestActionSequenceInvariants drives random action sequences through real
+// sessions and checks structural invariants afterwards:
+//
+//   - LikeCount(p) == len(Likers(p)) for every post;
+//   - sum of in-degrees == sum of out-degrees;
+//   - blocked actions leave no graph trace;
+//   - every event's Outcome matches the error the caller saw.
+func TestActionSequenceInvariants(t *testing.T) {
+	check := func(seed uint16, opsRaw []uint16) bool {
+		w := newPropWorld(seed)
+		const nAccts = 6
+		sessions := make([]*Session, nAccts)
+		ids := make([]AccountID, nAccts)
+		for i := range sessions {
+			name := fmt.Sprintf("u%d", i)
+			id, err := w.p.RegisterAccount(name, "pw", Profile{PhotoCount: 2}, "USA")
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+			s, err := w.p.Login(name, "pw", ClientInfo{IP: w.reg.Allocate(10)})
+			if err != nil {
+				return false
+			}
+			sessions[i] = s
+		}
+		// A flaky gatekeeper that blocks ~1/4 of requests.
+		gateRNG := rng.New(uint64(seed) + 1)
+		w.p.SetGatekeeper(GatekeeperFunc(func(req Event) Verdict {
+			if gateRNG.Bool(0.25) {
+				return Verdict{Kind: VerdictBlock}
+			}
+			return Allow
+		}))
+
+		outcomeMismatch := false
+		var lastEvent Event
+		w.p.Log().Subscribe(func(ev Event) { lastEvent = ev })
+
+		for _, op := range opsRaw {
+			actor := sessions[int(op)%nAccts]
+			target := ids[int(op>>3)%nAccts]
+			var err error
+			switch (op >> 6) % 4 {
+			case 0:
+				err = actor.Follow(target)
+			case 1:
+				err = actor.Unfollow(target)
+			case 2:
+				if pid, ok := w.p.LatestPost(target); ok {
+					err = actor.Like(pid)
+				}
+			case 3:
+				_, err = actor.Post()
+			}
+			// The event the log saw must agree with the caller's error.
+			switch {
+			case errors.Is(err, ErrBlocked) && lastEvent.Outcome != OutcomeBlocked:
+				outcomeMismatch = true
+			case err == nil && lastEvent.Outcome != OutcomeAllowed:
+				outcomeMismatch = true
+			}
+			w.sched.Clock().Advance(time.Minute)
+		}
+		if outcomeMismatch {
+			return false
+		}
+
+		// Degree conservation.
+		in, out := 0, 0
+		for _, id := range ids {
+			in += w.p.Graph().InDegree(id)
+			out += w.p.Graph().OutDegree(id)
+		}
+		if in != out {
+			return false
+		}
+		// Like-count consistency.
+		for _, id := range ids {
+			for _, pid := range w.p.Posts(id) {
+				if w.p.Graph().LikeCount(pid) != len(w.p.Graph().Likers(pid)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfActionsNeverCorruptState: self-follows fail, self-likes are
+// allowed (as on the real platform) and stay consistent.
+func TestSelfActionsNeverCorruptState(t *testing.T) {
+	w := newWorld(t, DefaultConfig())
+	a := w.register(t, "alice")
+	sa := w.login(t, "alice", 10)
+	if err := sa.Follow(a); err == nil {
+		t.Fatal("self-follow succeeded")
+	}
+	if w.p.Graph().InDegree(a) != 0 || w.p.Graph().OutDegree(a) != 0 {
+		t.Fatal("self-follow left graph traces")
+	}
+	pid, _ := w.p.LatestPost(a)
+	if err := sa.Like(pid); err != nil {
+		t.Fatalf("self-like should be allowed: %v", err)
+	}
+	if w.p.LikeCount(pid) != 1 {
+		t.Fatal("self-like not recorded")
+	}
+}
+
+// TestGatekeeperPanicsDoNotOccur ensures the gatekeeper sees fully formed
+// requests for every action type (no zero timestamps, actor always set).
+func TestGatekeeperSeesWellFormedRequests(t *testing.T) {
+	w := newWorld(t, DefaultConfig())
+	w.register(t, "alice")
+	b := w.register(t, "bob")
+	bad := 0
+	w.p.SetGatekeeper(GatekeeperFunc(func(req Event) Verdict {
+		if req.Actor == 0 || req.Time.IsZero() {
+			bad++
+		}
+		return Allow
+	}))
+	sa := w.login(t, "alice", 10)
+	pid, _ := w.p.LatestPost(b)
+	sa.Like(pid)
+	sa.Follow(b)
+	sa.Unfollow(b)
+	sa.Comment(pid, "x")
+	sa.Post()
+	if bad != 0 {
+		t.Fatalf("%d malformed gatekeeper requests", bad)
+	}
+}
+
+// TestRateLimitedActionsLeaveNoTrace: a rate-limited like must not reach
+// the graph and must carry the rate-limited outcome.
+func TestRateLimitedActionsLeaveNoTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrivateHourlyLimit = 1
+	w := newWorld(t, cfg)
+	w.register(t, "alice")
+	b := w.register(t, "bob")
+	var limited []Event
+	w.p.Log().Subscribe(func(ev Event) {
+		if ev.Outcome == OutcomeRateLimited {
+			limited = append(limited, ev)
+		}
+	})
+	sa := w.login(t, "alice", 10)
+	pid, _ := w.p.LatestPost(b)
+	if err := sa.Like(pid); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Follow(b); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v", err)
+	}
+	if w.p.Graph().Follows(sa.Account(), b) {
+		t.Fatal("rate-limited follow reached the graph")
+	}
+	if len(limited) != 1 || limited[0].Type != ActionFollow {
+		t.Fatalf("limited events %+v", limited)
+	}
+}

@@ -1,0 +1,46 @@
+package platform
+
+import "time"
+
+// hourlyLimiter enforces a per-account actions-per-hour cap using fixed
+// hourly buckets on the simulated clock. Fixed windows are what large
+// platforms actually deploy for coarse API quotas, and they are what the
+// paper's services probe against.
+//
+// The limiter is not internally locked; the platform calls allow while
+// holding its own mutex.
+type hourlyLimiter struct {
+	counts map[AccountID]*window
+}
+
+type window struct {
+	hour  int64 // hours since Unix epoch identifying the bucket
+	count int
+}
+
+func newHourlyLimiter() *hourlyLimiter {
+	return &hourlyLimiter{counts: make(map[AccountID]*window)}
+}
+
+// allow records one action attempt at time t and reports whether it is
+// within the account's hourly budget. A non-positive limit disables the cap.
+func (l *hourlyLimiter) allow(id AccountID, t time.Time, limit int) bool {
+	if limit <= 0 {
+		return true
+	}
+	hour := t.Unix() / 3600
+	w := l.counts[id]
+	if w == nil {
+		w = &window{hour: hour}
+		l.counts[id] = w
+	}
+	if w.hour != hour {
+		w.hour = hour
+		w.count = 0
+	}
+	if w.count >= limit {
+		return false
+	}
+	w.count++
+	return true
+}

@@ -1,0 +1,158 @@
+// Package plot renders the study's figures as standalone SVG documents
+// using only the standard library — line charts for the intervention day
+// series (Figures 5–7) and step plots for the degree CDFs (Figures 3/4).
+//
+// The output is deliberately plain: axes, ticks, legend, series in
+// distinguishable dash patterns. It is meant for quick inspection and for
+// dropping into a README, not as a charting library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Dashed bool
+}
+
+// Chart describes one SVG figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// HLine draws a horizontal reference line (the threshold in Figure 5);
+	// NaN disables it.
+	HLine float64
+
+	W, H int // canvas size; zero means 720×400
+}
+
+// palette cycles through visually distinct stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const margin = 56.0
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	w, h := float64(c.W), float64(c.H)
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 400
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !math.IsNaN(c.HLine) && !math.IsInf(c.HLine, 0) {
+		minY, maxY = math.Min(minY, c.HLine), math.Max(maxY, c.HLine)
+	}
+	if math.IsInf(minX, 1) { // no data at all
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minY > 0 {
+		minY = 0 // anchor rate/count axes at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	px := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*(w-2*margin) }
+	py := func(y float64) float64 { return h - margin - (y-minY)/(maxY-minY)*(h-2*margin) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-family="sans-serif" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, margin/2+10, margin, h-margin)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n", w/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n", h/2, h/2, esc(c.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", px(fx), h-margin, px(fx), h-margin+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n", px(fx), h-margin+18, tick(fx))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin-5, py(fy), margin, py(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", margin-8, py(fy)+4, tick(fy))
+	}
+
+	// Reference line.
+	if !math.IsNaN(c.HLine) && !math.IsInf(c.HLine, 0) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="gray" stroke-dasharray="2,4"/>`+"\n",
+			margin, py(c.HLine), w-margin, py(c.HLine))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8"%s points="%s"/>`+"\n",
+			color, dash, strings.Join(pts, " "))
+		// Legend entry.
+		ly := margin/2 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"%s/>`+"\n",
+			w-margin-130, ly, w-margin-106, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			w-margin-100, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "Boostgram follows/user/day",
+		XLabel: "day",
+		YLabel: "median follows",
+		HLine:  74,
+		Series: []Series{
+			{Name: "block", X: []float64{0, 1, 2}, Y: []float64{68, 74, 74}},
+			{Name: "control", X: []float64{0, 1, 2}, Y: []float64{76, 80, 78}, Dashed: true},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Boostgram follows/user/day",
+		"block", "control", "stroke-dasharray=\"2,4\"", // threshold line
+		"stroke-dasharray=\"6,4\"", // dashed series
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg[:200])
+		}
+	}
+	// Two polylines, one per series.
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Fatalf("polylines %d", n)
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := Chart{Title: `a<b & "c"`, HLine: math.NaN()}
+	svg := c.SVG()
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("unescaped title")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escape output wrong:\n%s", svg)
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := Chart{Title: "empty", HLine: math.NaN()}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart did not render a document")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate coordinates leaked into SVG")
+	}
+}
+
+func TestSVGSkipsNaNPoints(t *testing.T) {
+	c := Chart{
+		HLine: math.NaN(),
+		Series: []Series{{
+			Name: "gappy",
+			X:    []float64{0, 1, 2, 3},
+			Y:    []float64{1, math.NaN(), 3, 4},
+		}},
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+	// Three valid points survive.
+	poly := svg[strings.Index(svg, "points=\""):]
+	poly = poly[:strings.Index(poly, "\"/>")]
+	if got := strings.Count(poly, ","); got != 3 {
+		t.Fatalf("points %q", poly)
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := Chart{
+		HLine:  math.NaN(),
+		Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}},
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("flat series produced degenerate scaling")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1500: "1500", 42: "42", 3.25: "3.2", 0.5: "0.50",
+	}
+	for v, want := range cases {
+		if got := tick(v); got != want {
+			t.Errorf("tick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package socialgraph stores the platform's social state: accounts, follow
+// edges, posts, likes, and comments.
+//
+// The graph is the system of record beneath internal/platform. It knows
+// nothing about sessions, credentials, or abuse — it only enforces the
+// structural rules of the medium (no self-follows, likes require an existing
+// post, deleting an account removes everything it ever did, mirroring the
+// paper's honeypot-deletion semantics: "when deleting a honeypot account,
+// all actions to or from the account are eventually removed").
+//
+// All methods are safe for concurrent use.
+package socialgraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AccountID identifies an account. IDs are assigned by the graph and are
+// never reused, even after deletion.
+type AccountID uint64
+
+// PostID identifies a post (the paper's "photo" / "media").
+type PostID uint64
+
+// Errors returned by graph operations.
+var (
+	ErrNoAccount  = errors.New("socialgraph: no such account")
+	ErrNoPost     = errors.New("socialgraph: no such post")
+	ErrSelfAction = errors.New("socialgraph: account cannot target itself")
+)
+
+// Comment is a single comment on a post.
+type Comment struct {
+	Author AccountID
+	Text   string
+	At     time.Time
+}
+
+type post struct {
+	id       PostID
+	author   AccountID
+	created  time.Time
+	likes    map[AccountID]struct{}
+	comments []Comment
+}
+
+type account struct {
+	followers map[AccountID]struct{} // accounts following this one
+	followees map[AccountID]struct{} // accounts this one follows
+	posts     []PostID
+	likes     map[PostID]struct{} // posts this account has liked
+	commented map[PostID]int      // posts this account commented on → count
+	created   time.Time
+}
+
+// Graph is the mutable social graph.
+type Graph struct {
+	mu       sync.RWMutex
+	accounts map[AccountID]*account
+	posts    map[PostID]*post
+	nextAcct AccountID
+	nextPost PostID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		accounts: make(map[AccountID]*account),
+		posts:    make(map[PostID]*post),
+	}
+}
+
+// CreateAccount adds a fresh account and returns its ID.
+func (g *Graph) CreateAccount(now time.Time) AccountID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextAcct++
+	id := g.nextAcct
+	g.accounts[id] = &account{
+		followers: make(map[AccountID]struct{}),
+		followees: make(map[AccountID]struct{}),
+		likes:     make(map[PostID]struct{}),
+		commented: make(map[PostID]int),
+		created:   now,
+	}
+	return id
+}
+
+// Exists reports whether id is a live account.
+func (g *Graph) Exists(id AccountID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.accounts[id]
+	return ok
+}
+
+// NumAccounts returns the number of live accounts.
+func (g *Graph) NumAccounts() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.accounts)
+}
+
+// DeleteAccount removes the account and every trace of it: its posts (with
+// all likes and comments they received), its follow edges in both
+// directions, and all likes/comments it placed on others' posts.
+func (g *Graph) DeleteAccount(id AccountID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoAccount, id)
+	}
+	// Sever follow edges.
+	for f := range a.followers {
+		delete(g.accounts[f].followees, id)
+	}
+	for f := range a.followees {
+		delete(g.accounts[f].followers, id)
+	}
+	// Remove likes this account placed.
+	for pid := range a.likes {
+		if p, ok := g.posts[pid]; ok {
+			delete(p.likes, id)
+		}
+	}
+	// Remove comments this account placed.
+	for pid := range a.commented {
+		p, ok := g.posts[pid]
+		if !ok {
+			continue
+		}
+		kept := p.comments[:0]
+		for _, c := range p.comments {
+			if c.Author != id {
+				kept = append(kept, c)
+			}
+		}
+		p.comments = kept
+	}
+	// Remove this account's own posts and the actions on them.
+	for _, pid := range a.posts {
+		p := g.posts[pid]
+		for liker := range p.likes {
+			if la, ok := g.accounts[liker]; ok {
+				delete(la.likes, pid)
+			}
+		}
+		for _, c := range p.comments {
+			if ca, ok := g.accounts[c.Author]; ok {
+				if ca.commented[pid]--; ca.commented[pid] <= 0 {
+					delete(ca.commented, pid)
+				}
+			}
+		}
+		delete(g.posts, pid)
+	}
+	delete(g.accounts, id)
+	return nil
+}
+
+// Follow adds the edge from → to. Following twice is a no-op reported via
+// the bool result (false when the edge already existed).
+func (g *Graph) Follow(from, to AccountID) (bool, error) {
+	if from == to {
+		return false, ErrSelfAction
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fa, ok := g.accounts[from]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
+	}
+	ta, ok := g.accounts[to]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
+	}
+	if _, dup := fa.followees[to]; dup {
+		return false, nil
+	}
+	fa.followees[to] = struct{}{}
+	ta.followers[from] = struct{}{}
+	return true, nil
+}
+
+// Unfollow removes the edge from → to. Removing a missing edge is a no-op
+// reported via the bool result.
+func (g *Graph) Unfollow(from, to AccountID) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fa, ok := g.accounts[from]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
+	}
+	ta, ok := g.accounts[to]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
+	}
+	if _, had := fa.followees[to]; !had {
+		return false, nil
+	}
+	delete(fa.followees, to)
+	delete(ta.followers, from)
+	return true, nil
+}
+
+// Follows reports whether the edge from → to exists.
+func (g *Graph) Follows(from, to AccountID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fa, ok := g.accounts[from]
+	if !ok {
+		return false
+	}
+	_, yes := fa.followees[to]
+	return yes
+}
+
+// InDegree returns the follower count (the paper's "followers").
+func (g *Graph) InDegree(id AccountID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if a, ok := g.accounts[id]; ok {
+		return len(a.followers)
+	}
+	return 0
+}
+
+// OutDegree returns the followee count (the paper's "following").
+func (g *Graph) OutDegree(id AccountID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if a, ok := g.accounts[id]; ok {
+		return len(a.followees)
+	}
+	return 0
+}
+
+// Followers returns a snapshot of the accounts following id.
+func (g *Graph) Followers(id AccountID) []AccountID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a, ok := g.accounts[id]
+	if !ok {
+		return nil
+	}
+	out := make([]AccountID, 0, len(a.followers))
+	for f := range a.followers {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Followees returns a snapshot of the accounts id follows.
+func (g *Graph) Followees(id AccountID) []AccountID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a, ok := g.accounts[id]
+	if !ok {
+		return nil
+	}
+	out := make([]AccountID, 0, len(a.followees))
+	for f := range a.followees {
+		out = append(out, f)
+	}
+	return out
+}
+
+// AddPost creates a post authored by id.
+func (g *Graph) AddPost(id AccountID, now time.Time) (PostID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.accounts[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoAccount, id)
+	}
+	g.nextPost++
+	pid := g.nextPost
+	g.posts[pid] = &post{id: pid, author: id, created: now, likes: make(map[AccountID]struct{})}
+	a.posts = append(a.posts, pid)
+	return pid, nil
+}
+
+// Posts returns the IDs of id's posts in creation order.
+func (g *Graph) Posts(id AccountID) []PostID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a, ok := g.accounts[id]
+	if !ok {
+		return nil
+	}
+	return append([]PostID(nil), a.posts...)
+}
+
+// PostAuthor returns the author of pid.
+func (g *Graph) PostAuthor(pid PostID) (AccountID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.posts[pid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoPost, pid)
+	}
+	return p.author, nil
+}
+
+// Like records who liking pid. Liking your own post is allowed (as on the
+// real platform); liking twice is a no-op reported via the bool result.
+func (g *Graph) Like(who AccountID, pid PostID) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.accounts[who]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
+	}
+	p, ok := g.posts[pid]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
+	}
+	if _, dup := p.likes[who]; dup {
+		return false, nil
+	}
+	p.likes[who] = struct{}{}
+	a.likes[pid] = struct{}{}
+	return true, nil
+}
+
+// Unlike removes who's like from pid.
+func (g *Graph) Unlike(who AccountID, pid PostID) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.accounts[who]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
+	}
+	p, ok := g.posts[pid]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
+	}
+	if _, had := p.likes[who]; !had {
+		return false, nil
+	}
+	delete(p.likes, who)
+	delete(a.likes, pid)
+	return true, nil
+}
+
+// LikeCount returns the number of likes on pid.
+func (g *Graph) LikeCount(pid PostID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if p, ok := g.posts[pid]; ok {
+		return len(p.likes)
+	}
+	return 0
+}
+
+// Likers returns a snapshot of the accounts that liked pid.
+func (g *Graph) Likers(pid PostID) []AccountID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.posts[pid]
+	if !ok {
+		return nil
+	}
+	out := make([]AccountID, 0, len(p.likes))
+	for a := range p.likes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// AddComment appends a comment by who to pid.
+func (g *Graph) AddComment(who AccountID, pid PostID, text string, now time.Time) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, ok := g.accounts[who]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoAccount, who)
+	}
+	p, ok := g.posts[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoPost, pid)
+	}
+	p.comments = append(p.comments, Comment{Author: who, Text: text, At: now})
+	a.commented[pid]++
+	return nil
+}
+
+// Comments returns a snapshot of pid's comments in posting order.
+func (g *Graph) Comments(pid PostID) []Comment {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	p, ok := g.posts[pid]
+	if !ok {
+		return nil
+	}
+	return append([]Comment(nil), p.comments...)
+}
+
+// EngagementRate computes the influencer metric the services promote (§2):
+//
+//	ER = (likes + comments on the user's posts) / followers
+//
+// It returns 0 for accounts with no followers, missing accounts, or
+// accounts with no posts.
+func (g *Graph) EngagementRate(id AccountID) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a, ok := g.accounts[id]
+	if !ok || len(a.followers) == 0 {
+		return 0
+	}
+	total := 0
+	for _, pid := range a.posts {
+		p := g.posts[pid]
+		total += len(p.likes) + len(p.comments)
+	}
+	return float64(total) / float64(len(a.followers))
+}

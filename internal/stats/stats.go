@@ -1,0 +1,211 @@
+// Package stats provides the small set of descriptive statistics the study
+// needs: quantiles, medians, empirical CDFs, and histograms.
+//
+// Everything operates on float64 samples. Functions that need sorted input
+// sort a private copy, so callers never see their slices mutated.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (type-7, the spreadsheet default).
+// It returns NaN for an empty sample and panics for p outside [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%v outside [0,1]", p))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[len(s)-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianInts is a convenience wrapper for integer samples.
+func MedianInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Median(fs)
+}
+
+// CDF is an empirical cumulative distribution function built from a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewCDFInts builds an empirical CDF from an integer sample.
+func NewCDFInts(xs []int) *CDF {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	sort.Float64s(fs)
+	return &CDF{sorted: fs}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile of the sample.
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%v outside [0,1]", p))
+	}
+	return quantileSorted(c.sorted, p)
+}
+
+// Median returns the sample median.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Min and Max return the sample extremes (NaN when empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample value.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Series materializes the CDF as n (x, P(X<=x)) points with x spaced evenly
+// in quantile space — the form the paper's CDF figures plot.
+func (c *CDF) Series(n int) []Point {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		pts[i] = Point{X: c.Quantile(p), Y: p}
+	}
+	return pts
+}
+
+// Point is a single (x, y) sample of a plotted series.
+type Point struct{ X, Y float64 }
+
+// Histogram counts observations into fixed-width buckets over [min, max).
+// Observations outside the range land in clamped edge buckets.
+type Histogram struct {
+	min, width float64
+	counts     []int
+	total      int
+}
+
+// NewHistogram builds a histogram with n buckets spanning [min, max).
+// It panics if n <= 0 or max <= min.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram with no buckets")
+	}
+	if max <= min {
+		panic("stats: histogram with max <= min")
+	}
+	return &Histogram{min: min, width: (max - min) / float64(n), counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.min) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Fraction returns bucket i's share of all observations (0 when empty).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// FormatSeries renders points as "x<tab>y" lines, one per point — convenient
+// for dumping figure data that plots directly with any tool.
+func FormatSeries(pts []Point) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.4g\t%.4f\n", p.X, p.Y)
+	}
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Quantile(0.3) = %v, want 3", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[3] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p > 1")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median %v", got)
+	}
+	if got := MedianInts([]int{10, 20}); got != 15 {
+		t.Fatalf("MedianInts %v", got)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantileMedianMinMax(t *testing.T) {
+	c := NewCDFInts([]int{10, 20, 30, 40, 50})
+	if c.Median() != 30 {
+		t.Fatalf("median %v", c.Median())
+	}
+	if c.Min() != 10 || c.Max() != 50 {
+		t.Fatalf("min/max %v/%v", c.Min(), c.Max())
+	}
+	if c.Len() != 5 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.At(1)) || !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Min()) || !math.IsNaN(c.Max()) {
+		t.Fatal("empty CDF should return NaN everywhere")
+	}
+	if c.Series(10) != nil {
+		t.Fatal("empty CDF Series not nil")
+	}
+}
+
+func TestCDFSeriesMonotone(t *testing.T) {
+	check := func(seedVals []float64) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		c := NewCDF(seedVals)
+		pts := c.Series(20)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+				return false
+			}
+		}
+		return pts[0].Y == 0 && pts[len(pts)-1].Y == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CDF invariant: the p-quantile lies between the order statistics that
+// bracket position p*(n-1) in the sorted sample.
+func TestCDFQuantileBracketedByOrderStats(t *testing.T) {
+	check := func(vals []float64, pRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := float64(pRaw%101) / 100
+		s := append([]float64(nil), vals...)
+		sort.Float64s(s)
+		h := p * float64(len(s)-1)
+		lo, hi := int(math.Floor(h)), int(math.Ceil(h))
+		q := NewCDF(vals).Quantile(p)
+		return q >= s[lo] && q <= s[hi]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAtMatchesNaiveCount(t *testing.T) {
+	vals := []float64{5, 3, 8, 3, 9, 1, 3}
+	c := NewCDF(vals)
+	for _, x := range []float64{0, 1, 3, 4, 8, 9, 10} {
+		n := 0
+		for _, v := range vals {
+			if v <= x {
+				n++
+			}
+		}
+		want := float64(n) / float64(len(vals))
+		if got := c.At(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d", h.Total())
+	}
+	// -3 clamps to bucket 0; 42 clamps to bucket 4.
+	if h.Count(0) != 3 { // 0, 1.9, -3
+		t.Fatalf("bucket 0 count %d", h.Count(0))
+	}
+	if h.Count(1) != 1 || h.Count(2) != 1 || h.Count(4) != 2 {
+		t.Fatalf("bucket counts %v %v %v", h.Count(1), h.Count(2), h.Count(4))
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/7) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", got)
+	}
+	if h.Buckets() != 5 {
+		t.Fatalf("Buckets() = %d", h.Buckets())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramFractionEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("Fraction on empty histogram != 0")
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := FormatSeries([]Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}})
+	want := "1\t0.5000\n2\t1.0000\n"
+	if s != want {
+		t.Fatalf("FormatSeries = %q, want %q", s, want)
+	}
+}
+
+func TestQuantileAgainstSortedReference(t *testing.T) {
+	check := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := append([]float64(nil), clean...)
+		sort.Float64s(s)
+		// p=0 must be min, p=1 must be max.
+		return Quantile(clean, 0) == s[0] && Quantile(clean, 1) == s[len(s)-1]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
