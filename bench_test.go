@@ -12,6 +12,7 @@
 package footsteps_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -558,6 +559,44 @@ func BenchmarkGraphDetection(b *testing.B) {
 			b.ReportMetric(res.Fraudar[aas.NameBoostgram].Recall*100, "fraudar-boost-recall-pct")
 			b.ReportMetric(res.Signature[aas.NameBoostgram].Recall*100, "signal-boost-recall-pct")
 		}
+	}
+}
+
+// BenchmarkParallelStep measures whole-world tick throughput across
+// worker-pool sizes, driving the scheduler tick by tick via StepTick —
+// the parallel-stepping hot path. The event stream is byte-identical at
+// every worker count (see internal/simtest); this benchmark quantifies
+// the wall-clock side of that trade. Speedup requires physical cores:
+// on a single-CPU host the worker counts should bench within noise of
+// each other, which is itself worth watching — it bounds the
+// coordination overhead the pool adds when parallelism is unavailable.
+func BenchmarkParallelStep(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			totalTicks, totalEvents := 0, 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := footsteps.TestConfig()
+				cfg.Days = 10
+				cfg.Workers = workers
+				w := core.NewWorld(cfg)
+				w.RunAll()
+				deadline := w.Plat.Now().Add(time.Duration(cfg.Days) * clock.Day)
+				events := 0
+				w.Plat.Log().Subscribe(func(platform.Event) { events++ })
+				b.StartTimer()
+				for {
+					at, ran := w.Sched.StepTick()
+					if ran == 0 || at.After(deadline) {
+						break
+					}
+					totalTicks++
+				}
+				totalEvents += events
+			}
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/op")
+			b.ReportMetric(float64(totalEvents)/float64(b.N), "events/op")
+		})
 	}
 }
 

@@ -40,6 +40,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0/500, "customer-dynamics scale vs the paper")
 	days := flag.Int("days", 90, "measurement window in days")
 	quick := flag.Bool("quick", false, "small fast configuration")
+	workers := flag.Int("workers", 0, "worker pool size for parallel stepping (0 = sequential; same output either way)")
 	outDir := flag.String("o", "", "directory for machine-readable TSV exports (optional)")
 	record := flag.String("record", "", "write the full event stream to this FSEV1 capture file (business only)")
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
@@ -59,6 +60,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Scale = *scale
 		cfg.Days = *days
+		cfg.Workers = *workers
 		if *quick {
 			cfg.Scale = footsteps.TestConfig().Scale
 			cfg.Days = footsteps.TestConfig().Days

@@ -34,7 +34,7 @@ func ExampleStudy_Reciprocation() {
 	fmt.Printf("reciprocation rate in the paper's band: %v\n",
 		cell.InFollowRate > 0.05 && cell.InFollowRate < 0.2)
 	// Output:
-	// measured 543 outbound follows across 3 honeypots
+	// measured 559 outbound follows across 3 honeypots
 	// reciprocation rate in the paper's band: true
 }
 

@@ -1,6 +1,8 @@
 package footsteps
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"strings"
 	"testing"
 )
@@ -51,5 +53,39 @@ func TestStudyDeterminism(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatal("identical seeds produced different Table 5 output")
+	}
+}
+
+// TestStudyReportHashDeterminism is the end-to-end regression for
+// parallel stepping: the full business report must hash identically
+// across fresh World runs and across worker counts. Run with -cpu=1,4
+// in CI so the same assertions hold under different GOMAXPROCS.
+func TestStudyReportHashDeterminism(t *testing.T) {
+	smallCfg := func(workers int) Config {
+		cfg := TestConfig()
+		cfg.Days = 8
+		cfg.OrganicPopulation = 400
+		cfg.PoolSize = 300
+		cfg.VPNUsers = 20
+		cfg.Workers = workers
+		return cfg
+	}
+	hash := func(cfg Config) string {
+		study := NewStudy(cfg)
+		res, err := study.Business()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(FormatBusiness(res)))
+		return hex.EncodeToString(sum[:8])
+	}
+	seq := hash(smallCfg(0))
+	if again := hash(smallCfg(0)); again != seq {
+		t.Fatalf("two fresh sequential runs hashed differently: %s vs %s", seq, again)
+	}
+	for _, workers := range []int{4, 8} {
+		if h := hash(smallCfg(workers)); h != seq {
+			t.Errorf("workers=%d report hash %s differs from sequential %s", workers, h, seq)
+		}
 	}
 }

@@ -397,6 +397,11 @@ func (s *CollusionService) assignProduct(c *Customer) {
 	}
 }
 
+// dailyTick runs the daily lifecycle. Detector shipping and arrivals stay
+// serial; per-customer decisions (adaptation rollover, churn, home
+// activity) are planned in parallel from each customer's own stream, and
+// the platform-touching outcomes — logins, posts, tier renewals and
+// deliveries — apply serially in shard order.
 func (s *CollusionService) dailyTick(scale float64) {
 	if s.stopped {
 		return
@@ -413,33 +418,50 @@ func (s *CollusionService) dailyTick(scale float64) {
 		s.spawnCustomer()
 	}
 
+	alive := make([]*Customer, 0, len(s.customers))
 	for _, c := range s.customers {
-		if c.Churned {
-			continue
+		if !c.Churned {
+			alive = append(alive, c)
 		}
+	}
+	runSharded(s.steps, alive, func(c *Customer, emit func(lifeOp)) {
 		// Sources' daily adaptation windows roll for every enrolled
-		// account, managed or not (honeypots are sources too).
+		// account, managed or not (honeypots are sources too); the state
+		// is customer-local, so rolling it during planning is safe.
 		for _, ad := range c.adapt {
 			ad.endDay()
 		}
 		if !c.Managed {
-			continue
+			return
 		}
-		if c.LongTermIntent && s.rng.Bool(s.spec.Customers.DailyChurn) {
-			c.Churned = true
-			continue
+		op := lifeOp{c: c}
+		if c.LongTermIntent && c.rng.Bool(s.spec.Customers.DailyChurn) {
+			op.churn = true
+			emit(op)
+			return
 		}
 		if !s.activeAt(c, now) {
-			continue
+			return
 		}
 		// Home login and posting.
+		if c.ownSession != nil && c.rng.Bool(0.8) {
+			op.login = true
+			op.post = c.rng.Bool(0.55)
+		}
+		if op.login {
+			emit(op)
+		}
+	}, func(op lifeOp) {
+		c := op.c
+		if op.churn {
+			c.Churned = true
+			return
+		}
+		s.plat.Login(c.Username, c.Password, c.ownSession.Client())
 		posted := false
-		if c.ownSession != nil && s.rng.Bool(0.8) {
-			s.plat.Login(c.Username, c.Password, c.ownSession.Client())
-			if s.rng.Bool(0.55) {
-				if _, err := c.ownSession.Post(); err == nil {
-					posted = true
-				}
+		if op.post {
+			if _, err := c.ownSession.Post(); err == nil {
+				posted = true
 			}
 		}
 		// Tier subscribers: deliver the tier quantum onto each new photo,
@@ -459,27 +481,40 @@ func (s *CollusionService) dailyTick(scale float64) {
 				}
 			}
 		}
-	}
+	})
 }
 
-// hourTick processes the hour's free requests.
+// freeReq is one planned free-service request.
+type freeReq struct {
+	c *Customer
+	o Offering
+}
+
+// hourTick processes the hour's free requests: request counts and the
+// offering mix are planned in parallel from per-customer streams, then
+// each request is fulfilled serially (source selection draws from the
+// service stream during apply, where it is single-threaded).
 func (s *CollusionService) hourTick() {
 	if s.stopped {
 		return
 	}
 	now := s.plat.Now()
+	eligible := make([]*Customer, 0, len(s.customers))
 	for _, c := range s.customers {
 		if !c.Managed || !s.activeAt(c, now) || c.Product == PaidMonthlyTier || c.Product == PaidOneTime {
 			continue
 		}
-		n := s.rng.Poisson(s.freeRequestsPerDay / 24 * diurnal(now))
+		eligible = append(eligible, c)
+	}
+	runSharded(s.steps, eligible, func(c *Customer, emit func(freeReq)) {
+		n := c.rng.Poisson(s.freeRequestsPerDay / 24 * diurnal(now))
 		for i := 0; i < n; i++ {
 			// Request-type mix: like requests deliver twice the quantum of
 			// follow requests, so the per-request probabilities are set to
 			// make the delivered-action mix land on Table 11 (likes 63%,
 			// follows 35%, comments ~2%).
 			o := OfferLike
-			r := s.rng.Float64()
+			r := c.rng.Float64()
 			switch {
 			case r < 0.44 && s.spec.Offers(OfferLike):
 			case r < 0.97 && s.spec.Offers(OfferFollow):
@@ -487,9 +522,11 @@ func (s *CollusionService) hourTick() {
 			case s.spec.Offers(OfferComment):
 				o = OfferComment
 			}
-			s.RequestFree(c, o)
+			emit(freeReq{c: c, o: o})
 		}
-	}
+	}, func(req freeReq) {
+		s.RequestFree(req.c, req.o)
+	})
 }
 
 // ActiveCustomers returns the number of accounts currently engaged.

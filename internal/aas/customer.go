@@ -8,6 +8,7 @@ import (
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
 	"footsteps/internal/rng"
+	"footsteps/internal/step"
 )
 
 // PaidProduct identifies what a collusion-network customer bought.
@@ -87,6 +88,13 @@ type Customer struct {
 	// totals tallies actions the service has performed with the account,
 	// the numbers a customer's dashboard displays (Figure 1).
 	totals map[platform.ActionType]int
+
+	// rng is the customer's private random stream, forked from the
+	// service stream at enrollment. Every per-customer decision in the
+	// engines' planning phase draws from it, so partitioning customers
+	// into shards — on any number of workers — never changes the numbers
+	// any customer sees. See docs/DETERMINISM.md.
+	rng *rng.RNG
 }
 
 // Totals returns a copy of the service-performed action counts.
@@ -222,6 +230,10 @@ type base struct {
 	// §6.4 evasion move.
 	proxies *netsim.ProxyPool
 
+	// steps is the worker pool the engines' tick planning fans out on.
+	// nil plans inline; either way the apply sequence is identical.
+	steps *step.Pool
+
 	// GroundTruth tallies for validating platform-side estimates.
 	Revenue       float64
 	AdImpressions int
@@ -257,6 +269,10 @@ type Scheduler interface {
 // SetAPI switches the platform API the service's sessions use. Only
 // meaningful before any enrollment.
 func (b *base) SetAPI(kind platform.APIKind) { b.api = kind }
+
+// SetStepPool installs the worker pool used for parallel intent
+// generation during ticks. A nil pool (the default) plans inline.
+func (b *base) SetStepPool(p *step.Pool) { b.steps = p }
 
 // actionIP picks the source address for the next automation request.
 func (b *base) actionIP() netip.Addr {
@@ -305,6 +321,7 @@ func (b *base) Enroll(username, password string, wants []Offering) (*Customer, e
 		EnrolledAt: b.plat.Now(),
 		session:    sess,
 		adapt:      make(map[platform.ActionType]*adaptiveRate),
+		rng:        b.rng.Fork(uint64(len(b.customers))),
 	}
 	b.customers = append(b.customers, c)
 	b.byID[c.Account] = c

@@ -1,0 +1,47 @@
+package aas
+
+import (
+	"footsteps/internal/platform"
+	"footsteps/internal/step"
+)
+
+// plannedOp is one intended platform action for a customer, produced by
+// the hourly planning phase and executed during the serial apply.
+type plannedOp struct {
+	c      *Customer
+	action platform.ActionType
+	target platform.AccountID
+	post   platform.PostID
+}
+
+// lifeOp is one customer's planned daily lifecycle outcome: renewal,
+// churn, and the human's own home login/post. Fields a service does not
+// model simply stay false.
+type lifeOp struct {
+	c     *Customer
+	renew bool
+	churn bool
+	login bool
+	post  bool
+}
+
+// shardChunk is how many customers one planning shard covers. It is a
+// fixed constant — never derived from the worker count — because the
+// shard decomposition participates in the (shardID, seq) merge order
+// that makes the post-merge event stream a pure function of the seed.
+const shardChunk = 16
+
+// runSharded partitions actors into fixed-size shards and runs one
+// intent/apply cycle over them on the service's pool: plan is invoked
+// for every actor (concurrently across shards, in order within a
+// shard) and must only read shared state and draw from the actor's own
+// forked stream; apply receives the emitted intents serially in
+// (shard, emission) order and is the only place shared state mutates.
+func runSharded[T any](pool *step.Pool, actors []*Customer, plan func(c *Customer, emit func(T)), apply func(T)) {
+	bounds := step.Chunks(len(actors), shardChunk)
+	step.Run(pool, len(bounds), func(si int, emit func(T)) {
+		for _, c := range actors[bounds[si][0]:bounds[si][1]] {
+			plan(c, emit)
+		}
+	}, apply)
+}

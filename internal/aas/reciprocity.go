@@ -201,6 +201,10 @@ func (s *ReciprocityService) spawnCustomer() *Customer {
 }
 
 // dailyTick runs arrivals, renewals, churn, and customers' own activity.
+// Arrivals stay serial — they draw from the service stream and mutate the
+// enrollment tables — while the per-customer lifecycle decisions are
+// planned in parallel from each customer's own stream and applied
+// serially in shard order.
 func (s *ReciprocityService) dailyTick(scale float64) {
 	if s.stopped {
 		return
@@ -212,55 +216,90 @@ func (s *ReciprocityService) dailyTick(scale float64) {
 		s.spawnCustomer()
 	}
 
+	managed := make([]*Customer, 0, len(s.customers))
 	for _, c := range s.customers {
-		if !c.Managed || c.Churned {
-			continue
+		if c.Managed && !c.Churned {
+			managed = append(managed, c)
 		}
+	}
+	runSharded(s.steps, managed, func(c *Customer, emit func(lifeOp)) {
+		op := lifeOp{c: c}
 		// Long-term customers renew once the previous period lapses.
-		if c.LongTermIntent && now.After(c.EngagedUntil) && now.After(c.PaidThrough) {
-			s.Purchase(c)
-		}
+		op.renew = c.LongTermIntent && now.After(c.EngagedUntil) && now.After(c.PaidThrough)
 		// Churn hazard applies to paying customers.
-		if c.LongTermIntent && s.rng.Bool(s.spec.Customers.DailyChurn) {
-			c.Churned = true
-			continue
+		if c.LongTermIntent && c.rng.Bool(s.spec.Customers.DailyChurn) {
+			op.churn = true
+			emit(op)
+			return
 		}
-		if !s.activeAt(c, now) {
-			continue
+		// A renewal reactivates the account, so home activity is planned
+		// for customers active now or active once the renewal applies.
+		if !op.renew && !s.activeAt(c, now) {
+			return
 		}
 		// The human behind the account still uses it: daily home login
 		// (feeding geolocation) and occasional posting.
-		if c.ownSession != nil && s.rng.Bool(0.75) {
-			s.plat.Login(c.Username, c.Password, c.ownSession.Client())
-			if s.rng.Bool(0.45) {
-				c.ownSession.Post()
+		if c.ownSession != nil && c.rng.Bool(0.75) {
+			op.login = true
+			op.post = c.rng.Bool(0.45)
+		}
+		if op.renew || op.login {
+			emit(op)
+		}
+	}, func(op lifeOp) {
+		if op.renew {
+			s.Purchase(op.c)
+		}
+		if op.churn {
+			op.c.Churned = true
+			return
+		}
+		if op.login {
+			s.plat.Login(op.c.Username, op.c.Password, op.c.ownSession.Client())
+			if op.post {
+				op.c.ownSession.Post()
 			}
 		}
-	}
+	})
 }
 
-// hourTick performs one hour's slice of automation for every active account.
+// hourTick performs one hour's slice of automation for every active
+// account. Every stochastic decision — whether to post, how many actions
+// of each type, which targets — is planned in parallel from per-customer
+// streams against the pre-tick platform snapshot; the resulting intents
+// then execute serially in shard order. Outcome feedback (blocks, rate
+// limits, session revocation) happens during the serial apply, with the
+// same stop-this-action-type semantics the sequential loop had.
 func (s *ReciprocityService) hourTick() {
 	if s.stopped || len(s.pool) == 0 {
 		return
 	}
 	now := s.plat.Now()
-	endOfDay := now.Hour() == 23
-
+	active := make([]*Customer, 0, len(s.customers))
 	for _, c := range s.customers {
-		if !s.activeAt(c, now) {
-			continue
+		if s.activeAt(c, now) {
+			active = append(active, c)
 		}
-		s.driveCustomer(c, now)
-		if endOfDay {
-			for _, a := range c.adapt {
-				a.endDay()
+	}
+	a := &opApplier{s: s, skip: make(map[platform.ActionType]bool)}
+	runSharded(s.steps, active, func(c *Customer, emit func(plannedOp)) {
+		s.planCustomer(c, now, emit)
+	}, a.apply)
+	if now.Hour() == 23 {
+		for _, c := range active {
+			for _, ad := range c.adapt {
+				ad.endDay()
 			}
 		}
 	}
 }
 
-func (s *ReciprocityService) driveCustomer(c *Customer, now time.Time) {
+// planCustomer makes every stochastic decision for one customer's hour —
+// the parallel phase. It draws only from the customer's own forked
+// stream, reads platform state without writing it, and emits the actions
+// the service intends to perform.
+func (s *ReciprocityService) planCustomer(c *Customer, now time.Time, emit func(plannedOp)) {
+	r := c.rng
 	// Post automation (Table 1: Instazood and Boostgram sell posts): the
 	// service publishes content on the customer's behalf, roughly daily.
 	if c.wants(s.spec, OfferPost) {
@@ -269,13 +308,8 @@ func (s *ReciprocityService) driveCustomer(c *Customer, now time.Time) {
 			if rate <= 0 {
 				rate = 1 // default for explicit post requests
 			}
-			if s.rng.Bool(rate / 24) {
-				if _, err := c.session.Post(); err == platform.ErrSessionRevoked {
-					c.Churned = true
-					return
-				} else if err == nil {
-					c.countAction(platform.ActionPost)
-				}
+			if r.Bool(rate / 24) {
+				emit(plannedOp{c: c, action: platform.ActionPost})
 			}
 		}
 	}
@@ -303,69 +337,99 @@ func (s *ReciprocityService) driveCustomer(c *Customer, now time.Time) {
 		if remaining <= 0 {
 			continue
 		}
-		n := s.rng.Poisson(plan / 24 * diurnal(now))
+		n := r.Poisson(plan / 24 * diurnal(now))
 		if n > remaining {
 			n = remaining
 		}
 		for i := 0; i < n; i++ {
-			if !s.performOne(c, w.action) {
-				break
+			target, pid, ok := s.pickTarget(r, c, w.action != platform.ActionFollow)
+			if !ok || target == c.Account {
+				continue
 			}
+			emit(plannedOp{c: c, action: w.action, target: target, post: pid})
 		}
 	}
-	s.processUnfollows(c, now)
+	s.planUnfollows(c, now, emit)
 }
 
-// performOne issues a single outbound action; it returns false when the
-// customer should stop this action type for now (block or revocation).
-func (s *ReciprocityService) performOne(c *Customer, t platform.ActionType) bool {
-	target, pid, ok := s.pickTarget(c, t != platform.ActionFollow)
-	if !ok || target == c.Account {
-		return true
+// opApplier executes a tick's planned actions serially, carrying the
+// per-customer feedback the sequential loop got inline: a block or rate
+// limit stops the rest of that customer's batch for the same action
+// type, and a revoked session churns the customer, voiding the rest of
+// their batch. Intents arrive grouped by customer, so the skip state
+// resets whenever the current customer changes.
+type opApplier struct {
+	s    *ReciprocityService
+	cur  *Customer
+	skip map[platform.ActionType]bool
+}
+
+func (a *opApplier) apply(op plannedOp) {
+	if op.c != a.cur {
+		a.cur = op.c
+		clear(a.skip)
+	}
+	s, c := a.s, op.c
+	if c.Churned || a.skip[op.action] {
+		return
+	}
+	switch op.action {
+	case platform.ActionPost:
+		if _, err := c.session.Post(); err == platform.ErrSessionRevoked {
+			c.Churned = true
+		} else if err == nil {
+			c.countAction(platform.ActionPost)
+		}
+		return
+	case platform.ActionUnfollow:
+		err := c.session.Unfollow(op.target)
+		if err == platform.ErrSessionRevoked {
+			c.Churned = true
+		} else if err == nil {
+			c.countAction(platform.ActionUnfollow)
+		}
+		return
 	}
 	var err error
-	switch t {
+	switch op.action {
 	case platform.ActionLike:
-		err = c.session.Like(pid)
+		err = c.session.Like(op.post)
 	case platform.ActionFollow:
-		err = c.session.Follow(target)
+		err = c.session.Follow(op.target)
 		if err == nil && c.unfollowAfter {
-			c.pushUnfollow(target, s.plat.Now().Add(s.unfollowDelay))
+			c.pushUnfollow(op.target, s.plat.Now().Add(s.unfollowDelay))
 		}
 	case platform.ActionComment:
-		err = c.session.Comment(pid, "nice!")
+		err = c.session.Comment(op.post, "nice!")
 	}
-	ad := s.adaptFor(c, t)
+	ad := s.adaptFor(c, op.action)
 	switch err {
 	case nil:
 		ad.todayCount++
-		c.countAction(t)
-		return true
+		c.countAction(op.action)
 	case platform.ErrBlocked:
-		if s.adaptTypes[t] {
+		if s.adaptTypes[op.action] {
 			ad.onBlocked(s.plat.Now(), probeInterval)
 		}
-		return false
+		a.skip[op.action] = true
 	case platform.ErrRateLimited:
-		return false
+		a.skip[op.action] = true
 	case platform.ErrSessionRevoked:
 		c.Churned = true // customer reset their password; account lost
-		return false
-	default:
-		return true
 	}
 }
 
 // pickTarget chooses the next recipient. Customers with hashtag lists are
 // served from the platform's hashtag feeds; everyone else from the
 // service's curated pool. needPost selects a post for like/comment
-// actions.
-func (s *ReciprocityService) pickTarget(c *Customer, needPost bool) (platform.AccountID, platform.PostID, bool) {
+// actions. It runs during planning, so it draws from the caller's stream
+// and only reads platform state.
+func (s *ReciprocityService) pickTarget(r *rng.RNG, c *Customer, needPost bool) (platform.AccountID, platform.PostID, bool) {
 	if len(c.Hashtags) > 0 {
-		tag := c.Hashtags[s.rng.Intn(len(c.Hashtags))]
+		tag := c.Hashtags[r.Intn(len(c.Hashtags))]
 		posts := s.plat.RecentByTag(tag, 64)
 		if len(posts) > 0 {
-			pid := posts[s.rng.Intn(len(posts))]
+			pid := posts[r.Intn(len(posts))]
 			if author, ok := s.plat.PostAuthor(pid); ok {
 				return author, pid, true
 			}
@@ -375,7 +439,7 @@ func (s *ReciprocityService) pickTarget(c *Customer, needPost bool) (platform.Ac
 	if len(s.pool) == 0 {
 		return 0, 0, false
 	}
-	target := s.pool[s.rng.Intn(len(s.pool))]
+	target := s.pool[r.Intn(len(s.pool))]
 	if !needPost {
 		return target, 0, true
 	}
@@ -394,8 +458,9 @@ func (c *Customer) pushUnfollow(target platform.AccountID, due time.Time) {
 	c.recentFollows = append(c.recentFollows, pendingUnfollow{target: target, due: due})
 }
 
-// processUnfollows issues due auto-unfollows, a handful per hour.
-func (s *ReciprocityService) processUnfollows(c *Customer, now time.Time) {
+// planUnfollows emits due auto-unfollows, a handful per hour. The pending
+// queue is customer-local, so popping it during planning is safe.
+func (s *ReciprocityService) planUnfollows(c *Customer, now time.Time, emit func(plannedOp)) {
 	if !c.unfollowAfter || !c.wants(s.spec, OfferUnfollow) {
 		return
 	}
@@ -403,14 +468,7 @@ func (s *ReciprocityService) processUnfollows(c *Customer, now time.Time) {
 	for budget > 0 && len(c.recentFollows) > 0 && !c.recentFollows[0].due.After(now) {
 		target := c.recentFollows[0].target
 		c.recentFollows = c.recentFollows[1:]
-		err := c.session.Unfollow(target)
-		if err == platform.ErrSessionRevoked {
-			c.Churned = true
-			return
-		}
-		if err == nil {
-			c.countAction(platform.ActionUnfollow)
-		}
+		emit(plannedOp{c: c, action: platform.ActionUnfollow, target: target})
 		budget--
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
 	"footsteps/internal/rng"
+	"footsteps/internal/step"
 )
 
 // Profile describes one organic member.
@@ -132,6 +133,10 @@ type Population struct {
 	pools    map[string][]platform.AccountID
 	nextName int
 
+	// steps is the worker pool daily posting plans fan out on; nil plans
+	// inline with an identical apply sequence.
+	steps *step.Pool
+
 	// Reacted counts reciprocal actions issued, by channel, for tests and
 	// diagnostics.
 	Reacted map[string]int
@@ -141,6 +146,10 @@ type member struct {
 	profile Profile
 	session *platform.Session
 	tag     string // hashtag interest, set by TagPool
+
+	// rng is the member's private stream, forked at creation, so daily
+	// posting decisions stay identical under any shard partitioning.
+	rng *rng.RNG
 }
 
 // New creates an empty population using the given model.
@@ -161,6 +170,10 @@ func New(model Model, plat *platform.Platform, sched *clock.Scheduler, r *rng.RN
 	}
 	return p
 }
+
+// SetStepPool installs the worker pool used for parallel planning of
+// daily posting. A nil pool (the default) plans inline.
+func (p *Population) SetStepPool(pool *step.Pool) { p.steps = pool }
 
 // AddMembers grows the general population by n members drawn from
 // GeneralSpec and returns their IDs.
@@ -206,7 +219,7 @@ func (p *Population) addFromSpec(label string, spec PoolSpec, n int) []platform.
 			panic(fmt.Sprintf("behavior: register organic member: %v", err))
 		}
 		prof.ID = id
-		p.members[id] = &member{profile: prof}
+		p.members[id] = &member{profile: prof, rng: p.rng.Fork(uint64(p.nextName))}
 		p.ids = append(p.ids, id)
 		ids = append(ids, id)
 	}
@@ -463,20 +476,28 @@ func (p *Population) StartPosting(label string, days int, dailyProb float64) {
 		return
 	}
 	p.sched.EveryDay(13*time.Hour+30*time.Minute, days, func(int) {
-		for _, id := range ids {
-			m := p.members[id]
-			if m == nil || !p.rng.Bool(dailyProb) {
-				continue
+		// Plan phase: each member's post decision comes from their own
+		// stream, sharded independently of worker count; the posts — which
+		// mutate the platform and may lazily log the member in — apply
+		// serially in shard order.
+		bounds := step.Chunks(len(ids), 64)
+		step.Run(p.steps, len(bounds), func(si int, emit func(*member)) {
+			for _, id := range ids[bounds[si][0]:bounds[si][1]] {
+				m := p.members[id]
+				if m != nil && m.rng.Bool(dailyProb) {
+					emit(m)
+				}
 			}
+		}, func(m *member) {
 			sess := p.session(m)
 			if sess == nil {
-				continue
+				return
 			}
 			if m.tag != "" {
 				sess.PostTagged(m.tag)
 			} else {
 				sess.Post()
 			}
-		}
+		})
 	})
 }

@@ -6,6 +6,7 @@ import (
 )
 
 func TestClockStartsAtEpoch(t *testing.T) {
+	t.Parallel()
 	c := New()
 	if !c.Now().Equal(Epoch) {
 		t.Fatalf("new clock at %v, want %v", c.Now(), Epoch)
@@ -16,6 +17,7 @@ func TestClockStartsAtEpoch(t *testing.T) {
 }
 
 func TestAdvance(t *testing.T) {
+	t.Parallel()
 	c := New()
 	c.Advance(36 * time.Hour)
 	if c.Day() != 1 {
@@ -24,6 +26,7 @@ func TestAdvance(t *testing.T) {
 }
 
 func TestAdvanceNegativePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("negative Advance did not panic")
@@ -33,6 +36,7 @@ func TestAdvanceNegativePanics(t *testing.T) {
 }
 
 func TestSchedulerOrdering(t *testing.T) {
+	t.Parallel()
 	c := New()
 	s := NewScheduler(c)
 	var order []int
@@ -46,6 +50,7 @@ func TestSchedulerOrdering(t *testing.T) {
 }
 
 func TestSchedulerSameInstantFIFO(t *testing.T) {
+	t.Parallel()
 	s := NewScheduler(New())
 	var order []int
 	at := Epoch.Add(time.Hour)
@@ -62,6 +67,7 @@ func TestSchedulerSameInstantFIFO(t *testing.T) {
 }
 
 func TestSchedulerClockTracksEvents(t *testing.T) {
+	t.Parallel()
 	c := New()
 	s := NewScheduler(c)
 	var seen time.Time
@@ -76,6 +82,7 @@ func TestSchedulerClockTracksEvents(t *testing.T) {
 }
 
 func TestRunUntilStopsAtDeadline(t *testing.T) {
+	t.Parallel()
 	s := NewScheduler(New())
 	ran := 0
 	s.After(2*Day, func() { ran++ })
@@ -95,6 +102,7 @@ func TestRunUntilStopsAtDeadline(t *testing.T) {
 }
 
 func TestSchedulePastPanics(t *testing.T) {
+	t.Parallel()
 	c := New()
 	c.Advance(time.Hour)
 	s := NewScheduler(c)
@@ -107,6 +115,7 @@ func TestSchedulePastPanics(t *testing.T) {
 }
 
 func TestEventsCanScheduleEvents(t *testing.T) {
+	t.Parallel()
 	s := NewScheduler(New())
 	hits := 0
 	var chain func()
@@ -124,6 +133,7 @@ func TestEventsCanScheduleEvents(t *testing.T) {
 }
 
 func TestEveryDay(t *testing.T) {
+	t.Parallel()
 	c := New()
 	s := NewScheduler(c)
 	var days []int
@@ -147,6 +157,7 @@ func TestEveryDay(t *testing.T) {
 }
 
 func TestEveryDaySkipsPastOffset(t *testing.T) {
+	t.Parallel()
 	c := New()
 	c.Advance(12 * time.Hour) // past 09:00 today
 	s := NewScheduler(c)
@@ -163,6 +174,7 @@ func TestEveryDaySkipsPastOffset(t *testing.T) {
 }
 
 func TestDrain(t *testing.T) {
+	t.Parallel()
 	s := NewScheduler(New())
 	total := 0
 	for i := 1; i <= 4; i++ {

@@ -50,6 +50,12 @@ type Config struct {
 	// it. At simulation scale the default is generous enough that only
 	// services concentrating volume on a handful of addresses feel it.
 	IPDailyBudget int
+
+	// Workers bounds the goroutines used for per-tick intent planning.
+	// 0 or 1 steps the world sequentially. Any value produces the same
+	// event stream for the same seed — worker count changes wall-clock
+	// time, never bytes (see docs/DETERMINISM.md).
+	Workers int
 }
 
 // scaleFor returns the effective customer-dynamics scale for a service.

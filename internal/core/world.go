@@ -13,6 +13,7 @@ import (
 	"footsteps/internal/platform"
 	"footsteps/internal/rng"
 	"footsteps/internal/socialgraph"
+	"footsteps/internal/step"
 )
 
 // World is one fully wired simulated universe: the platform, the organic
@@ -36,6 +37,10 @@ type World struct {
 
 	// ProxyASNs back the evasion proxy networks of the §6.4 epilogue.
 	ProxyASNs []netsim.ASN
+
+	// Steps is the worker pool behind parallel per-tick stepping; nil
+	// when cfg.Workers <= 1, in which case planning runs inline.
+	Steps *step.Pool
 
 	vpnSessions []*platform.Session
 	celebIDs    []platform.AccountID
@@ -78,6 +83,9 @@ func NewWorld(cfg Config) *World {
 		Coll:      make(map[string]*aas.CollusionService),
 		ProxyASNs: proxyASNs,
 	}
+	if cfg.Workers > 1 {
+		w.Steps = step.NewPool(cfg.Workers)
+	}
 
 	// Organic population: honeypot monitoring must observe reciprocation,
 	// so the framework subscribes before the population acts; subscriber
@@ -86,6 +94,7 @@ func NewWorld(cfg Config) *World {
 	w.Honeypots.Wire()
 
 	w.Pop = behavior.New(behavior.DefaultModel(), plat, sched, root.Split("population"))
+	w.Pop.SetStepPool(w.Steps)
 	w.Pop.AddMembers(cfg.OrganicPopulation)
 
 	// High-profile celebrity accounts for lived-in honeypot setup.
@@ -107,6 +116,7 @@ func NewWorld(cfg Config) *World {
 		switch spec.Technique {
 		case aas.TechniqueReciprocity:
 			svc := aas.NewReciprocityService(spec, plat, sched, root.Split("svc-"+spec.Name))
+			svc.SetStepPool(w.Steps)
 			pool := w.Pop.AddCuratedPool(spec.Name, spec.TargetPool, cfg.PoolSize)
 			svc.SetTargetPool(pool)
 			w.Recip[spec.Name] = svc
@@ -115,7 +125,9 @@ func NewWorld(cfg Config) *World {
 			if spec.Name == aas.NameFollowersgratis {
 				ipPool = 4 // §5: concentrated on very few addresses
 			}
-			w.Coll[spec.Name] = aas.NewCollusionService(spec, plat, sched, root.Split("svc-"+spec.Name), ipPool)
+			svc := aas.NewCollusionService(spec, plat, sched, root.Split("svc-"+spec.Name), ipPool)
+			svc.SetStepPool(w.Steps)
+			w.Coll[spec.Name] = svc
 		}
 	}
 
@@ -167,21 +179,43 @@ func (w *World) setupVPNUsers() {
 	if len(members) == 0 {
 		return
 	}
-	// Modest daily organic activity through the VPN.
+	// Each VPN user draws daily activity from a private forked stream so
+	// the plan phase can shard them across workers without changing what
+	// any user does.
+	userRNG := make([]*rng.RNG, len(w.vpnSessions))
+	for i := range userRNG {
+		userRNG[i] = r.Fork(uint64(i))
+	}
+	type vpnOp struct {
+		sess   *platform.Session
+		like   bool
+		target platform.AccountID
+		post   platform.PostID
+	}
+	// Modest daily organic activity through the VPN: action counts and
+	// targets are planned in parallel against the pre-tick snapshot, then
+	// the likes and follows apply serially in user order.
 	w.Sched.EveryDay(11*time.Hour, w.Cfg.Days+7, func(int) {
-		for _, sess := range w.vpnSessions {
-			n := 2 + r.Intn(25)
+		step.Run(w.Steps, len(w.vpnSessions), func(i int, emit func(vpnOp)) {
+			ur := userRNG[i]
+			n := 2 + ur.Intn(25)
 			for k := 0; k < n; k++ {
-				target := members[r.Intn(len(members))]
-				if r.Bool(0.8) {
+				target := members[ur.Intn(len(members))]
+				if ur.Bool(0.8) {
 					if pid, ok := w.Plat.LatestPost(target); ok {
-						sess.Like(pid)
+						emit(vpnOp{sess: w.vpnSessions[i], like: true, post: pid})
 					}
 				} else {
-					sess.Follow(target)
+					emit(vpnOp{sess: w.vpnSessions[i], target: target})
 				}
 			}
-		}
+		}, func(op vpnOp) {
+			if op.like {
+				op.sess.Like(op.post)
+			} else {
+				op.sess.Follow(op.target)
+			}
+		})
 	})
 }
 

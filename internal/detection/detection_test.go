@@ -17,6 +17,7 @@ func ev(actor, target platform.AccountID, typ platform.ActionType, asn netsim.AS
 }
 
 func TestClassifierTrainAndClassify(t *testing.T) {
+	t.Parallel()
 	c := NewClassifier()
 	enrolled := map[platform.AccountID]string{10: "Boostgram", 11: "Insta*", 12: "Insta*"}
 	events := []platform.Event{
@@ -62,6 +63,7 @@ func TestClassifierTrainAndClassify(t *testing.T) {
 }
 
 func TestCalibratorMixedASN(t *testing.T) {
+	t.Parallel()
 	// ASN 100 carries both benign and AAS traffic → threshold is the 99th
 	// percentile of benign per-account daily counts.
 	c := NewClassifier()
@@ -92,6 +94,7 @@ func TestCalibratorMixedASN(t *testing.T) {
 }
 
 func TestCalibratorDedicatedASN(t *testing.T) {
+	t.Parallel()
 	c := NewClassifier()
 	c.Learn(Signature{Fingerprint: "spoof", ASN: 200}, "Svc")
 	cal := NewCalibrator(c.Classify)
@@ -114,6 +117,7 @@ func TestCalibratorDedicatedASN(t *testing.T) {
 }
 
 func TestCalibratorIgnoresIrrelevantEvents(t *testing.T) {
+	t.Parallel()
 	c := NewClassifier()
 	c.Learn(Signature{Fingerprint: "spoof", ASN: 300}, "Svc")
 	cal := NewCalibrator(c.Classify)
@@ -131,6 +135,7 @@ func TestCalibratorIgnoresIrrelevantEvents(t *testing.T) {
 }
 
 func TestThresholdLookupMissingASN(t *testing.T) {
+	t.Parallel()
 	th := Thresholds{PerASN: map[netsim.ASN]map[platform.ActionType]float64{}}
 	if _, ok := th.Lookup(999, platform.ActionLike); ok {
 		t.Fatal("lookup on unknown ASN succeeded")
@@ -151,6 +156,7 @@ func newTestTracker() *Tracker {
 }
 
 func TestTrackerDailyActivityAndLongTerm(t *testing.T) {
+	t.Parallel()
 	tr := newTestTracker()
 	day := func(d int) time.Time { return clock.Epoch.Add(time.Duration(d) * clock.Day) }
 
@@ -191,6 +197,7 @@ func TestTrackerDailyActivityAndLongTerm(t *testing.T) {
 }
 
 func TestTrackerInboundLikesAndPeakHourly(t *testing.T) {
+	t.Parallel()
 	tr := newTestTracker()
 	at := clock.Epoch
 	// 200 likes to post 7 of account 9 within one hour (paid-burst shape),
@@ -220,6 +227,7 @@ func TestTrackerInboundLikesAndPeakHourly(t *testing.T) {
 }
 
 func TestTrackerIgnoresUnclassified(t *testing.T) {
+	t.Parallel()
 	tr := newTestTracker()
 	e := trackedEvent(1, 2, platform.ActionLike, clock.Epoch, 1)
 	e.Client = "mobile-official"
@@ -237,6 +245,7 @@ func TestTrackerIgnoresUnclassified(t *testing.T) {
 }
 
 func TestTrackerLoginMarksEnrollment(t *testing.T) {
+	t.Parallel()
 	tr := newTestTracker()
 	login := trackedEvent(42, 0, platform.ActionLogin, clock.Epoch, 0)
 	tr.Observe(login)
@@ -250,6 +259,7 @@ func TestTrackerLoginMarksEnrollment(t *testing.T) {
 }
 
 func TestAccountActivityEmpty(t *testing.T) {
+	t.Parallel()
 	a := &AccountActivity{
 		Daily:        map[int]map[platform.ActionType]int{},
 		InboundDaily: map[int]map[platform.ActionType]int{},

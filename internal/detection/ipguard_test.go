@@ -17,6 +17,7 @@ func guardReq(ip string, client string, at time.Time) platform.Event {
 }
 
 func TestIPVolumeGuardCapsPerIP(t *testing.T) {
+	t.Parallel()
 	g := NewIPVolumeGuard(3)
 	at := clock.Epoch
 	for i := 0; i < 3; i++ {
@@ -37,6 +38,7 @@ func TestIPVolumeGuardCapsPerIP(t *testing.T) {
 }
 
 func TestIPVolumeGuardDailyReset(t *testing.T) {
+	t.Parallel()
 	g := NewIPVolumeGuard(1)
 	at := clock.Epoch
 	g.Check(guardReq("10.0.0.1", "x", at))
@@ -49,6 +51,7 @@ func TestIPVolumeGuardDailyReset(t *testing.T) {
 }
 
 func TestIPVolumeGuardPassesLogins(t *testing.T) {
+	t.Parallel()
 	g := NewIPVolumeGuard(1)
 	at := clock.Epoch
 	for i := 0; i < 5; i++ {
@@ -61,6 +64,7 @@ func TestIPVolumeGuardPassesLogins(t *testing.T) {
 }
 
 func TestIPVolumeGuardDisabled(t *testing.T) {
+	t.Parallel()
 	g := NewIPVolumeGuard(0)
 	at := clock.Epoch
 	for i := 0; i < 100; i++ {
@@ -71,6 +75,7 @@ func TestIPVolumeGuardDisabled(t *testing.T) {
 }
 
 func TestChainFirstVerdictWins(t *testing.T) {
+	t.Parallel()
 	blockLikes := platform.GatekeeperFunc(func(req platform.Event) platform.Verdict {
 		if req.Type == platform.ActionLike {
 			return platform.Verdict{Kind: platform.VerdictBlock}

@@ -44,6 +44,7 @@ func sampleEvents() []platform.Event {
 }
 
 func TestBinaryRoundTrip(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf)
 	if err != nil {
@@ -81,6 +82,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 }
 
 func TestBinaryRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	check := func(seq uint32, typ, outcome uint8, actor, target, post uint32, asn uint16, hours uint16, flags uint8) bool {
 		ev := platform.Event{
 			Seq:         uint64(seq),
@@ -113,6 +115,7 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 }
 
 func TestStringTableDeduplicates(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	ev := sampleEvents()[0]
@@ -137,6 +140,7 @@ func TestStringTableDeduplicates(t *testing.T) {
 }
 
 func TestBadMagic(t *testing.T) {
+	t.Parallel()
 	if _, err := NewReader(strings.NewReader("NOTFSEV stream")); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v", err)
 	}
@@ -146,6 +150,7 @@ func TestBadMagic(t *testing.T) {
 }
 
 func TestTruncatedStream(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Write(sampleEvents()[0])
@@ -162,6 +167,7 @@ func TestTruncatedStream(t *testing.T) {
 }
 
 func TestAttachCapturesLiveStream(t *testing.T) {
+	t.Parallel()
 	var log platform.EventLog
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
@@ -182,6 +188,7 @@ func TestAttachCapturesLiveStream(t *testing.T) {
 }
 
 func TestWriteJSONL(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
 		t.Fatal(err)
@@ -206,6 +213,7 @@ func TestWriteJSONL(t *testing.T) {
 }
 
 func TestReaderStopsAtEOFCleanly(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
 	w.Flush()

@@ -1,0 +1,102 @@
+package eventio
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+)
+
+// FuzzEventRoundTrip checks that any event the platform can emit — every
+// action type, every outcome/API/flag combination, arbitrary identifiers,
+// addresses, and client fingerprints — survives a binary encode/decode
+// unchanged, including the string-table interning path (each event is
+// written twice so the second write exercises the table hit).
+func FuzzEventRoundTrip(f *testing.F) {
+	// One seed per action kind, exercising distinct flag and IP shapes.
+	for kind := byte(0); kind < 6; kind++ {
+		f.Add(uint64(kind)+1, int64(1504224000000000000)+int64(kind), kind,
+			uint64(10+kind), uint64(20+kind), uint64(30+kind),
+			uint32(0x0a000001)<<(kind%3), uint32(64496)+uint32(kind),
+			"mobile-official", kind)
+	}
+	f.Fuzz(func(t *testing.T, seq uint64, nanos int64, kind byte,
+		actor, target, post uint64, ipBits, asn uint32, client string, flags byte) {
+		if len(client) > 1<<16 {
+			client = client[:1<<16] // the reader's string sanity cap
+		}
+		ev := platform.Event{
+			Seq:         seq,
+			Time:        time.Unix(0, nanos).UTC(),
+			Type:        platform.ActionType(kind % 6),
+			Actor:       platform.AccountID(actor),
+			Target:      platform.AccountID(target),
+			Post:        platform.PostID(post),
+			ASN:         netsim.ASN(asn),
+			Client:      client,
+			Outcome:     platform.Outcome(flags & 0x3),
+			API:         platform.APIKind((flags >> 2) & 0x1),
+			Enforcement: flags&(1<<3) != 0,
+			Duplicate:   flags&(1<<4) != 0,
+		}
+		if ipBits != 0 {
+			ev.IP = netip.AddrFrom4([4]byte{byte(ipBits >> 24), byte(ipBits >> 16), byte(ipBits >> 8), byte(ipBits)})
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatalf("new writer: %v", err)
+		}
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("new reader: %v", err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("decoded %d events, want 2", len(got))
+		}
+		for i, g := range got {
+			if g.Seq != ev.Seq || !g.Time.Equal(ev.Time) || g.Type != ev.Type ||
+				g.Actor != ev.Actor || g.Target != ev.Target || g.Post != ev.Post ||
+				g.IP != ev.IP || g.ASN != ev.ASN || g.Client != ev.Client ||
+				g.Outcome != ev.Outcome || g.API != ev.API ||
+				g.Enforcement != ev.Enforcement || g.Duplicate != ev.Duplicate {
+				t.Fatalf("event %d mutated in round trip:\n got %+v\nwant %+v", i, g, ev)
+			}
+		}
+	})
+}
+
+// FuzzReaderNoPanic feeds arbitrary bytes to the decoder after a valid
+// header: malformed streams must produce errors, never panics or runaway
+// allocations.
+func FuzzReaderNoPanic(f *testing.F) {
+	f.Add([]byte{opEvent, 1, 2, 3})
+	f.Add([]byte{opString, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{7, 7, 7})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		stream := append(append([]byte(nil), magic...), body...)
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		_, _ = r.ReadAll()
+	})
+}

@@ -33,6 +33,7 @@ func plant(r *rng.RNG, fraudSrcs, fraudTgts, bgSrcs, bgTgts, bgEdges int) (*Bipa
 }
 
 func TestDetectRecoversPlantedBlock(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	b, truth := plant(r, 30, 30, 500, 500, 2000)
 	res := Detect(b)
@@ -50,6 +51,7 @@ func TestDetectRecoversPlantedBlock(t *testing.T) {
 }
 
 func TestDetectResistsCamouflage(t *testing.T) {
+	t.Parallel()
 	// Fraud sources also spray edges at popular organic targets (the
 	// camouflage strategy). Column damping keeps the block detectable.
 	r := rng.New(2)
@@ -76,6 +78,7 @@ func TestDetectResistsCamouflage(t *testing.T) {
 }
 
 func TestDetectEmptyGraph(t *testing.T) {
+	t.Parallel()
 	res := Detect(NewBipartite())
 	if res.Size() != 0 || res.Score != 0 {
 		t.Fatalf("empty graph result %+v", res)
@@ -83,6 +86,7 @@ func TestDetectEmptyGraph(t *testing.T) {
 }
 
 func TestDetectSingleEdge(t *testing.T) {
+	t.Parallel()
 	b := NewBipartite()
 	b.AddEdge(1, 2)
 	res := Detect(b)
@@ -95,6 +99,7 @@ func TestDetectSingleEdge(t *testing.T) {
 }
 
 func TestDetectKFindsMultipleBlocks(t *testing.T) {
+	t.Parallel()
 	b := NewBipartite()
 	// Two disjoint dense blocks of different sizes.
 	for s := 0; s < 20; s++ {
@@ -122,12 +127,14 @@ func TestDetectKFindsMultipleBlocks(t *testing.T) {
 }
 
 func TestDetectKZero(t *testing.T) {
+	t.Parallel()
 	if DetectK(NewBipartite(), 0, 1) != nil {
 		t.Fatal("k=0 returned blocks")
 	}
 }
 
 func TestPrecisionRecallEdgeCases(t *testing.T) {
+	t.Parallel()
 	p, r := PrecisionRecall(nil, map[NodeID]bool{1: true})
 	if p != 0 || r != 0 {
 		t.Fatal("empty detection should score zero")
@@ -139,6 +146,7 @@ func TestPrecisionRecallEdgeCases(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
+	t.Parallel()
 	s := Result{Sources: []NodeID{1}, Targets: []NodeID{2, 3}, Score: 1.5}.String()
 	if !strings.Contains(s, "1 sources") || !strings.Contains(s, "2 targets") {
 		t.Fatalf("string %q", s)
@@ -149,6 +157,7 @@ func TestResultString(t *testing.T) {
 // best possible average degree bound (edges per node is an upper bound on
 // g when weights ≤ 1), and all returned nodes existed in the graph.
 func TestDetectInvariants(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint16, nEdges uint8) bool {
 		r := rng.New(uint64(seed))
 		b := NewBipartite()

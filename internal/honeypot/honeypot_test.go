@@ -49,6 +49,7 @@ func (w *world) celebrities(t *testing.T, n int) []platform.AccountID {
 }
 
 func TestCreateEmptyAccount(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 1)
 	a, err := w.fw.Create(Empty)
 	if err != nil {
@@ -70,6 +71,7 @@ func TestCreateEmptyAccount(t *testing.T) {
 }
 
 func TestCreateLivedInFollowsCelebrities(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 2)
 	w.fw.SetHighProfile(w.celebrities(t, 25))
 	a, err := w.fw.Create(LivedIn)
@@ -95,6 +97,7 @@ func TestCreateLivedInFollowsCelebrities(t *testing.T) {
 }
 
 func TestMonitoringCountsDirections(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 3)
 	a, _ := w.fw.Create(Empty)
 	b, _ := w.fw.Create(Empty)
@@ -123,6 +126,7 @@ func TestMonitoringCountsDirections(t *testing.T) {
 }
 
 func TestReciprocationRateDedupsActors(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 4)
 	a, _ := w.fw.Create(Empty)
 	// Manually shape counters: 100 outbound follows, 12 distinct actors
@@ -142,6 +146,7 @@ func TestReciprocationRateDedupsActors(t *testing.T) {
 }
 
 func TestInactiveBaselineStaysQuiet(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 5)
 	inactive, err := w.fw.CreateBatch(Inactive, 50)
 	if err != nil {
@@ -164,6 +169,7 @@ func TestInactiveBaselineStaysQuiet(t *testing.T) {
 }
 
 func TestBaselineDetectsNoise(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 6)
 	a, _ := w.fw.Create(Inactive)
 	b, _ := w.fw.Create(Empty)
@@ -176,6 +182,7 @@ func TestBaselineDetectsNoise(t *testing.T) {
 }
 
 func TestDeleteRemovesActionsAndStopsMonitoring(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 7)
 	a, _ := w.fw.Create(Empty)
 	b, _ := w.fw.Create(Empty)
@@ -208,6 +215,7 @@ func TestDeleteRemovesActionsAndStopsMonitoring(t *testing.T) {
 }
 
 func TestDeleteAll(t *testing.T) {
+	t.Parallel()
 	w := newWorld(t, 8)
 	w.fw.CreateBatch(Empty, 5)
 	w.fw.CreateBatch(Inactive, 5)
@@ -222,6 +230,7 @@ func TestDeleteAll(t *testing.T) {
 }
 
 func TestEnrollmentAttribution(t *testing.T) {
+	t.Parallel()
 	// End-to-end: honeypot enrolled with a reciprocity AAS receives
 	// reciprocal actions attributable to that service; enforcement
 	// removals are tallied separately.
@@ -260,6 +269,7 @@ func TestEnrollmentAttribution(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if Empty.String() != "empty" || LivedIn.String() != "lived-in" ||
 		Inactive.String() != "inactive" || Kind(9).String() != "unknown" {
 		t.Fatal("kind strings")
@@ -267,6 +277,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestCreateBeforeWirePanics(t *testing.T) {
+	t.Parallel()
 	reg := netsim.NewRegistry()
 	aas.RegisterNetworks(reg)
 	sched := clock.NewScheduler(clock.New())

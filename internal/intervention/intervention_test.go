@@ -24,6 +24,7 @@ func req(actor platform.AccountID, typ platform.ActionType, asn netsim.ASN, at t
 }
 
 func TestBinOfDeterministicAndBalanced(t *testing.T) {
+	t.Parallel()
 	counts := make([]int, NumBins)
 	for i := 0; i < 10000; i++ {
 		b := BinOf(platform.AccountID(i))
@@ -40,6 +41,7 @@ func TestBinOfDeterministicAndBalanced(t *testing.T) {
 }
 
 func TestControllerBlocksAboveThreshold(t *testing.T) {
+	t.Parallel()
 	// Account 13 is in bin 3 (block). Threshold: 5 follows/day.
 	ctl := New(thresholds(100, 100, 5), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 0)
 	at := clock.Epoch.Add(time.Hour)
@@ -61,6 +63,7 @@ func TestControllerBlocksAboveThreshold(t *testing.T) {
 }
 
 func TestControllerDelayOnlyForFollows(t *testing.T) {
+	t.Parallel()
 	// Account 14 is in bin 4 (delay). Thresholds: 2 for both types.
 	ctl := New(thresholds(100, 2, 2), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 24*time.Hour)
 	at := clock.Epoch.Add(time.Hour)
@@ -80,6 +83,7 @@ func TestControllerDelayOnlyForFollows(t *testing.T) {
 }
 
 func TestControlAndUnassignedBinsUntouched(t *testing.T) {
+	t.Parallel()
 	ctl := New(thresholds(100, 1, 1), nil, NarrowPolicy(3, 4, 5), clock.Epoch, 0)
 	at := clock.Epoch.Add(time.Hour)
 	for _, actor := range []platform.AccountID{15 /* control */, 16 /* none */} {
@@ -97,6 +101,7 @@ func TestControlAndUnassignedBinsUntouched(t *testing.T) {
 }
 
 func TestUnthresholdedASNOutOfReach(t *testing.T) {
+	t.Parallel()
 	ctl := New(thresholds(100, 1, 1), nil, BroadPolicy(0, 0), clock.Epoch, 0)
 	at := clock.Epoch.Add(time.Hour)
 	actor := platform.AccountID(13)
@@ -108,6 +113,7 @@ func TestUnthresholdedASNOutOfReach(t *testing.T) {
 }
 
 func TestNonPolicedTypesPass(t *testing.T) {
+	t.Parallel()
 	ctl := New(thresholds(100, 0, 0), nil, BroadPolicy(0, 0), clock.Epoch, 0)
 	at := clock.Epoch.Add(time.Hour)
 	if v := ctl.Check(req(7, platform.ActionComment, 100, at)); v.Kind != platform.VerdictAllow {
@@ -119,6 +125,7 @@ func TestNonPolicedTypesPass(t *testing.T) {
 }
 
 func TestBroadPolicySwitchesDelayToBlock(t *testing.T) {
+	t.Parallel()
 	p := BroadPolicy(9, 6)
 	if p(0, 3) != AssignDelay || p(5, 3) != AssignDelay {
 		t.Fatal("week 1 not delay")
@@ -132,6 +139,7 @@ func TestBroadPolicySwitchesDelayToBlock(t *testing.T) {
 }
 
 func TestControllerMetricsAndLabels(t *testing.T) {
+	t.Parallel()
 	classify := func(ev platform.Event) (string, bool) {
 		if ev.Client == "spoof" {
 			return "Svc", true
@@ -173,6 +181,7 @@ func TestControllerMetricsAndLabels(t *testing.T) {
 }
 
 func TestAssignmentString(t *testing.T) {
+	t.Parallel()
 	for a, want := range map[Assignment]string{
 		AssignNone: "none", AssignControl: "control", AssignBlock: "block", AssignDelay: "delay",
 	} {
@@ -185,6 +194,7 @@ func TestAssignmentString(t *testing.T) {
 // Integration: controller installed as a real platform gatekeeper truncates
 // follows at the threshold and the delay path removes them a day later.
 func TestControllerOnPlatform(t *testing.T) {
+	t.Parallel()
 	reg := netsim.NewRegistry()
 	reg.Register(100, "dc", "USA", netsim.KindHosting)
 	reg.Register(200, "res", "USA", netsim.KindResidential)

@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzTrieLookup drives the routing trie with an arbitrary announcement
+// sequence and lookup address. The trie must never panic, and its
+// longest-prefix-match answer must agree with a naive linear scan over
+// the same announcements — the executable definition of LPM.
+//
+// The byte stream encodes announcements in 6-byte records: 4 address
+// bytes, one prefix length, one ASN byte (0 ⇒ the insert is rejected,
+// which the naive model mirrors).
+func FuzzTrieLookup(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 0, 8, 1, 192, 168, 1, 0, 24, 2}, byte(10), byte(0), byte(0), byte(1))
+	f.Add([]byte{10, 0, 0, 0, 8, 1, 10, 1, 0, 0, 16, 2, 10, 1, 2, 0, 24, 3}, byte(10), byte(1), byte(2), byte(9))
+	f.Add([]byte{0, 0, 0, 0, 0, 7}, byte(1), byte(2), byte(3), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, a, b, c, d byte) {
+		trie := NewPrefixTrie()
+		naive := make(map[netip.Prefix]ASN)
+		for len(data) >= 6 {
+			rec := data[:6]
+			data = data[6:]
+			addr := netip.AddrFrom4([4]byte{rec[0], rec[1], rec[2], rec[3]})
+			bits := int(rec[4]) % 33
+			asn := ASN(rec[5])
+			prefix := netip.PrefixFrom(addr, bits).Masked()
+			err := trie.Insert(prefix, asn)
+			if asn == 0 {
+				if err == nil {
+					t.Fatal("Insert accepted ASN 0")
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("Insert(%v, %d): %v", prefix, asn, err)
+			}
+			naive[prefix] = asn
+		}
+		if trie.Len() != len(naive) {
+			t.Fatalf("trie.Len() = %d, naive has %d prefixes", trie.Len(), len(naive))
+		}
+
+		probe := netip.AddrFrom4([4]byte{a, b, c, d})
+		gotASN, gotOK := trie.Lookup(probe)
+
+		var wantASN ASN
+		wantBits, wantOK := -1, false
+		for p, asn := range naive {
+			if p.Contains(probe) && p.Bits() > wantBits {
+				wantASN, wantBits, wantOK = asn, p.Bits(), true
+			}
+		}
+		if gotOK != wantOK || (wantOK && gotASN != wantASN) {
+			t.Fatalf("Lookup(%v) = (%d, %v), naive LPM says (%d, %v)",
+				probe, gotASN, gotOK, wantASN, wantOK)
+		}
+	})
+}

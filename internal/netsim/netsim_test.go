@@ -18,6 +18,7 @@ func newTestRegistry() *Registry {
 }
 
 func TestRegisterAndInfo(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	info, ok := r.Info(100)
 	if !ok || info.Name != "ru-host" || info.Country != "RUS" || info.Kind != KindHosting {
@@ -29,6 +30,7 @@ func TestRegisterAndInfo(t *testing.T) {
 }
 
 func TestRegisterDuplicatePanics(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	defer func() {
 		if recover() == nil {
@@ -39,6 +41,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 }
 
 func TestRegisterZeroPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Register(0) did not panic")
@@ -48,6 +51,7 @@ func TestRegisterZeroPanics(t *testing.T) {
 }
 
 func TestAllocateLookupRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	for i := 0; i < 100; i++ {
 		addr := r.Allocate(300)
@@ -62,6 +66,7 @@ func TestAllocateLookupRoundTrip(t *testing.T) {
 }
 
 func TestAllocateDistinct(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	seen := make(map[netip.Addr]bool)
 	for i := 0; i < 1000; i++ {
@@ -74,6 +79,7 @@ func TestAllocateDistinct(t *testing.T) {
 }
 
 func TestAllocateUnregisteredPanics(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	defer func() {
 		if recover() == nil {
@@ -84,6 +90,7 @@ func TestAllocateUnregisteredPanics(t *testing.T) {
 }
 
 func TestLookupUnknown(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	if _, ok := r.Lookup(netip.MustParseAddr("255.255.255.255")); ok {
 		t.Fatal("Lookup of unallocated space succeeded")
@@ -97,6 +104,7 @@ func TestLookupUnknown(t *testing.T) {
 }
 
 func TestByKindByCountry(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	hosting := r.ByKind(KindHosting)
 	if len(hosting) != 2 || hosting[0] != 100 || hosting[1] != 200 {
@@ -112,6 +120,7 @@ func TestByKindByCountry(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if KindResidential.String() != "residential" || KindHosting.String() != "hosting" ||
 		KindCommercial.String() != "commercial" {
 		t.Fatal("Kind.String mismatch")
@@ -122,6 +131,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestProxyPoolSpansASNs(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	pool := NewProxyPool(r, []ASN{100, 200, 300}, 90, rng.New(1))
 	if pool.Size() != 90 {
@@ -143,6 +153,7 @@ func TestProxyPoolSpansASNs(t *testing.T) {
 }
 
 func TestProxyPoolPanics(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	for name, fn := range map[string]func(){
 		"no asns":   func() { NewProxyPool(r, nil, 5, rng.New(1)) },
@@ -160,6 +171,7 @@ func TestProxyPoolPanics(t *testing.T) {
 }
 
 func TestCountryShare(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	var addrs []netip.Addr
 	for i := 0; i < 60; i++ {
@@ -187,12 +199,14 @@ func TestCountryShare(t *testing.T) {
 }
 
 func TestCountryShareEmpty(t *testing.T) {
+	t.Parallel()
 	if CountryShare(newTestRegistry(), nil, 0.05) != nil {
 		t.Fatal("CountryShare(nil) != nil")
 	}
 }
 
 func TestCountryShareFractionsSumToOne(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	var addrs []netip.Addr
 	for _, asn := range []ASN{100, 200, 300, 400} {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestTrieLongestPrefixMatch(t *testing.T) {
+	t.Parallel()
 	tr := NewPrefixTrie()
 	must := func(p string, asn ASN) {
 		if err := tr.Insert(netip.MustParsePrefix(p), asn); err != nil {
@@ -41,6 +42,7 @@ func TestTrieLongestPrefixMatch(t *testing.T) {
 }
 
 func TestTrieReplaceAndZeroLength(t *testing.T) {
+	t.Parallel()
 	tr := NewPrefixTrie()
 	p := netip.MustParsePrefix("192.168.0.0/16")
 	tr.Insert(p, 1)
@@ -63,6 +65,7 @@ func TestTrieReplaceAndZeroLength(t *testing.T) {
 }
 
 func TestTrieRejectsBadInput(t *testing.T) {
+	t.Parallel()
 	tr := NewPrefixTrie()
 	if err := tr.Insert(netip.MustParsePrefix("2001:db8::/32"), 1); err == nil {
 		t.Fatal("IPv6 prefix accepted")
@@ -76,6 +79,7 @@ func TestTrieRejectsBadInput(t *testing.T) {
 }
 
 func TestTrieHostRoutes(t *testing.T) {
+	t.Parallel()
 	tr := NewPrefixTrie()
 	tr.Insert(netip.MustParsePrefix("10.0.0.5/32"), 7)
 	if asn, ok := tr.Lookup(netip.MustParseAddr("10.0.0.5")); !ok || asn != 7 {
@@ -87,6 +91,7 @@ func TestTrieHostRoutes(t *testing.T) {
 }
 
 func TestTrieWalkEnumeratesAll(t *testing.T) {
+	t.Parallel()
 	tr := NewPrefixTrie()
 	want := map[string]ASN{
 		"10.0.0.0/8":    100,
@@ -120,6 +125,7 @@ func TestTrieWalkEnumeratesAll(t *testing.T) {
 // Property: for random prefix sets, Lookup agrees with a brute-force
 // longest-prefix scan.
 func TestTrieMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	type entry struct {
 		prefix netip.Prefix
 		asn    ASN
@@ -181,6 +187,7 @@ func TestTrieMatchesBruteForce(t *testing.T) {
 }
 
 func TestRegistryAnnouncePrefix(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry()
 	// ASN 100 owns its /12; carve a /24 out of it for ASN 300 (a proxy
 	// customer leasing space).

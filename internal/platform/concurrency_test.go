@@ -1,0 +1,205 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+)
+
+// These tests hammer the platform from many goroutines at once — the
+// concurrent-read/serialized-apply contract the parallel stepping pool
+// relies on — and then check that shared state still reconciles exactly
+// with the event log. They are most meaningful under -race, which CI
+// runs them with. The simulated clock is held still during the
+// concurrent phase (Clock is not safe for concurrent mutation).
+
+func newConcurrencyPlatform(cfg Config) (*Platform, *netsim.Registry) {
+	reg := netsim.NewRegistry()
+	reg.Register(10, "res", "USA", netsim.KindResidential)
+	sched := clock.NewScheduler(clock.New())
+	return New(cfg, socialgraph.New(), reg, sched), reg
+}
+
+// TestConcurrentSessionsGraphMatchesEventLog: under an arbitrary
+// interleaving of concurrent follow/unfollow traffic, every account's
+// follower and following relations must equal what a replay of that
+// account's own event sequence predicts. Each goroutine drives its own
+// session, so per-actor log order is program order; edge state for a
+// (actor, target) pair is touched by exactly one goroutine, making the
+// replay exact rather than merely plausible.
+func TestConcurrentSessionsGraphMatchesEventLog(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.GraphWrites = true
+	cfg.PrivateHourlyLimit = 0 // unthrottled: every allowed action lands
+	p, reg := newConcurrencyPlatform(cfg)
+
+	const nActors, nTargets, opsPerActor = 8, 5, 200
+	targetIDs := make([]AccountID, nTargets)
+	for i := range targetIDs {
+		id, err := p.RegisterAccount(fmt.Sprintf("tgt%d", i), "pw", Profile{PhotoCount: 1}, "USA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		targetIDs[i] = id
+	}
+	sessions := make([]*Session, nActors)
+	for i := range sessions {
+		name := fmt.Sprintf("act%d", i)
+		if _, err := p.RegisterAccount(name, "pw", Profile{PhotoCount: 1}, "USA"); err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.Login(name, "pw", ClientInfo{IP: reg.Allocate(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+
+	var mu sync.Mutex
+	perActor := make(map[AccountID][]Event)
+	p.Log().Subscribe(func(ev Event) {
+		if ev.Type != ActionFollow && ev.Type != ActionUnfollow {
+			return
+		}
+		mu.Lock()
+		perActor[ev.Actor] = append(perActor[ev.Actor], ev)
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			r := rng.New(uint64(i) + 1)
+			for k := 0; k < opsPerActor; k++ {
+				tgt := targetIDs[r.Intn(len(targetIDs))]
+				if r.Bool(0.6) {
+					sess.Follow(tgt)
+				} else {
+					sess.Unfollow(tgt)
+				}
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+
+	for _, sess := range sessions {
+		actor := sess.Account()
+		following := make(map[AccountID]bool)
+		for _, ev := range perActor[actor] {
+			if ev.Outcome != OutcomeAllowed || ev.Duplicate {
+				continue
+			}
+			switch ev.Type {
+			case ActionFollow:
+				following[ev.Target] = true
+			case ActionUnfollow:
+				delete(following, ev.Target)
+			}
+		}
+		for _, tgt := range targetIDs {
+			if got := p.Graph().Follows(actor, tgt); got != following[tgt] {
+				t.Errorf("actor %d → target %d: graph says %v, event replay says %v",
+					actor, tgt, got, following[tgt])
+			}
+		}
+		if got := p.Graph().OutDegree(actor); got != len(following) {
+			t.Errorf("actor %d: out-degree %d, replay predicts %d", actor, got, len(following))
+		}
+	}
+	for _, tgt := range targetIDs {
+		want := 0
+		for _, sess := range sessions {
+			if p.Graph().Follows(sess.Account(), tgt) {
+				want++
+			}
+		}
+		if got := p.Graph().InDegree(tgt); got != want {
+			t.Errorf("target %d: in-degree %d, edge census says %d", tgt, got, want)
+		}
+	}
+}
+
+// TestConcurrentRateLimitAccountingStaysInBounds: with concurrent
+// sessions hammering a small hourly budget, the limiter's buckets must
+// never go negative or exceed the limit, and no account may land more
+// allowed actions in the log than the budget permits.
+func TestConcurrentRateLimitAccountingStaysInBounds(t *testing.T) {
+	t.Parallel()
+	const limit = 25
+	cfg := DefaultConfig()
+	cfg.GraphWrites = true
+	cfg.PrivateHourlyLimit = limit
+	p, reg := newConcurrencyPlatform(cfg)
+
+	tgt, err := p.RegisterAccount("victim", "pw", Profile{PhotoCount: 2}, "USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, ok := p.LatestPost(tgt)
+	if !ok {
+		t.Fatal("victim has no post")
+	}
+
+	const nActors, opsPerActor = 6, 100
+	sessions := make([]*Session, nActors)
+	for i := range sessions {
+		name := fmt.Sprintf("spam%d", i)
+		if _, err := p.RegisterAccount(name, "pw", Profile{PhotoCount: 1}, "USA"); err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.Login(name, "pw", ClientInfo{IP: reg.Allocate(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+
+	var mu sync.Mutex
+	allowedCount := make(map[AccountID]int)
+	p.Log().Subscribe(func(ev Event) {
+		if ev.Outcome == OutcomeAllowed && !ev.Enforcement {
+			mu.Lock()
+			allowedCount[ev.Actor]++
+			mu.Unlock()
+		}
+	})
+
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			r := rng.New(uint64(i) + 99)
+			for k := 0; k < opsPerActor; k++ {
+				switch r.Intn(3) {
+				case 0:
+					sess.Like(pid)
+				case 1:
+					sess.Follow(tgt)
+				default:
+					sess.Unfollow(tgt)
+				}
+			}
+		}(i, sess)
+	}
+	wg.Wait()
+
+	for _, sess := range sessions {
+		if n := allowedCount[sess.Account()]; n > limit {
+			t.Errorf("account %d landed %d allowed actions, budget is %d", sess.Account(), n, limit)
+		}
+	}
+	for id, w := range p.limiter.counts {
+		if w.count < 0 || w.count > limit {
+			t.Errorf("limiter bucket for account %d holds %d, want within [0, %d]", id, w.count, limit)
+		}
+	}
+}

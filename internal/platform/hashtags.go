@@ -6,8 +6,11 @@ import "sync"
 // this surface: given a tag, fetch the most recent media — which is
 // exactly the discovery API the reciprocity AASs crawl when a customer
 // supplies a hashtag list (§3.3.1).
+// The index takes a read-write lock: tag feeds are crawled concurrently
+// by parallel intent generation (many readers) and written only from the
+// serialized apply path.
 type hashtagIndex struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	byTag  map[string]*tagRing
 	keepup int
 }
@@ -46,8 +49,8 @@ func (h *hashtagIndex) add(tag string, pid PostID) {
 
 // recent returns up to k of the newest posts for tag, newest first.
 func (h *hashtagIndex) recent(tag string, k int) []PostID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	r := h.byTag[tag]
 	if r == nil || k <= 0 {
 		return nil

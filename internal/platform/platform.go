@@ -133,7 +133,12 @@ type account struct {
 }
 
 // Platform is the simulated service. All exported methods are safe for
-// concurrent use.
+// concurrent use. Pure queries (Exists, LatestPost, PostAuthor, Posts,
+// RecentByTag, …) take only read locks, so the parallel stepping engine's
+// intent-generation phase can interrogate platform state from many
+// workers at once; mutation — registration, login, and the session action
+// path with its rate-limit and gatekeeper checks — serializes on the
+// write lock and, in simulation, runs only on the single apply goroutine.
 type Platform struct {
 	cfg   Config
 	graph *socialgraph.Graph
@@ -143,7 +148,7 @@ type Platform struct {
 
 	tags *hashtagIndex
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	accounts   map[AccountID]*account
 	byUsername map[string]AccountID
 	postAuthor map[PostID]AccountID
@@ -273,16 +278,16 @@ func (p *Platform) ResetPassword(id AccountID, newPassword string) error {
 
 // Exists reports whether the account is live.
 func (p *Platform) Exists(id AccountID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	return ok && !a.deleted
 }
 
 // AccountProfile returns the account's profile.
 func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok || a.deleted {
 		return Profile{}, false
@@ -292,8 +297,8 @@ func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
 
 // Username returns the account's username.
 func (p *Platform) Username(id AccountID) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok || a.deleted {
 		return "", false
@@ -303,8 +308,8 @@ func (p *Platform) Username(id AccountID) (string, bool) {
 
 // CreatedAt returns the account's registration time.
 func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok {
 		return time.Time{}, false
@@ -316,8 +321,8 @@ func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
 // "the most frequent country used to login to the account" (§5.1). The
 // second result is false when the account has never logged in.
 func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok {
 		return "", false
@@ -333,8 +338,8 @@ func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
 
 // Posts returns the account's post IDs in creation order.
 func (p *Platform) Posts(id AccountID) []PostID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok || a.deleted {
 		return nil
@@ -344,8 +349,8 @@ func (p *Platform) Posts(id AccountID) []PostID {
 
 // LatestPost returns the account's most recent post, if any.
 func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	a, ok := p.accounts[id]
 	if !ok || a.deleted || len(a.posts) == 0 {
 		return 0, false
@@ -355,8 +360,8 @@ func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
 
 // PostAuthor resolves a post to its author.
 func (p *Platform) PostAuthor(pid PostID) (AccountID, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	id, ok := p.postAuthor[pid]
 	return id, ok
 }
@@ -364,18 +369,18 @@ func (p *Platform) PostAuthor(pid PostID) (AccountID, bool) {
 // LikeCount returns the number of likes on pid as tracked by the platform
 // (valid in both graph and stateless modes).
 func (p *Platform) LikeCount(pid PostID) int {
-	p.mu.Lock()
+	p.mu.RLock()
 	author, ok := p.postAuthor[pid]
 	if !ok {
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		return 0
 	}
 	if !p.cfg.GraphWrites {
 		n := p.accounts[author].likeCounts[pid]
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		return n
 	}
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	return p.graph.LikeCount(pid)
 }
 

@@ -20,6 +20,7 @@ func sampleChart() Chart {
 }
 
 func TestSVGStructure(t *testing.T) {
+	t.Parallel()
 	svg := sampleChart().SVG()
 	for _, want := range []string{
 		"<svg", "</svg>", "polyline", "Boostgram follows/user/day",
@@ -37,6 +38,7 @@ func TestSVGStructure(t *testing.T) {
 }
 
 func TestSVGEscapesText(t *testing.T) {
+	t.Parallel()
 	c := Chart{Title: `a<b & "c"`, HLine: math.NaN()}
 	svg := c.SVG()
 	if strings.Contains(svg, `a<b`) {
@@ -48,6 +50,7 @@ func TestSVGEscapesText(t *testing.T) {
 }
 
 func TestSVGEmptyChart(t *testing.T) {
+	t.Parallel()
 	c := Chart{Title: "empty", HLine: math.NaN()}
 	svg := c.SVG()
 	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
@@ -59,6 +62,7 @@ func TestSVGEmptyChart(t *testing.T) {
 }
 
 func TestSVGSkipsNaNPoints(t *testing.T) {
+	t.Parallel()
 	c := Chart{
 		HLine: math.NaN(),
 		Series: []Series{{
@@ -80,6 +84,7 @@ func TestSVGSkipsNaNPoints(t *testing.T) {
 }
 
 func TestSVGConstantSeries(t *testing.T) {
+	t.Parallel()
 	c := Chart{
 		HLine:  math.NaN(),
 		Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}},
@@ -91,6 +96,7 @@ func TestSVGConstantSeries(t *testing.T) {
 }
 
 func TestTickFormatting(t *testing.T) {
+	t.Parallel()
 	cases := map[float64]string{
 		1500: "1500", 42: "42", 3.25: "3.2", 0.5: "0.50",
 	}

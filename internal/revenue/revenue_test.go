@@ -44,6 +44,7 @@ func seq(from, to int) []int {
 }
 
 func TestLongTermSplit(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	addActor(svc, 1, seq(0, 20), 10)          // run 21 → long-term
 	addActor(svc, 2, []int{0, 1, 2}, 10)      // run 3 → short
@@ -61,6 +62,7 @@ func TestLongTermSplit(t *testing.T) {
 }
 
 func TestLongTermSplitHublaagramDefinition(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	addActor(svc, 1, seq(0, 4), 1) // run 5 > 4 → long under collusion rule
 	s := LongTermSplit(svc, 4, true)
@@ -73,6 +75,7 @@ func TestLongTermSplitHublaagramDefinition(t *testing.T) {
 }
 
 func TestEstimateReciprocityBoostgramShape(t *testing.T) {
+	t.Parallel()
 	// Boostgram: 3-day trial, $99/30 days.
 	pricing := aas.ReciprocityPricing{TrialDays: 3, MinPaidDays: 30, CostPerPeriod: 99}
 	svc := mkService()
@@ -95,6 +98,7 @@ func TestEstimateReciprocityBoostgramShape(t *testing.T) {
 }
 
 func TestEstimateReciprocityPerDayBilling(t *testing.T) {
+	t.Parallel()
 	// Instazood-style: 7-day delivered trial, $0.34/day.
 	pricing := aas.ReciprocityPricing{TrialDays: 3, DeliveredTrialDays: 7, MinPaidDays: 1, CostPerPeriod: 0.34}
 	svc := mkService()
@@ -109,6 +113,7 @@ func TestEstimateReciprocityPerDayBilling(t *testing.T) {
 }
 
 func TestEstimateReciprocityWindowNormalization(t *testing.T) {
+	t.Parallel()
 	pricing := aas.ReciprocityPricing{TrialDays: 0, MinPaidDays: 1, CostPerPeriod: 1}
 	svc := mkService()
 	addActor(svc, 1, seq(0, 89), 1) // 90 paid days over 90-day window
@@ -127,6 +132,7 @@ func hublaPricing() aas.CollusionPricing {
 }
 
 func TestEstimateCollusionNoOutbound(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	a := addActor(svc, 1, nil, 0) // no outbound at all
 	a.InboundDaily[3] = map[platform.ActionType]int{platform.ActionLike: 300}
@@ -142,6 +148,7 @@ func TestEstimateCollusionNoOutbound(t *testing.T) {
 }
 
 func TestEstimateCollusionTiers(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	// Tier-1 customer (250–500): median likes/photo 375, paid-speed burst.
 	a := addActor(svc, 1, map[int][]int{}[0], 0)
@@ -177,6 +184,7 @@ func TestEstimateCollusionTiers(t *testing.T) {
 }
 
 func TestEstimateCollusionOneTime(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	// One-time buyer: one photo with 2,300 likes, median across photos
 	// below the lowest tier (other photos have organic-scale likes).
@@ -199,6 +207,7 @@ func TestEstimateCollusionOneTime(t *testing.T) {
 }
 
 func TestEstimateCollusionAds(t *testing.T) {
+	t.Parallel()
 	svc := mkService()
 	// Free customer receiving exactly 5 free like requests (400 likes)
 	// and 2 follow requests (80 follows) over 30 days.
@@ -227,6 +236,7 @@ func TestEstimateCollusionAds(t *testing.T) {
 }
 
 func TestSplitNewVsPreexisting(t *testing.T) {
+	t.Parallel()
 	pricing := aas.ReciprocityPricing{TrialDays: 0, MinPaidDays: 1, CostPerPeriod: 1}
 	svc := mkService()
 	// Preexisting payer: active days 0..59 (paid both months).
@@ -246,6 +256,7 @@ func TestSplitNewVsPreexisting(t *testing.T) {
 }
 
 func TestSplitCollusionNewVsPreexisting(t *testing.T) {
+	t.Parallel()
 	pricing := hublaPricing()
 	svc := mkService()
 	// Preexisting paid customer: bursts in both months.

@@ -56,6 +56,24 @@ func (r *RNG) Split(label string) *RNG {
 	return New(h.Sum64() ^ (r.lineage * 0x9e3779b97f4a7c15))
 }
 
+// Fork derives an independent child stream identified by an integer id —
+// the per-actor analogue of Split. The child is a pure function of
+// (parent seed, id): it does not depend on how many values the parent has
+// produced, on how many siblings were forked, or on the order forks
+// happen in. This is the contract parallel stepping relies on: every
+// actor draws from its own Fork(actorID) stream, so partitioning actors
+// into any number of shards, run on any number of workers, can never
+// change the numbers any actor sees.
+func (r *RNG) Fork(id uint64) *RNG {
+	// SplitMix64 finalizer on the id keeps adjacent ids far apart in seed
+	// space, then mix with the parent's construction-time seed material.
+	z := id + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(z ^ (r.lineage * 0xd1342543de82ef95))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	a, b := New(42), New(42)
 	for i := 0; i < 1000; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -16,6 +17,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
 	a, b := New(1), New(2)
 	same := 0
 	for i := 0; i < 100; i++ {
@@ -29,6 +31,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestSplitIndependentOfDrawOrder(t *testing.T) {
+	t.Parallel()
 	parent1 := New(7)
 	parent2 := New(7)
 	parent2.Uint64() // consume a draw; Split must not care
@@ -42,6 +45,7 @@ func TestSplitIndependentOfDrawOrder(t *testing.T) {
 }
 
 func TestSplitLabelsDiffer(t *testing.T) {
+	t.Parallel()
 	p := New(7)
 	a, b := p.Split("a"), p.Split("b")
 	if a.Uint64() == b.Uint64() {
@@ -50,6 +54,7 @@ func TestSplitLabelsDiffer(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	r := New(3)
 	for i := 0; i < 10000; i++ {
 		f := r.Float64()
@@ -60,6 +65,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestIntnRange(t *testing.T) {
+	t.Parallel()
 	r := New(4)
 	seen := make(map[int]bool)
 	for i := 0; i < 10000; i++ {
@@ -75,6 +81,7 @@ func TestIntnRange(t *testing.T) {
 }
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Intn(0) did not panic")
@@ -84,6 +91,7 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 }
 
 func TestUint64nUniformity(t *testing.T) {
+	t.Parallel()
 	// Chi-square-ish sanity check over 7 buckets (non power of two).
 	r := New(5)
 	const n, buckets = 70000, 7
@@ -100,6 +108,7 @@ func TestUint64nUniformity(t *testing.T) {
 }
 
 func TestBoolProbability(t *testing.T) {
+	t.Parallel()
 	r := New(6)
 	const n = 100000
 	hits := 0
@@ -127,6 +136,7 @@ func TestBoolProbability(t *testing.T) {
 }
 
 func TestNormFloat64Moments(t *testing.T) {
+	t.Parallel()
 	r := New(8)
 	const n = 200000
 	var sum, sumSq float64
@@ -146,6 +156,7 @@ func TestNormFloat64Moments(t *testing.T) {
 }
 
 func TestPoissonMean(t *testing.T) {
+	t.Parallel()
 	for _, mean := range []float64{0.5, 3, 12, 80} {
 		r := New(uint64(mean * 100))
 		const n = 50000
@@ -167,6 +178,7 @@ func TestPoissonMean(t *testing.T) {
 }
 
 func TestLogNormalPositive(t *testing.T) {
+	t.Parallel()
 	r := New(9)
 	for i := 0; i < 1000; i++ {
 		if v := r.LogNormal(2, 1.5); v <= 0 {
@@ -176,6 +188,7 @@ func TestLogNormalPositive(t *testing.T) {
 }
 
 func TestExpFloat64Mean(t *testing.T) {
+	t.Parallel()
 	r := New(10)
 	const n = 100000
 	var sum float64
@@ -188,6 +201,7 @@ func TestExpFloat64Mean(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	check := func(n uint8) bool {
 		size := int(n%50) + 1
 		p := New(uint64(n)).Perm(size)
@@ -209,6 +223,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestSampleDistinct(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint16, nRaw, kRaw uint8) bool {
 		n := int(nRaw%100) + 1
 		k := int(kRaw) % (n + 5) // sometimes k > n
@@ -235,6 +250,7 @@ func TestSampleDistinct(t *testing.T) {
 }
 
 func TestShuffleKeepsElements(t *testing.T) {
+	t.Parallel()
 	r := New(11)
 	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	sum := 0

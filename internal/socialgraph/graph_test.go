@@ -11,6 +11,7 @@ import (
 var t0 = time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
 
 func TestCreateAccountIDsUnique(t *testing.T) {
+	t.Parallel()
 	g := New()
 	seen := make(map[AccountID]bool)
 	for i := 0; i < 100; i++ {
@@ -26,6 +27,7 @@ func TestCreateAccountIDsUnique(t *testing.T) {
 }
 
 func TestFollowUnfollow(t *testing.T) {
+	t.Parallel()
 	g := New()
 	a, b := g.CreateAccount(t0), g.CreateAccount(t0)
 	ok, err := g.Follow(a, b)
@@ -58,6 +60,7 @@ func TestFollowUnfollow(t *testing.T) {
 }
 
 func TestSelfFollowRejected(t *testing.T) {
+	t.Parallel()
 	g := New()
 	a := g.CreateAccount(t0)
 	if _, err := g.Follow(a, a); !errors.Is(err, ErrSelfAction) {
@@ -66,6 +69,7 @@ func TestSelfFollowRejected(t *testing.T) {
 }
 
 func TestFollowMissingAccount(t *testing.T) {
+	t.Parallel()
 	g := New()
 	a := g.CreateAccount(t0)
 	if _, err := g.Follow(a, 999); !errors.Is(err, ErrNoAccount) {
@@ -77,6 +81,7 @@ func TestFollowMissingAccount(t *testing.T) {
 }
 
 func TestPostsAndLikes(t *testing.T) {
+	t.Parallel()
 	g := New()
 	author, fan := g.CreateAccount(t0), g.CreateAccount(t0)
 	pid, err := g.AddPost(author, t0)
@@ -108,6 +113,7 @@ func TestPostsAndLikes(t *testing.T) {
 }
 
 func TestLikeMissingPost(t *testing.T) {
+	t.Parallel()
 	g := New()
 	a := g.CreateAccount(t0)
 	if _, err := g.Like(a, 42); !errors.Is(err, ErrNoPost) {
@@ -119,6 +125,7 @@ func TestLikeMissingPost(t *testing.T) {
 }
 
 func TestComments(t *testing.T) {
+	t.Parallel()
 	g := New()
 	author, c1 := g.CreateAccount(t0), g.CreateAccount(t0)
 	pid, _ := g.AddPost(author, t0)
@@ -135,6 +142,7 @@ func TestComments(t *testing.T) {
 }
 
 func TestEngagementRate(t *testing.T) {
+	t.Parallel()
 	g := New()
 	author := g.CreateAccount(t0)
 	var fans []AccountID
@@ -160,6 +168,7 @@ func TestEngagementRate(t *testing.T) {
 }
 
 func TestDeleteAccountRemovesAllTraces(t *testing.T) {
+	t.Parallel()
 	g := New()
 	honeypot := g.CreateAccount(t0)
 	other := g.CreateAccount(t0)
@@ -201,12 +210,14 @@ func TestDeleteAccountRemovesAllTraces(t *testing.T) {
 }
 
 func TestDeleteMissingAccount(t *testing.T) {
+	t.Parallel()
 	if err := New().DeleteAccount(7); !errors.Is(err, ErrNoAccount) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestFollowersFolloweesSnapshots(t *testing.T) {
+	t.Parallel()
 	g := New()
 	hub := g.CreateAccount(t0)
 	ids := make(map[AccountID]bool)
@@ -236,6 +247,7 @@ func TestFollowersFolloweesSnapshots(t *testing.T) {
 // Property: follower/followee counts stay consistent (sum of in-degrees ==
 // sum of out-degrees) under arbitrary follow/unfollow sequences.
 func TestDegreeConservation(t *testing.T) {
+	t.Parallel()
 	check := func(ops []uint16) bool {
 		g := New()
 		const n = 8
@@ -266,6 +278,7 @@ func TestDegreeConservation(t *testing.T) {
 
 // The graph must tolerate concurrent mutation from many goroutines.
 func TestConcurrentSafety(t *testing.T) {
+	t.Parallel()
 	g := New()
 	const n = 20
 	ids := make([]AccountID, n)

@@ -8,6 +8,7 @@ import (
 )
 
 func TestMean(t *testing.T) {
+	t.Parallel()
 	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
 		t.Fatalf("Mean = %v, want 2.5", got)
 	}
@@ -17,6 +18,7 @@ func TestMean(t *testing.T) {
 }
 
 func TestQuantileKnownValues(t *testing.T) {
+	t.Parallel()
 	xs := []float64{1, 2, 3, 4, 5}
 	cases := []struct{ p, want float64 }{
 		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
@@ -29,6 +31,7 @@ func TestQuantileKnownValues(t *testing.T) {
 }
 
 func TestQuantileInterpolates(t *testing.T) {
+	t.Parallel()
 	xs := []float64{0, 10}
 	if got := Quantile(xs, 0.3); math.Abs(got-3) > 1e-12 {
 		t.Fatalf("Quantile(0.3) = %v, want 3", got)
@@ -36,6 +39,7 @@ func TestQuantileInterpolates(t *testing.T) {
 }
 
 func TestQuantileDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
 	xs := []float64{5, 1, 4, 2}
 	Quantile(xs, 0.5)
 	if xs[0] != 5 || xs[3] != 2 {
@@ -44,6 +48,7 @@ func TestQuantileDoesNotMutateInput(t *testing.T) {
 }
 
 func TestQuantilePanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic for p > 1")
@@ -53,6 +58,7 @@ func TestQuantilePanicsOutOfRange(t *testing.T) {
 }
 
 func TestMedianOddEven(t *testing.T) {
+	t.Parallel()
 	if got := Median([]float64{3, 1, 2}); got != 2 {
 		t.Fatalf("odd median %v", got)
 	}
@@ -65,6 +71,7 @@ func TestMedianOddEven(t *testing.T) {
 }
 
 func TestCDFAt(t *testing.T) {
+	t.Parallel()
 	c := NewCDF([]float64{1, 2, 2, 3})
 	cases := []struct{ x, want float64 }{
 		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
@@ -77,6 +84,7 @@ func TestCDFAt(t *testing.T) {
 }
 
 func TestCDFQuantileMedianMinMax(t *testing.T) {
+	t.Parallel()
 	c := NewCDFInts([]int{10, 20, 30, 40, 50})
 	if c.Median() != 30 {
 		t.Fatalf("median %v", c.Median())
@@ -90,6 +98,7 @@ func TestCDFQuantileMedianMinMax(t *testing.T) {
 }
 
 func TestCDFEmpty(t *testing.T) {
+	t.Parallel()
 	c := NewCDF(nil)
 	if !math.IsNaN(c.At(1)) || !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Min()) || !math.IsNaN(c.Max()) {
 		t.Fatal("empty CDF should return NaN everywhere")
@@ -100,6 +109,7 @@ func TestCDFEmpty(t *testing.T) {
 }
 
 func TestCDFSeriesMonotone(t *testing.T) {
+	t.Parallel()
 	check := func(seedVals []float64) bool {
 		if len(seedVals) == 0 {
 			return true
@@ -121,6 +131,7 @@ func TestCDFSeriesMonotone(t *testing.T) {
 // CDF invariant: the p-quantile lies between the order statistics that
 // bracket position p*(n-1) in the sorted sample.
 func TestCDFQuantileBracketedByOrderStats(t *testing.T) {
+	t.Parallel()
 	check := func(vals []float64, pRaw uint8) bool {
 		if len(vals) == 0 {
 			return true
@@ -144,6 +155,7 @@ func TestCDFQuantileBracketedByOrderStats(t *testing.T) {
 }
 
 func TestCDFAtMatchesNaiveCount(t *testing.T) {
+	t.Parallel()
 	vals := []float64{5, 3, 8, 3, 9, 1, 3}
 	c := NewCDF(vals)
 	for _, x := range []float64{0, 1, 3, 4, 8, 9, 10} {
@@ -161,6 +173,7 @@ func TestCDFAtMatchesNaiveCount(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 10, 5)
 	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
 		h.Add(x)
@@ -184,6 +197,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramPanics(t *testing.T) {
+	t.Parallel()
 	for _, fn := range []func(){
 		func() { NewHistogram(0, 10, 0) },
 		func() { NewHistogram(5, 5, 3) },
@@ -200,6 +214,7 @@ func TestHistogramPanics(t *testing.T) {
 }
 
 func TestHistogramFractionEmpty(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 1, 2)
 	if h.Fraction(0) != 0 {
 		t.Fatal("Fraction on empty histogram != 0")
@@ -207,6 +222,7 @@ func TestHistogramFractionEmpty(t *testing.T) {
 }
 
 func TestFormatSeries(t *testing.T) {
+	t.Parallel()
 	s := FormatSeries([]Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}})
 	want := "1\t0.5000\n2\t1.0000\n"
 	if s != want {
@@ -215,6 +231,7 @@ func TestFormatSeries(t *testing.T) {
 }
 
 func TestQuantileAgainstSortedReference(t *testing.T) {
+	t.Parallel()
 	check := func(vals []float64) bool {
 		clean := vals[:0]
 		for _, v := range vals {
