@@ -596,6 +596,15 @@ func BenchmarkParallelStep(b *testing.B) {
 			}
 			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/op")
 			b.ReportMetric(float64(totalEvents)/float64(b.N), "events/op")
+			// Absolute throughput alongside the per-op normalizations:
+			// wall-clock per simulated tick and simulated events per second
+			// of benchmark time.
+			if totalTicks > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalTicks), "ns/tick")
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(totalEvents)/secs, "events/sec")
+			}
 		})
 	}
 }

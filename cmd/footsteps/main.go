@@ -17,10 +17,15 @@
 //
 // Flags:
 //
-//	-seed N      RNG seed (default 1)
-//	-scale F     customer-dynamics scale vs the paper (default 1/500)
-//	-days N      measurement window in days (default 90)
-//	-quick       small, fast configuration (for smoke runs)
+//	-seed N          RNG seed (default 1)
+//	-scale F         customer-dynamics scale vs the paper (default 1/500)
+//	-days N          measurement window in days (default 90)
+//	-quick           small, fast configuration (for smoke runs)
+//	-metrics FILE    write per-day telemetry JSONL next to the report
+//	-debug-addr H:P  serve live expvar snapshots and pprof while running
+//
+// Telemetry is a pure observer: enabling -metrics or -debug-addr changes
+// neither the event stream nor any table (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -33,7 +38,28 @@ import (
 	"footsteps/internal/aas"
 	"footsteps/internal/core"
 	"footsteps/internal/eventio"
+	"footsteps/internal/telemetry"
 )
+
+// Run-wide telemetry sinks, set once in main before any study runs.
+var (
+	telReg        *telemetry.Registry
+	telMetricsOut *os.File
+)
+
+// telemetryAttach wires the per-day JSONL sink to a freshly built world.
+func telemetryAttach(w *core.World) {
+	if telMetricsOut != nil {
+		w.StreamTelemetryDaily(telMetricsOut)
+	}
+}
+
+// telemetryReport prints the end-of-run summary table, if enabled.
+func telemetryReport(w *core.World) {
+	if s := w.TelemetrySummary(); s != "" {
+		fmt.Println(s)
+	}
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
@@ -44,12 +70,36 @@ func main() {
 	outDir := flag.String("o", "", "directory for machine-readable TSV exports (optional)")
 	record := flag.String("record", "", "write the full event stream to this FSEV1 capture file (business only)")
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
+	metricsPath := flag.String("metrics", "", "write per-day telemetry JSONL to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *metricsPath != "" || *debugAddr != "" {
+		telReg = telemetry.NewRegistry()
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		telMetricsOut = f
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.ServeDebug(*debugAddr, telReg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("Debug server on http://%s (/debug/vars, /metrics.json, /debug/pprof/)\n", srv.Addr())
 	}
 
 	mkCfg := func() footsteps.Config {
@@ -61,6 +111,7 @@ func main() {
 		cfg.Scale = *scale
 		cfg.Days = *days
 		cfg.Workers = *workers
+		cfg.Telemetry = telReg
 		if *quick {
 			cfg.Scale = footsteps.TestConfig().Scale
 			cfg.Days = footsteps.TestConfig().Days
@@ -133,6 +184,7 @@ func runCatalog() error {
 func runReciprocation(cfg footsteps.Config, quick bool) error {
 	cfg.GraphWrites = true // honeypot studies need full graph fidelity
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	empty, lived := 9, 3
 	if quick {
 		empty, lived = 3, 1
@@ -143,11 +195,13 @@ func runReciprocation(cfg footsteps.Config, quick bool) error {
 		return err
 	}
 	fmt.Println(footsteps.FormatTable5(tbl))
+	telemetryReport(study.World())
 	return nil
 }
 
 func runBusiness(cfg footsteps.Config, outDir, record string) error {
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	var capture *eventio.Writer
 	if record != "" {
 		f, err := os.Create(record)
@@ -181,6 +235,7 @@ func runBusiness(cfg footsteps.Config, outDir, record string) error {
 		}
 		fmt.Printf("TSV exports written to %s\n", outDir)
 	}
+	telemetryReport(study.World())
 	return nil
 }
 
@@ -205,12 +260,14 @@ func runNarrow(cfg footsteps.Config, quick bool, outDir string) error {
 	}
 	cfg = interventionCfg(cfg, 2+calib+weeks*7)
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	fmt.Printf("Narrow intervention: %d calibration days, %d weeks of block/delay/control bins...\n", calib, weeks)
 	res, err := study.NarrowIntervention(calib, weeks)
 	if err != nil {
 		return err
 	}
 	fmt.Println(footsteps.FormatIntervention(res))
+	telemetryReport(study.World())
 	return exportIntervention(res, outDir)
 }
 
@@ -232,12 +289,14 @@ func runBroad(cfg footsteps.Config, quick bool, outDir string) error {
 	}
 	cfg = interventionCfg(cfg, 2+calib+days)
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	fmt.Printf("Broad intervention: delay days 0-%d, block thereafter, 90%% of accounts...\n", switchDay-1)
 	res, err := study.BroadIntervention(calib, days, switchDay)
 	if err != nil {
 		return err
 	}
 	fmt.Println(footsteps.FormatIntervention(res))
+	telemetryReport(study.World())
 	return exportIntervention(res, outDir)
 }
 
@@ -248,6 +307,7 @@ func runAdaptation(cfg footsteps.Config, quick bool) error {
 	}
 	cfg = interventionCfg(cfg, 2+calib+2*phase+1)
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	fmt.Printf("Adaptation study: %d-day phases of broad blocking, then proxy evasion...\n", phase)
 	res, err := study.Adaptation(calib, phase)
 	if err != nil {
@@ -268,6 +328,7 @@ func runAdaptation(cfg footsteps.Config, quick bool) error {
 	}
 	fmt.Printf("\nEvaded traffic still attributable by client fingerprint: %v\n", res.StillAttributable)
 	fmt.Printf("Hublaagram lists all paid services out of stock: %v\n", res.HublaagramOutOfStock)
+	telemetryReport(study.World())
 	return nil
 }
 
@@ -285,6 +346,7 @@ func runGraphDetect(cfg footsteps.Config) error {
 		cfg.OrganicPopulation = 3000
 	}
 	study := footsteps.NewStudy(cfg)
+	telemetryAttach(study.World())
 	fmt.Println("Running the graph-detection baseline against signal attribution...")
 	res, err := study.World().GraphDetectionStudy()
 	if err != nil {
@@ -307,6 +369,7 @@ func runGraphDetect(cfg footsteps.Config) error {
 	}
 	fmt.Println("\nCollusion networks are dense blocks; reciprocity abuse is not — the")
 	fmt.Println("asymmetry that pushes the defense toward signal-based attribution.")
+	telemetryReport(study.World())
 	return nil
 }
 

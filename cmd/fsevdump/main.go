@@ -7,6 +7,10 @@
 //	fsevdump -type like capture.fsev # one action type
 //	fsevdump -blocked capture.fsev   # only blocked actions
 //	fsevdump -n 100 capture.fsev     # first 100 matching events
+//	fsevdump -stats capture.fsev     # per-type counts and per-day rates
+//
+// -stats composes with the filters: it summarizes the matching events
+// instead of printing them.
 package main
 
 import (
@@ -14,15 +18,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
+	"footsteps/internal/clock"
 	"footsteps/internal/eventio"
 	"footsteps/internal/platform"
+	"footsteps/internal/telemetry"
 )
 
 func main() {
 	typeFilter := flag.String("type", "", "keep only this action type (like, follow, unfollow, comment, post, login)")
 	blockedOnly := flag.Bool("blocked", false, "keep only blocked actions")
 	limit := flag.Int("n", 0, "stop after N matching events (0 = all)")
+	stats := flag.Bool("stats", false, "print per-event-type counts and per-day rates instead of JSONL")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -41,6 +50,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsevdump:", err)
 		os.Exit(1)
 	}
+
+	// -stats reuses the telemetry registry and table formatting, so the
+	// offline summary reads exactly like a live run's metrics report.
+	reg := telemetry.NewRegistry()
+	perDay := make(map[int]int64)
 
 	matched := 0
 	batch := make([]platform.Event, 0, 512)
@@ -70,15 +84,48 @@ func main() {
 		if *blockedOnly && ev.Outcome != platform.OutcomeBlocked {
 			continue
 		}
-		batch = append(batch, ev)
 		matched++
-		if len(batch) == cap(batch) {
-			flush()
+		if *stats {
+			reg.Counter("events." + ev.Type.String() + "." + ev.Outcome.String()).Inc()
+			perDay[int(ev.Time.Sub(clock.Epoch)/clock.Day)]++
+		} else {
+			batch = append(batch, ev)
+			if len(batch) == cap(batch) {
+				flush()
+			}
 		}
 		if *limit > 0 && matched >= *limit {
 			break
 		}
 	}
 	flush()
+	if *stats {
+		printStats(reg, perDay)
+	}
 	fmt.Fprintf(os.Stderr, "fsevdump: %d events\n", matched)
+}
+
+// printStats renders the aggregate counters and a per-day rates table.
+func printStats(reg *telemetry.Registry, perDay map[int]int64) {
+	fmt.Print(reg.Snapshot().Format())
+	if len(perDay) == 0 {
+		return
+	}
+	days := make([]int, 0, len(perDay))
+	for d := range perDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	rows := make([][]string, 0, len(perDay))
+	for _, d := range days {
+		n := perDay[d]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d),
+			clock.Epoch.Add(time.Duration(d) * clock.Day).Format("2006-01-02"),
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", float64(n)/24),
+		})
+	}
+	fmt.Println()
+	fmt.Print(telemetry.Table([]string{"day", "date", "events", "events/hour"}, rows))
 }

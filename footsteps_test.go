@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"strings"
 	"testing"
+
+	"footsteps/internal/telemetry"
 )
 
 func TestStaticTablesRender(t *testing.T) {
@@ -86,6 +88,19 @@ func TestStudyReportHashDeterminism(t *testing.T) {
 	for _, workers := range []int{4, 8} {
 		if h := hash(smallCfg(workers)); h != seq {
 			t.Errorf("workers=%d report hash %s differs from sequential %s", workers, h, seq)
+		}
+	}
+
+	// The pure-observer half of the contract: enabling telemetry must not
+	// move the report hash either, sequentially or in parallel.
+	for _, workers := range []int{0, 4} {
+		cfg := smallCfg(workers)
+		cfg.Telemetry = telemetry.NewRegistry()
+		if h := hash(cfg); h != seq {
+			t.Errorf("workers=%d with telemetry: report hash %s differs from baseline %s", workers, h, seq)
+		}
+		if len(cfg.Telemetry.Snapshot().Counters) == 0 {
+			t.Errorf("workers=%d: telemetry registry stayed empty; comparison is vacuous", workers)
 		}
 	}
 }

@@ -241,6 +241,7 @@ func (s *CollusionService) deliver(c *Customer, t platform.ActionType, n int, ac
 			continue
 		}
 		err := act(src)
+		s.countOutcome(err)
 		switch err {
 		case nil:
 			ad.todayCount++

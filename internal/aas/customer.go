@@ -9,6 +9,7 @@ import (
 	"footsteps/internal/platform"
 	"footsteps/internal/rng"
 	"footsteps/internal/step"
+	"footsteps/internal/telemetry"
 )
 
 // PaidProduct identifies what a collusion-network customer bought.
@@ -238,6 +239,12 @@ type base struct {
 	Revenue       float64
 	AdImpressions int
 
+	// telemetry counters for the service's automation outcomes; set by
+	// WireTelemetry, nil (inert) otherwise. Incremented only during the
+	// serial apply phase, so plain counters on atomics suffice.
+	telAttempts  *telemetry.Counter
+	telSuccesses *telemetry.Counter
+
 	stopped bool
 }
 
@@ -273,6 +280,26 @@ func (b *base) SetAPI(kind platform.APIKind) { b.api = kind }
 // SetStepPool installs the worker pool used for parallel intent
 // generation during ticks. A nil pool (the default) plans inline.
 func (b *base) SetStepPool(p *step.Pool) { b.steps = p }
+
+// WireTelemetry registers per-service attempt/success counters on reg,
+// named aas.<service>.attempts / aas.<service>.successes. Telemetry is a
+// pure observer; a nil reg leaves the service untouched.
+func (b *base) WireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	b.telAttempts = reg.Counter("aas." + b.spec.Name + ".attempts")
+	b.telSuccesses = reg.Counter("aas." + b.spec.Name + ".successes")
+}
+
+// countOutcome tallies one applied automation action into telemetry:
+// every call is an attempt, err == nil a success.
+func (b *base) countOutcome(err error) {
+	b.telAttempts.Inc()
+	if err == nil {
+		b.telSuccesses.Inc()
+	}
+}
 
 // actionIP picks the source address for the next automation request.
 func (b *base) actionIP() netip.Addr {

@@ -375,7 +375,9 @@ func (a *opApplier) apply(op plannedOp) {
 	}
 	switch op.action {
 	case platform.ActionPost:
-		if _, err := c.session.Post(); err == platform.ErrSessionRevoked {
+		_, err := c.session.Post()
+		s.countOutcome(err)
+		if err == platform.ErrSessionRevoked {
 			c.Churned = true
 		} else if err == nil {
 			c.countAction(platform.ActionPost)
@@ -383,6 +385,7 @@ func (a *opApplier) apply(op plannedOp) {
 		return
 	case platform.ActionUnfollow:
 		err := c.session.Unfollow(op.target)
+		s.countOutcome(err)
 		if err == platform.ErrSessionRevoked {
 			c.Churned = true
 		} else if err == nil {
@@ -402,6 +405,7 @@ func (a *opApplier) apply(op plannedOp) {
 	case platform.ActionComment:
 		err = c.session.Comment(op.post, "nice!")
 	}
+	s.countOutcome(err)
 	ad := s.adaptFor(c, op.action)
 	switch err {
 	case nil:

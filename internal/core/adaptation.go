@@ -110,6 +110,7 @@ func (w *World) AdaptationStudy(calibDays, phaseDays int) (*AdaptationResults, e
 	// Broad blocking from day 0, all bins but the control.
 	ctl := intervention.New(thresholds, classifier.Classify,
 		intervention.BroadPolicy(9, 0), w.Plat.Now(), 24*time.Hour)
+	ctl.WireTelemetry(w.Cfg.Telemetry)
 	w.SetExperimentGatekeeper(ctl)
 
 	// Phase 1: blocking bites.

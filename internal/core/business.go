@@ -129,6 +129,7 @@ func (w *World) BusinessStudy() (*BusinessResults, error) {
 	}
 	windowStart := w.Plat.Now()
 	tracker := detection.NewTracker(classifier, windowStart)
+	tracker.WireTelemetry(w.Cfg.Telemetry)
 	w.Plat.Log().Subscribe(tracker.Observe)
 
 	drift := w.scheduleDriftChecks(classifier)

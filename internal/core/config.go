@@ -4,6 +4,8 @@
 // evaluation. See DESIGN.md for the experiment-to-module index.
 package core
 
+import "footsteps/internal/telemetry"
+
 // Config sizes a study world. The zero value is unusable; start from
 // DefaultConfig or TestConfig.
 type Config struct {
@@ -56,6 +58,13 @@ type Config struct {
 	// event stream for the same seed — worker count changes wall-clock
 	// time, never bytes (see docs/DETERMINISM.md).
 	Workers int
+
+	// Telemetry, when non-nil, receives counters, gauges, and tick-phase
+	// histograms from every layer of the world. Telemetry is a pure
+	// observer: it consumes no RNG draws and feeds nothing back into the
+	// simulation, so the event stream is byte-identical with it on or off
+	// (see docs/OBSERVABILITY.md). nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // scaleFor returns the effective customer-dynamics scale for a service.

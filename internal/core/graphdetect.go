@@ -40,6 +40,7 @@ func (w *World) GraphDetectionStudy() (*GraphDetectionResults, error) {
 		return nil, err
 	}
 	tracker := detection.NewTracker(classifier, w.Plat.Now())
+	tracker.WireTelemetry(w.Cfg.Telemetry)
 	w.Plat.Log().Subscribe(tracker.Observe)
 
 	// The baseline sees only the action graph — no signals. Build the

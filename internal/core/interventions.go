@@ -103,6 +103,7 @@ func (w *World) runIntervention(calibDays, expDays int, policy intervention.Poli
 		return nil, err
 	}
 	tracker := detection.NewTracker(classifier, w.Plat.Now())
+	tracker.WireTelemetry(w.Cfg.Telemetry)
 	w.Plat.Log().Subscribe(tracker.Observe)
 
 	// Complaint model inputs: per-account visible failures.
@@ -135,6 +136,7 @@ func (w *World) runIntervention(calibDays, expDays int, policy intervention.Poli
 	// Experiment phase: install the controller and run.
 	expStart := w.Plat.Now()
 	ctl := intervention.New(thresholds, classifier.Classify, policy, expStart, 24*time.Hour)
+	ctl.WireTelemetry(w.Cfg.Telemetry)
 	w.SetExperimentGatekeeper(ctl)
 	w.Sched.RunFor(time.Duration(expDays) * clock.Day)
 	w.SetExperimentGatekeeper(nil)

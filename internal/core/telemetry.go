@@ -1,0 +1,51 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"footsteps/internal/telemetry"
+)
+
+// StreamTelemetryDaily schedules an end-of-day flush of the world's
+// telemetry registry to out as JSONL, one record per simulated day (see
+// docs/OBSERVABILITY.md for the schema). The flush runs at 23:59 each day
+// for the measurement window plus slack, mirroring the automation
+// schedules' overhang.
+//
+// The flush callbacks are pure observers: they read counters, set two
+// gauges (sched.pending, sim.day), and write to out — they consume no RNG
+// draws and touch no simulation state, so the event stream is unchanged.
+// It is a no-op when the config carries no registry.
+func (w *World) StreamTelemetryDaily(out io.Writer) {
+	reg := w.Cfg.Telemetry
+	if reg == nil || out == nil {
+		return
+	}
+	dw := telemetry.NewDayWriter(out, reg)
+	w.Sched.EveryDay(23*time.Hour+59*time.Minute, w.Cfg.Days+5, func(int) {
+		clk := w.Sched.Clock()
+		w.updateGauges()
+		// Errors are swallowed: a broken metrics sink must never abort a
+		// simulation run.
+		_ = dw.WriteDay(clk.Day(), clk.Now())
+	})
+}
+
+// TelemetrySummary renders the end-of-run metrics table for the study
+// report. Returns "" when the config carries no registry.
+func (w *World) TelemetrySummary() string {
+	reg := w.Cfg.Telemetry
+	if reg == nil {
+		return ""
+	}
+	w.updateGauges()
+	return "== Telemetry summary ==\n\n" + reg.Snapshot().Format()
+}
+
+// updateGauges refreshes the point-in-time gauges before a snapshot.
+func (w *World) updateGauges() {
+	reg := w.Cfg.Telemetry
+	reg.Gauge("sched.pending").Set(int64(w.Sched.Pending()))
+	reg.Gauge("sim.day").Set(int64(w.Sched.Clock().Day()))
+}

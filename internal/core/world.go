@@ -14,6 +14,7 @@ import (
 	"footsteps/internal/rng"
 	"footsteps/internal/socialgraph"
 	"footsteps/internal/step"
+	"footsteps/internal/telemetry"
 )
 
 // World is one fully wired simulated universe: the platform, the organic
@@ -72,6 +73,7 @@ func NewWorld(cfg Config) *World {
 	pcfg := platform.DefaultConfig()
 	pcfg.GraphWrites = cfg.GraphWrites
 	plat := platform.New(pcfg, socialgraph.New(), reg, sched)
+	plat.WireTelemetry(cfg.Telemetry)
 
 	w := &World{
 		Cfg:       cfg,
@@ -83,8 +85,12 @@ func NewWorld(cfg Config) *World {
 		Coll:      make(map[string]*aas.CollusionService),
 		ProxyASNs: proxyASNs,
 	}
-	if cfg.Workers > 1 {
+	// With telemetry on, even a sequential run gets a (1-worker) pool so
+	// the tick tracer sees plan/apply phases; Run with workers <= 1 is the
+	// identical inline path, so this changes timing visibility, not bytes.
+	if cfg.Workers > 1 || cfg.Telemetry != nil {
 		w.Steps = step.NewPool(cfg.Workers)
+		w.Steps.SetTracer(telemetry.NewTickTracer(cfg.Telemetry))
 	}
 
 	// Organic population: honeypot monitoring must observe reciprocation,
@@ -117,6 +123,7 @@ func NewWorld(cfg Config) *World {
 		case aas.TechniqueReciprocity:
 			svc := aas.NewReciprocityService(spec, plat, sched, root.Split("svc-"+spec.Name))
 			svc.SetStepPool(w.Steps)
+			svc.WireTelemetry(cfg.Telemetry)
 			pool := w.Pop.AddCuratedPool(spec.Name, spec.TargetPool, cfg.PoolSize)
 			svc.SetTargetPool(pool)
 			w.Recip[spec.Name] = svc
@@ -127,6 +134,7 @@ func NewWorld(cfg Config) *World {
 			}
 			svc := aas.NewCollusionService(spec, plat, sched, root.Split("svc-"+spec.Name), ipPool)
 			svc.SetStepPool(w.Steps)
+			svc.WireTelemetry(cfg.Telemetry)
 			w.Coll[spec.Name] = svc
 		}
 	}
@@ -136,6 +144,7 @@ func NewWorld(cfg Config) *World {
 
 	if cfg.IPDailyBudget > 0 {
 		w.Guard = detection.NewIPVolumeGuard(cfg.IPDailyBudget)
+		w.Guard.WireTelemetry(cfg.Telemetry)
 		w.Plat.SetGatekeeper(w.Guard)
 	}
 

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"footsteps/internal/platform"
+	"footsteps/internal/telemetry"
 )
 
 // IPVolumeGuard models the platform's pre-existing abuse defenses: a
@@ -26,6 +27,9 @@ type IPVolumeGuard struct {
 	// Throttled counts actions rejected, by client fingerprint — the
 	// platform's view of who the guard is squeezing.
 	Throttled map[string]int
+
+	telChecked *telemetry.Counter
+	telBlocked *telemetry.Counter
 }
 
 type ipWindow struct {
@@ -42,6 +46,16 @@ func NewIPVolumeGuard(dailyPerIP int) *IPVolumeGuard {
 	}
 }
 
+// WireTelemetry registers the guard's checked/blocked counters on reg.
+// Telemetry is a pure observer; a nil reg leaves the guard untouched.
+func (g *IPVolumeGuard) WireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	g.telChecked = reg.Counter("detection.ipguard.checked")
+	g.telBlocked = reg.Counter("detection.ipguard.blocked")
+}
+
 // Check implements platform.Gatekeeper: actions beyond an address's daily
 // budget are blocked synchronously. Logins always pass — the guard polices
 // action volume, not presence.
@@ -49,6 +63,7 @@ func (g *IPVolumeGuard) Check(req platform.Event) platform.Verdict {
 	if req.Type == platform.ActionLogin || g.DailyPerIP <= 0 {
 		return platform.Allow
 	}
+	g.telChecked.Inc()
 	day := req.Time.Unix() / 86400
 	w := g.counts[req.IP]
 	if w == nil {
@@ -60,6 +75,7 @@ func (g *IPVolumeGuard) Check(req platform.Event) platform.Verdict {
 	}
 	if w.n >= g.DailyPerIP {
 		g.Throttled[req.Client]++
+		g.telBlocked.Inc()
 		return platform.Verdict{Kind: platform.VerdictBlock}
 	}
 	w.n++

@@ -7,6 +7,7 @@ import (
 	"footsteps/internal/clock"
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
+	"footsteps/internal/telemetry"
 )
 
 // AccountActivity is everything the platform knows about one AAS customer
@@ -188,12 +189,27 @@ type Tracker struct {
 	classifier *Classifier
 	services   map[string]*ServiceActivity
 	start      time.Time
+
+	telObserved   *telemetry.Counter
+	telAttributed *telemetry.Counter
 }
 
 // NewTracker builds a tracker over a trained classifier. start anchors day
 // indices (usually the measurement window's first instant).
 func NewTracker(c *Classifier, start time.Time) *Tracker {
 	return &Tracker{classifier: c, services: make(map[string]*ServiceActivity), start: start}
+}
+
+// WireTelemetry registers the tracker's counters on reg: events observed
+// (post-filter, i.e. allowed non-enforcement non-duplicate) and events
+// attributed to a service label. Telemetry is a pure observer; a nil reg
+// leaves the tracker untouched.
+func (t *Tracker) WireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t.telObserved = reg.Counter("detection.events.observed")
+	t.telAttributed = reg.Counter("detection.events.attributed")
 }
 
 // Day converts an event time to a day index relative to the window start.
@@ -208,10 +224,12 @@ func (t *Tracker) Observe(ev platform.Event) {
 	if ev.Outcome != platform.OutcomeAllowed || ev.Enforcement || ev.Duplicate {
 		return
 	}
+	t.telObserved.Inc()
 	label, ok := t.classifier.Classify(ev)
 	if !ok {
 		return
 	}
+	t.telAttributed.Inc()
 	svc := t.services[label]
 	if svc == nil {
 		svc = newServiceActivity(label)

@@ -19,6 +19,7 @@ import (
 	"footsteps/internal/detection"
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
+	"footsteps/internal/telemetry"
 )
 
 // NumBins is the fixed experiment partition width (§6.3).
@@ -117,6 +118,11 @@ type Controller struct {
 	counters map[counterKey]*dayCount
 
 	stats map[statsKey]*BinStats
+
+	telAttempts *telemetry.Counter
+	telEligible *telemetry.Counter
+	telBlocked  *telemetry.Counter
+	telDelayed  *telemetry.Counter
 }
 
 type counterKey struct {
@@ -146,6 +152,20 @@ func New(th detection.Thresholds, classify func(platform.Event) (string, bool), 
 		counters:   make(map[counterKey]*dayCount),
 		stats:      make(map[statsKey]*BinStats),
 	}
+}
+
+// WireTelemetry registers the controller's counters on reg, mirroring the
+// BinStats tallies in aggregate: attempts seen from thresholded ASNs,
+// attempts over threshold, and the two countermeasure outcomes. Telemetry
+// is a pure observer; a nil reg leaves the controller untouched.
+func (c *Controller) WireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.telAttempts = reg.Counter("intervention.attempts")
+	c.telEligible = reg.Counter("intervention.eligible")
+	c.telBlocked = reg.Counter("intervention.blocked")
+	c.telDelayed = reg.Counter("intervention.delayed")
 }
 
 // Day returns the experiment day index for an instant.
@@ -184,20 +204,24 @@ func (c *Controller) Check(req platform.Event) platform.Verdict {
 	}
 	st := c.statsFor(statsKey{day: day, label: label, typ: req.Type, assig: assig})
 	st.Attempts++
+	c.telAttempts.Inc()
 
 	eligible := float64(cnt.n) > threshold
 	if !eligible {
 		return platform.Allow
 	}
 	st.Eligible++
+	c.telEligible.Inc()
 
 	switch assig {
 	case AssignBlock:
 		st.Blocked++
+		c.telBlocked.Inc()
 		return platform.Verdict{Kind: platform.VerdictBlock}
 	case AssignDelay:
 		if req.Type == platform.ActionFollow {
 			st.Delayed++
+			c.telDelayed.Inc()
 			return platform.Verdict{Kind: platform.VerdictDelayRemove, RemoveAfter: c.removeLag}
 		}
 		return platform.Allow // no deferred removal exists for likes (§6.1)

@@ -27,6 +27,7 @@ import (
 	"footsteps/internal/clock"
 	"footsteps/internal/netsim"
 	"footsteps/internal/socialgraph"
+	"footsteps/internal/telemetry"
 )
 
 // AccountID aliases the graph's account identifier; the two packages share
@@ -157,6 +158,54 @@ type Platform struct {
 	limiter    *hourlyLimiter
 
 	log EventLog
+
+	// tel holds pre-created instruments (nil = telemetry off). Set once
+	// during world construction, before any traffic; see WireTelemetry.
+	tel *platformMetrics
+}
+
+// platformMetrics caches one counter per hot-path cell so emission costs
+// one array index plus an atomic add — no registry lookups, no locks.
+// The instruments are pure observers: they never feed back into request
+// handling, so metrics on/off cannot change any event.
+type platformMetrics struct {
+	// events[type][outcome] counts every emitted event.
+	events [int(ActionLogin) + 1][int(OutcomeFailed) + 1]*telemetry.Counter
+
+	rateLimited  *telemetry.Counter // ordinary API limit denials
+	gateChecks   *telemetry.Counter // gatekeeper consultations
+	verdictBlock *telemetry.Counter // synchronous blocks issued
+	verdictDelay *telemetry.Counter // delayed removals scheduled
+	enforcement  *telemetry.Counter // platform-performed removals landed
+	duplicates   *telemetry.Counter // allowed structural no-ops
+
+	accounts *telemetry.Gauge // live accounts
+	logins   *telemetry.Counter
+}
+
+// WireTelemetry registers the platform's metric set in reg and starts
+// recording. Call during construction, before traffic; a nil registry is
+// a no-op (telemetry stays off).
+func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &platformMetrics{
+		rateLimited:  reg.Counter("platform.ratelimit.denied"),
+		gateChecks:   reg.Counter("platform.gate.checks"),
+		verdictBlock: reg.Counter("platform.gate.verdict.block"),
+		verdictDelay: reg.Counter("platform.gate.verdict.delay_remove"),
+		enforcement:  reg.Counter("platform.enforcement.removals"),
+		duplicates:   reg.Counter("platform.events.duplicate"),
+		accounts:     reg.Gauge("platform.accounts.live"),
+		logins:       reg.Counter("platform.logins"),
+	}
+	for t := ActionLike; t <= ActionLogin; t++ {
+		for o := OutcomeAllowed; o <= OutcomeFailed; o++ {
+			m.events[t][o] = reg.Counter("platform.events." + t.String() + "." + o.String())
+		}
+	}
+	p.tel = m
 }
 
 // New assembles a platform over the given substrates.
@@ -217,6 +266,9 @@ func (p *Platform) RegisterAccount(username, password string, profile Profile, h
 	}
 	p.accounts[id] = a
 	p.byUsername[username] = id
+	if m := p.tel; m != nil {
+		m.accounts.Add(1)
+	}
 	// The profile's initial photos exist as posts.
 	for i := 0; i < profile.PhotoCount; i++ {
 		p.addPostLocked(a)
@@ -253,6 +305,9 @@ func (p *Platform) DeleteAccount(id AccountID) error {
 	a.deleted = true
 	a.sessionEpoch++ // revoke sessions
 	delete(p.byUsername, a.username)
+	if m := p.tel; m != nil {
+		m.accounts.Add(-1)
+	}
 	for _, pid := range a.posts {
 		delete(p.postAuthor, pid)
 	}
@@ -425,6 +480,20 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 func (p *Platform) emit(ev Event) {
 	if asn, ok := p.net.Lookup(ev.IP); ok {
 		ev.ASN = asn
+	}
+	if m := p.tel; m != nil {
+		if int(ev.Type) < len(m.events) && int(ev.Outcome) < len(m.events[0]) {
+			m.events[ev.Type][ev.Outcome].Inc()
+		}
+		if ev.Enforcement {
+			m.enforcement.Inc()
+		}
+		if ev.Duplicate {
+			m.duplicates.Inc()
+		}
+		if ev.Type == ActionLogin {
+			m.logins.Inc()
+		}
 	}
 	p.log.Emit(ev)
 }

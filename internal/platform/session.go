@@ -138,6 +138,9 @@ func (s *Session) do(ev Event, apply func() (bool, error)) error {
 	}
 	if !p.limiter.allow(s.id, ev.Time, limit) {
 		p.mu.Unlock()
+		if m := p.tel; m != nil {
+			m.rateLimited.Inc()
+		}
 		ev.Outcome = OutcomeRateLimited
 		p.emit(ev)
 		return ErrRateLimited
@@ -154,6 +157,15 @@ func (s *Session) do(ev Event, apply func() (bool, error)) error {
 			req.ASN = asn
 		}
 		verdict = gate.Check(req)
+		if m := p.tel; m != nil {
+			m.gateChecks.Inc()
+			switch verdict.Kind {
+			case VerdictBlock:
+				m.verdictBlock.Inc()
+			case VerdictDelayRemove:
+				m.verdictDelay.Inc()
+			}
+		}
 	}
 	if verdict.Kind == VerdictBlock {
 		ev.Outcome = OutcomeBlocked

@@ -28,6 +28,14 @@ import (
 // configured window, and returns the complete event stream encoded as
 // FSEV1 bytes.
 func Capture(cfg core.Config) []byte {
+	return CaptureWorld(cfg, nil)
+}
+
+// CaptureWorld is Capture with a hook: prep (when non-nil) runs on the
+// freshly built world before the lifecycle starts. The telemetry tests
+// use it to attach metric sinks (StreamTelemetryDaily) that the pure-
+// observer contract says must not change the bytes.
+func CaptureWorld(cfg core.Config, prep func(*core.World)) []byte {
 	var buf bytes.Buffer
 	wr, err := eventio.NewWriter(&buf)
 	if err != nil {
@@ -35,6 +43,9 @@ func Capture(cfg core.Config) []byte {
 	}
 	w := core.NewWorld(cfg)
 	wr.Attach(w.Plat.Log())
+	if prep != nil {
+		prep(w)
+	}
 	w.RunAll()
 	w.Sched.RunFor(clock.Day * time.Duration(cfg.Days))
 	if err := wr.Flush(); err != nil {

@@ -3,10 +3,14 @@ package simtest
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 
 	"footsteps/internal/core"
 	"footsteps/internal/eventio"
+	"footsteps/internal/telemetry"
 )
 
 // smallConfig is a world small enough to run nine times under -race in a
@@ -56,6 +60,94 @@ func TestCaptureRepeatable(t *testing.T) {
 	a, b := Capture(cfg), Capture(cfg)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("same config diverged across fresh runs: %s != %s", Hash(a), Hash(b))
+	}
+}
+
+// TestTelemetryPureObserver enforces the observability invariant: a world
+// instrumented with a live telemetry registry — including the per-day
+// JSONL flush, which schedules extra (pure observer) callbacks — produces
+// the byte-identical FSEV1 stream of an uninstrumented world, at any
+// worker count. The test also asserts the instrumentation actually fired,
+// so a silently dead registry cannot make the comparison vacuous.
+func TestTelemetryPureObserver(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			want := Capture(smallConfig(11, workers))
+			cfg := smallConfig(11, workers)
+			cfg.Telemetry = telemetry.NewRegistry()
+			var jsonl bytes.Buffer
+			got := CaptureWorld(cfg, func(w *core.World) { w.StreamTelemetryDaily(&jsonl) })
+			if !bytes.Equal(want, got) {
+				t.Errorf("telemetry changed the stream: hash %s != %s (lengths %d vs %d)",
+					Hash(got), Hash(want), len(got), len(want))
+			}
+			snap := cfg.Telemetry.Snapshot()
+			var platformEvents int64
+			for name, v := range snap.Counters {
+				if strings.HasPrefix(name, "platform.events.") {
+					platformEvents += v
+				}
+			}
+			if platformEvents == 0 {
+				t.Error("no platform events counted; pure-observer comparison is vacuous")
+			}
+			if snap.Counters["step.sections"] == 0 {
+				t.Error("tick tracer recorded no sections; step instrumentation dead")
+			}
+			if jsonl.Len() == 0 {
+				t.Error("daily JSONL sink stayed empty")
+			}
+		})
+	}
+}
+
+// TestDebugListenerPureObserver runs a capture with the -debug-addr
+// machinery live and a goroutine hammering /metrics.json throughout —
+// concurrent snapshots while the world steps in parallel. The stream must
+// still match the uninstrumented baseline byte for byte.
+func TestDebugListenerPureObserver(t *testing.T) {
+	t.Parallel()
+	want := Capture(smallConfig(5, 4))
+	cfg := smallConfig(5, 4)
+	cfg.Telemetry = telemetry.NewRegistry()
+	srv, err := telemetry.ServeDebug("127.0.0.1:0", cfg.Telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	polls := 0
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + srv.Addr() + "/metrics.json")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				polls++
+			}
+		}
+	}()
+	got := Capture(cfg)
+	close(stop)
+	<-done
+
+	if polls == 0 {
+		t.Fatal("debug listener was never polled; comparison is vacuous")
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("live debug listener changed the stream: hash %s != %s (lengths %d vs %d)",
+			Hash(got), Hash(want), len(got), len(want))
 	}
 }
 

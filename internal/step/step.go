@@ -18,7 +18,12 @@
 // See docs/DETERMINISM.md.
 package step
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"footsteps/internal/telemetry"
+)
 
 // Pool is a bounded worker pool for shard generation. The zero/nil Pool is
 // valid and runs generation inline on the calling goroutine, which by
@@ -27,6 +32,7 @@ import "sync"
 // pipeline so sequential and parallel runs share one code path.
 type Pool struct {
 	workers int
+	tracer  *telemetry.TickTracer
 }
 
 // NewPool returns a pool running shard generation on up to workers
@@ -44,6 +50,26 @@ func (p *Pool) Workers() int {
 		return 1
 	}
 	return p.workers
+}
+
+// SetTracer installs a telemetry tick tracer on the pool. The tracer is
+// a pure observer — it records wall-clock phase durations and intent
+// counts into atomics and feeds nothing back into Run's control flow, so
+// tracing never changes the apply order or the event stream. A nil
+// tracer (the default) disables timing entirely.
+func (p *Pool) SetTracer(tr *telemetry.TickTracer) {
+	if p == nil {
+		return
+	}
+	p.tracer = tr
+}
+
+// Tracer returns the pool's tracer (nil for a nil pool or none set).
+func (p *Pool) Tracer() *telemetry.TickTracer {
+	if p == nil {
+		return nil
+	}
+	return p.tracer
 }
 
 // Run executes one tick's intent/apply cycle over n shards.
@@ -66,11 +92,24 @@ func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)
 	if workers > n {
 		workers = n
 	}
+	tr := p.Tracer()
+	tr.SectionStart()
 	bufs := make([][]T, n)
+	// runShard generates one shard, timing it when tracing is on. The
+	// timing wrapper is identical on the inline and pooled paths and
+	// only writes to telemetry atomics, so it cannot affect the bytes.
+	runShard := func(i int) {
+		if !tr.Enabled() {
+			gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+			return
+		}
+		start := time.Now()
+		gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+		tr.ShardPlanned(time.Since(start), len(bufs[i]))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			i := i
-			gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+			runShard(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -80,8 +119,7 @@ func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)
 			go func() {
 				defer wg.Done()
 				for i := range shards {
-					i := i
-					gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+					runShard(i)
 				}
 			}()
 		}
@@ -91,10 +129,19 @@ func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)
 		close(shards)
 		wg.Wait()
 	}
+	var applyStart time.Time
+	if tr.Enabled() {
+		applyStart = time.Now()
+	}
+	applied := 0
 	for _, buf := range bufs {
+		applied += len(buf)
 		for _, v := range buf {
 			apply(v)
 		}
+	}
+	if tr.Enabled() {
+		tr.Applied(time.Since(applyStart), applied)
 	}
 }
 

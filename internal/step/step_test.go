@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"footsteps/internal/rng"
+	"footsteps/internal/telemetry"
 )
 
 // collect runs one intent/apply cycle where each shard emits a
@@ -140,5 +141,38 @@ func TestChunksCoverExactly(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTracerObservesRun: a wired tracer records sections, shards, and
+// intent counts on both the inline and pooled paths, and identical
+// generation happens with or without it.
+func TestTracerObservesRun(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		p := NewPool(workers)
+		p.SetTracer(telemetry.NewTickTracer(reg))
+		sum := 0
+		Run(p, 6, func(shard int, emit func(int)) {
+			emit(shard)
+			emit(shard * 10)
+		}, func(v int) { sum += v })
+		if want := (0 + 1 + 2 + 3 + 4 + 5) * 11; sum != want {
+			t.Fatalf("workers=%d: applied sum %d, want %d", workers, sum, want)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["step.sections"] != 1 {
+			t.Fatalf("workers=%d: sections = %d", workers, snap.Counters["step.sections"])
+		}
+		if snap.Counters["step.shards"] != 6 {
+			t.Fatalf("workers=%d: shards = %d", workers, snap.Counters["step.shards"])
+		}
+		if snap.Counters["step.intents"] != 12 {
+			t.Fatalf("workers=%d: intents = %d", workers, snap.Counters["step.intents"])
+		}
+		if snap.Histograms["step.apply.ns"].Count != 1 {
+			t.Fatalf("workers=%d: apply histogram count = %d", workers, snap.Histograms["step.apply.ns"].Count)
+		}
 	}
 }

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugReg holds the registry the expvar "footsteps" var reads from. A
+// process-global indirection (rather than Publish-per-call) keeps
+// repeated ServeDebug calls — tests, successive runs in one process —
+// from hitting expvar's duplicate-name panic.
+var (
+	debugReg    atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// DebugServer is a live debug endpoint: expvar under /debug/vars, the
+// registry snapshot as plain JSON under /metrics.json, and the standard
+// pprof handlers under /debug/pprof/.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "127.0.0.1:6060";
+// port 0 picks a free port) serving snapshots of reg. The server runs on
+// its own goroutines and only ever reads atomics, so a live listener
+// cannot perturb the simulation. Close the returned server when done.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	debugReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("footsteps", expvar.Func(func() any {
+			return debugReg.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugReg.Load().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's bound address (useful with port 0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebug boots the listener on an ephemeral port and checks the
+// three surfaces: expvar, the plain snapshot JSON, and pprof. A second
+// ServeDebug call must not panic on a duplicate expvar name.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events.total").Add(42)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"footsteps"`) {
+		t.Fatalf("/debug/vars: code %d, body %.200s", code, body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a Snapshot: %v", err)
+	}
+	if snap.Counters["events.total"] != 42 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+
+	srv2, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table renders rows as an aligned text table under a header row, in the
+// same visual style as the study's report tables. Exposed so other
+// renderers (the end-of-run summary in core, fsevdump -stats) share one
+// formatter.
+func Table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Format renders the snapshot as a human-readable summary: counters and
+// gauges name-sorted with values, histograms with count, mean, p50 and
+// p99. Metric names ending in ".ns" render durations human-readably.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+		rows := make([][]string, 0, len(s.Counters)+len(s.Gauges))
+		for _, name := range sortedKeys(s.Counters) {
+			rows = append(rows, []string{name, "counter", fmt.Sprintf("%d", s.Counters[name])})
+		}
+		for _, name := range sortedKeys(s.Gauges) {
+			rows = append(rows, []string{name, "gauge", fmt.Sprintf("%d", s.Gauges[name])})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+		b.WriteString(Table([]string{"metric", "kind", "value"}, rows))
+	}
+	if len(s.Histograms) > 0 {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rows := make([][]string, 0, len(names))
+		for _, name := range names {
+			h := s.Histograms[name]
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%d", h.Count),
+				formatValue(name, int64(h.Mean())),
+				formatValue(name, h.Quantile(0.50)),
+				formatValue(name, h.Quantile(0.99)),
+			})
+		}
+		b.WriteString(Table([]string{"histogram", "count", "mean", "p50", "p99"}, rows))
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+// formatValue renders a histogram statistic; ".ns"-suffixed metrics are
+// nanosecond durations.
+func formatValue(name string, v int64) string {
+	if strings.HasSuffix(name, ".ns") {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// DayRecord is one line of the per-day JSONL metric series. Counters
+// carry cumulative totals; Deltas carry the day's increments (omitting
+// zero rows). encoding/json sorts map keys, so lines are reproducible
+// for a given metric state.
+type DayRecord struct {
+	Day      int              `json:"day"`
+	SimTime  string           `json:"sim_time"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Deltas   map[string]int64 `json:"deltas,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// DayWriter emits one DayRecord per simulated day, tracking the previous
+// snapshot so each line carries per-day counter deltas alongside the
+// running totals. It is driven from scheduler callbacks (serial), so it
+// needs no locking of its own.
+type DayWriter struct {
+	enc  *json.Encoder
+	reg  *Registry
+	prev Snapshot
+}
+
+// NewDayWriter builds a writer streaming to out from reg.
+func NewDayWriter(out io.Writer, reg *Registry) *DayWriter {
+	return &DayWriter{enc: json.NewEncoder(out), reg: reg}
+}
+
+// WriteDay snapshots the registry and writes one JSONL line for the
+// given simulated day.
+func (d *DayWriter) WriteDay(day int, simTime time.Time) error {
+	snap := d.reg.Snapshot()
+	rec := DayRecord{
+		Day:      day,
+		SimTime:  simTime.UTC().Format(time.RFC3339),
+		Counters: snap.Counters,
+		Deltas:   snap.DeltaCounters(d.prev),
+		Gauges:   snap.Gauges,
+	}
+	d.prev = snap
+	return d.enc.Encode(rec)
+}

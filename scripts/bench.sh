@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the parallel-stepping benchmark and converts the result lines into
+# BENCH_PR2.json, a machine-readable record of tick/event throughput per
+# worker count (ticks/op, events/op, ns/tick, events/sec).
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+out="${1:-BENCH_PR2.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(go test -run '^$' -bench 'BenchmarkParallelStep' -benchtime "${BENCHTIME:-1x}" .)"
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk '
+/^BenchmarkParallelStep\// {
+    name = $1
+    sub(/^BenchmarkParallelStep\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    rec = "  {\"bench\": \"" name "\", \"iters\": " $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        rec = rec ", \"" $(i + 1) "\": " $i
+    }
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    print "["
+    for (i = 0; i < n; i++) print recs[i] (i < n - 1 ? "," : "")
+    print "]"
+}
+' >"$out"
+
+echo "wrote $out" >&2
