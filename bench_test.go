@@ -23,6 +23,7 @@ import (
 	"footsteps/internal/clock"
 	"footsteps/internal/core"
 	"footsteps/internal/detection"
+	"footsteps/internal/faults"
 	"footsteps/internal/intervention"
 	"footsteps/internal/platform"
 )
@@ -599,6 +600,50 @@ func BenchmarkParallelStep(b *testing.B) {
 			// Absolute throughput alongside the per-op normalizations:
 			// wall-clock per simulated tick and simulated events per second
 			// of benchmark time.
+			if totalTicks > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalTicks), "ns/tick")
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(totalEvents)/secs, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelStepFaults is BenchmarkParallelStep with the
+// "mixed" fault scenario active: the same tick loop now pays the
+// injector's pure-hash verdict on every request plus the client-side
+// retry/breaker machinery. Comparing ns/tick against the faults-off
+// run bounds the injection overhead (target: the faults-off numbers in
+// BenchmarkParallelStep move by under 5%, since a nil injector is one
+// pointer check).
+func BenchmarkParallelStepFaults(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			totalTicks, totalEvents := 0, 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := footsteps.TestConfig()
+				cfg.Days = 10
+				cfg.Workers = workers
+				cfg.Faults = faults.MustScenario("mixed")
+				w := core.NewWorld(cfg)
+				w.RunAll()
+				deadline := w.Plat.Now().Add(time.Duration(cfg.Days) * clock.Day)
+				events := 0
+				w.Plat.Log().Subscribe(func(platform.Event) { events++ })
+				b.StartTimer()
+				for {
+					at, ran := w.Sched.StepTick()
+					if ran == 0 || at.After(deadline) {
+						break
+					}
+					totalTicks++
+				}
+				totalEvents += events
+			}
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/op")
+			b.ReportMetric(float64(totalEvents)/float64(b.N), "events/op")
 			if totalTicks > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalTicks), "ns/tick")
 			}

@@ -13,6 +13,7 @@
 //	narrow         Figures 5–6 (§6.3 narrow intervention)
 //	broad          Figure 7  (§6.4 broad intervention)
 //	adaptation     §6.4 epilogue (proxy evasion, endgame)
+//	faults         fault-injection demo (resilience under infrastructure failure)
 //	all            everything above, in paper order
 //
 // Flags:
@@ -21,23 +22,34 @@
 //	-scale F         customer-dynamics scale vs the paper (default 1/500)
 //	-days N          measurement window in days (default 90)
 //	-quick           small, fast configuration (for smoke runs)
+//	-faults P        fault profile: built-in scenario name or JSON path
 //	-metrics FILE    write per-day telemetry JSONL next to the report
 //	-debug-addr H:P  serve live expvar snapshots and pprof while running
 //
 // Telemetry is a pure observer: enabling -metrics or -debug-addr changes
 // neither the event stream nor any table (see docs/OBSERVABILITY.md).
+// SIGINT/SIGTERM trigger a graceful shutdown: the -metrics sink is synced
+// and the debug server drains before exit, so interrupted runs never
+// leave torn metric files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
+	"time"
 
 	"footsteps"
 	"footsteps/internal/aas"
+	"footsteps/internal/clock"
 	"footsteps/internal/core"
 	"footsteps/internal/eventio"
+	"footsteps/internal/faults"
 	"footsteps/internal/telemetry"
 )
 
@@ -45,6 +57,7 @@ import (
 var (
 	telReg        *telemetry.Registry
 	telMetricsOut *os.File
+	telDebugSrv   *telemetry.DebugServer
 )
 
 // telemetryAttach wires the per-day JSONL sink to a freshly built world.
@@ -54,11 +67,77 @@ func telemetryAttach(w *core.World) {
 	}
 }
 
-// telemetryReport prints the end-of-run summary table, if enabled.
+// telemetryReport prints the end-of-run summary tables, if enabled: the
+// fault/retry/breaker section (faulted runs only), then the full metric
+// dump.
 func telemetryReport(w *core.World) {
+	if s := w.FaultSummary(); s != "" {
+		fmt.Println(s)
+	}
 	if s := w.TelemetrySummary(); s != "" {
 		fmt.Println(s)
 	}
+}
+
+// loadFaultProfile resolves the -faults argument: a built-in scenario
+// name first, a JSON profile path otherwise.
+func loadFaultProfile(arg string) (*faults.Profile, error) {
+	if p, err := faults.Scenario(arg); err == nil {
+		return p, nil
+	}
+	return faults.Load(arg)
+}
+
+// shutdownOnSignal installs the graceful-shutdown handler: on SIGINT or
+// SIGTERM the -metrics JSONL sink is synced (its writes are line-atomic
+// and unbuffered, so syncing leaves no torn records) and the debug
+// server drains with a timeout before the process exits.
+func shutdownOnSignal() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "\nfootsteps: %v: flushing telemetry sinks\n", sig)
+		if telMetricsOut != nil {
+			telMetricsOut.Sync()
+			telMetricsOut.Close()
+		}
+		if telDebugSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			telDebugSrv.Shutdown(ctx)
+			cancel()
+		}
+		if sig == syscall.SIGTERM {
+			os.Exit(143)
+		}
+		os.Exit(130)
+	}()
+}
+
+// runFaults is the resilience demo: a compact faulted run (the "mixed"
+// scenario unless -faults chose otherwise) followed by the injected-
+// fault and client-resilience summary.
+func runFaults(cfg footsteps.Config) error {
+	if cfg.Faults == nil {
+		cfg.Faults = faults.MustScenario("mixed")
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Days > 10 {
+		// The built-in scenarios play out within the first five days;
+		// the demo does not need a full measurement window.
+		cfg.Days = 10
+	}
+	w := core.NewWorld(cfg)
+	telemetryAttach(w)
+	fmt.Printf("Fault demo: profile %q over %d days (seed %d, workers %d)...\n",
+		cfg.Faults.Name, cfg.Days, cfg.Seed, cfg.Workers)
+	w.RunAll()
+	w.Sched.RunFor(time.Duration(cfg.Days) * clock.Day)
+	fmt.Println()
+	fmt.Println(w.FaultSummary())
+	return nil
 }
 
 func main() {
@@ -72,6 +151,8 @@ func main() {
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
 	metricsPath := flag.String("metrics", "", "write per-day telemetry JSONL to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
+	faultsFlag := flag.String("faults", "",
+		"fault profile: built-in scenario ("+strings.Join(faults.Scenarios(), ", ")+") or a JSON profile path")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -80,7 +161,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *metricsPath != "" || *debugAddr != "" {
+	var faultProfile *faults.Profile
+	if *faultsFlag != "" {
+		p, err := loadFaultProfile(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		faultProfile = p
+	}
+
+	// A faulted run always carries a registry so the report's
+	// fault/retry/breaker section has counters behind it.
+	if *metricsPath != "" || *debugAddr != "" || faultProfile != nil {
 		telReg = telemetry.NewRegistry()
 	}
 	if *metricsPath != "" {
@@ -99,8 +192,10 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
+		telDebugSrv = srv
 		fmt.Printf("Debug server on http://%s (/debug/vars, /metrics.json, /debug/pprof/)\n", srv.Addr())
 	}
+	shutdownOnSignal()
 
 	mkCfg := func() footsteps.Config {
 		cfg := footsteps.DefaultConfig()
@@ -112,6 +207,7 @@ func main() {
 		cfg.Days = *days
 		cfg.Workers = *workers
 		cfg.Telemetry = telReg
+		cfg.Faults = faultProfile
 		if *quick {
 			cfg.Scale = footsteps.TestConfig().Scale
 			cfg.Days = footsteps.TestConfig().Days
@@ -138,6 +234,8 @@ func main() {
 		err = runGraphDetect(mkCfg())
 	case "sweep":
 		err = runSweep(mkCfg(), *seeds)
+	case "faults":
+		err = runFaults(mkCfg())
 	case "check":
 		err = runCheck()
 	case "all":
@@ -164,6 +262,7 @@ commands:
   broad          Figure 7 (broad intervention, 2 weeks)
   adaptation     §6.4 epilogue (proxy evasion and endgame)
   graphdetect    FRAUDAR-style graph baseline vs signal attribution
+  faults         fault-injection demo: AAS resilience under infrastructure failure
   sweep          multi-seed replication of the Table 5 measurement
   check          machine-checked calibration against the paper's bands
   all            everything, in paper order

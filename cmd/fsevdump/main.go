@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,8 +75,19 @@ func main() {
 			break
 		}
 		if err != nil {
+			// Flush the decoded prefix first — everything before the
+			// damage is intact and already on stdout.
 			flush()
-			fmt.Fprintln(os.Stderr, "fsevdump: stream error:", err)
+			if *stats {
+				printStats(reg, perDay)
+			}
+			var trunc *eventio.TruncatedError
+			if errors.As(err, &trunc) {
+				fmt.Fprintln(os.Stderr, "fsevdump:", trunc)
+				fmt.Fprintf(os.Stderr, "fsevdump: the capture ends mid-record (interrupted or still-running producer?); the %d events decoded before the cut are intact\n", trunc.Events)
+			} else {
+				fmt.Fprintln(os.Stderr, "fsevdump: stream error:", err)
+			}
 			os.Exit(1)
 		}
 		if *typeFilter != "" && ev.Type.String() != *typeFilter {

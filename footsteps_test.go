@@ -58,6 +58,29 @@ func TestStudyDeterminism(t *testing.T) {
 	}
 }
 
+// TestStudyReportGolden pins the faults-off business report to the
+// exact bytes it produced before the fault-injection layer existed:
+// the resilience plumbing (retry policies, breakers, re-login paths)
+// must be inert when Config.Faults is nil. If this fails after an
+// intentional report change, rerun with -v and copy the printed hash.
+func TestStudyReportGolden(t *testing.T) {
+	const want = "1e1f28aa74dd545c4b228a91417e1478730500032d0df851709f2c785c91a018"
+	cfg := TestConfig()
+	cfg.Days = 8
+	cfg.OrganicPopulation = 400
+	cfg.PoolSize = 300
+	cfg.VPNUsers = 20
+	study := NewStudy(cfg)
+	res, err := study.Business()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(FormatBusiness(res)))
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("faults-off business report moved:\n got  %s\n want %s", got, want)
+	}
+}
+
 // TestStudyReportHashDeterminism is the end-to-end regression for
 // parallel stepping: the full business report must hash identically
 // across fresh World runs and across worker counts. Run with -cpu=1,4

@@ -68,7 +68,6 @@ func (s *CollusionService) EnrollFree(username, password string, wants ...Offeri
 	if err != nil {
 		return nil, err
 	}
-	c.Password = password
 	c.EngagedUntil = c.EnrolledAt.Add(24 * time.Hour) // extended by requests
 	return c, nil
 }
@@ -240,8 +239,17 @@ func (s *CollusionService) deliver(c *Customer, t platform.ActionType, n int, ac
 		if s.throttled(src, t, ad) {
 			continue
 		}
-		err := act(src)
-		s.countOutcome(err)
+		if s.shedByBreaker(src, t) {
+			continue
+		}
+		// Source actions route through the shared resilience layer:
+		// outcome counting, breaker feedback, transparent re-login on
+		// revocation (churning the source only on a real password
+		// change), and backoff retries on injected unavailability.
+		// Late retry successes count on the source's dashboard but not
+		// in delivered/Delivered — the request's quantum is judged at
+		// request time.
+		err := s.execute(src, t, func() error { return act(src) })
 		switch err {
 		case nil:
 			ad.todayCount++
@@ -249,8 +257,6 @@ func (s *CollusionService) deliver(c *Customer, t platform.ActionType, n int, ac
 			s.Delivered[t]++
 		case platform.ErrBlocked:
 			s.onBlock(src, t, ad)
-		case platform.ErrSessionRevoked:
-			src.Churned = true
 		}
 	}
 	return delivered
@@ -351,7 +357,6 @@ func (s *CollusionService) spawnCustomer() *Customer {
 	if err != nil {
 		return nil
 	}
-	c.Password = password
 	c.Country = country
 	c.Managed = true
 	c.ownSession = own
@@ -458,7 +463,11 @@ func (s *CollusionService) dailyTick(scale float64) {
 			c.Churned = true
 			return
 		}
-		s.plat.Login(c.Username, c.Password, c.ownSession.Client())
+		// Keep the fresh home session so a session-store flap only
+		// interrupts home activity until the next daily login.
+		if sess, err := s.plat.Login(c.Username, c.Password, c.ownSession.Client()); err == nil {
+			c.ownSession = sess
+		}
 		posted := false
 		if op.post {
 			if _, err := c.ownSession.Post(); err == nil {

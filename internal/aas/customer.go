@@ -1,6 +1,7 @@
 package aas
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"time"
@@ -96,6 +97,17 @@ type Customer struct {
 	// into shards — on any number of workers — never changes the numbers
 	// any customer sees. See docs/DETERMINISM.md.
 	rng *rng.RNG
+
+	// relRNG is a second private stream feeding only the resilience
+	// layer (backoff jitter, re-login IP choice). Keeping fault-path
+	// draws off c.rng guarantees the fault machinery cannot shift the
+	// planning stream — part of the faults-off byte-identity argument
+	// in docs/FAULTS.md.
+	relRNG *rng.RNG
+
+	// br is the per-customer circuit breaker over injected
+	// infrastructure failures (see resilience.go).
+	br breaker
 }
 
 // Totals returns a copy of the service-performed action counts.
@@ -239,11 +251,26 @@ type base struct {
 	Revenue       float64
 	AdImpressions int
 
+	// rp is the shared retry/breaker policy applied to every customer's
+	// automation traffic (see resilience.go).
+	rp RetryPolicy
+
 	// telemetry counters for the service's automation outcomes; set by
 	// WireTelemetry, nil (inert) otherwise. Incremented only during the
 	// serial apply phase, so plain counters on atomics suffice.
 	telAttempts  *telemetry.Counter
 	telSuccesses *telemetry.Counter
+
+	// resilience-layer instruments (nil-safe; see docs/OBSERVABILITY.md).
+	telRetrySched    *telemetry.Counter
+	telRetryOK       *telemetry.Counter
+	telRetryDrop     *telemetry.Counter
+	telRelogin       *telemetry.Counter
+	telReloginOK     *telemetry.Counter
+	telBreakerOpen   *telemetry.Counter
+	telBreakerReopen *telemetry.Counter
+	telBreakerClose  *telemetry.Counter
+	telShed          [int(platform.ActionLogin) + 1]*telemetry.Counter
 
 	stopped bool
 }
@@ -259,6 +286,7 @@ func newBase(spec *Spec, plat *platform.Platform, sched Scheduler, r *rng.RNG, i
 		rng:   r,
 		net:   plat.Net(),
 		byID:  make(map[platform.AccountID]*Customer),
+		rp:    DefaultRetryPolicy(),
 	}
 	for i := 0; i < ipPool; i++ {
 		b.serviceIPs = append(b.serviceIPs, b.net.Allocate(spec.ASNs[i%len(spec.ASNs)]))
@@ -290,6 +318,17 @@ func (b *base) WireTelemetry(reg *telemetry.Registry) {
 	}
 	b.telAttempts = reg.Counter("aas." + b.spec.Name + ".attempts")
 	b.telSuccesses = reg.Counter("aas." + b.spec.Name + ".successes")
+	b.telRetrySched = reg.Counter("aas." + b.spec.Name + ".retries.scheduled")
+	b.telRetryOK = reg.Counter("aas." + b.spec.Name + ".retries.recovered")
+	b.telRetryDrop = reg.Counter("aas." + b.spec.Name + ".retries.exhausted")
+	b.telRelogin = reg.Counter("aas." + b.spec.Name + ".relogin.attempts")
+	b.telReloginOK = reg.Counter("aas." + b.spec.Name + ".relogin.recovered")
+	b.telBreakerOpen = reg.Counter("aas." + b.spec.Name + ".breaker.opened")
+	b.telBreakerReopen = reg.Counter("aas." + b.spec.Name + ".breaker.reopened")
+	b.telBreakerClose = reg.Counter("aas." + b.spec.Name + ".breaker.closed")
+	for t := platform.ActionLike; t <= platform.ActionPost; t++ {
+		b.telShed[t] = reg.Counter("aas." + b.spec.Name + ".shed." + t.String())
+	}
 }
 
 // countOutcome tallies one applied automation action into telemetry:
@@ -344,12 +383,17 @@ func (b *base) Enroll(username, password string, wants []Offering) (*Customer, e
 	c := &Customer{
 		Account:    sess.Account(),
 		Username:   username,
+		Password:   password,
 		Wants:      wants,
 		EnrolledAt: b.plat.Now(),
 		session:    sess,
 		adapt:      make(map[platform.ActionType]*adaptiveRate),
 		rng:        b.rng.Fork(uint64(len(b.customers))),
 	}
+	// Split is a pure function of the child stream's lineage — it
+	// consumes no draws — so carving off the resilience stream cannot
+	// shift any existing sequence.
+	c.relRNG = c.rng.Split("resilience")
 	b.customers = append(b.customers, c)
 	b.byID[c.Account] = c
 	return c, nil
@@ -443,6 +487,9 @@ func (b *base) ReloginAll() int {
 			API:         b.api,
 		})
 		if err != nil {
+			if errors.Is(err, platform.ErrUnavailable) {
+				continue // infrastructure blip: keep the old session
+			}
 			c.Churned = true // password changed under the service
 			continue
 		}

@@ -68,7 +68,6 @@ func (s *ReciprocityService) EnrollTrial(username, password string, wants ...Off
 	if err != nil {
 		return nil, err
 	}
-	c.Password = password
 	c.EngagedUntil = c.EnrolledAt.Add(time.Duration(s.spec.Reciprocity.ActualTrialDays()) * 24 * time.Hour)
 	return c, nil
 }
@@ -178,7 +177,6 @@ func (s *ReciprocityService) spawnCustomer() *Customer {
 	if err != nil {
 		return nil
 	}
-	c.Password = password
 	c.Country = country
 	c.Managed = true
 	c.ownSession = own
@@ -255,7 +253,13 @@ func (s *ReciprocityService) dailyTick(scale float64) {
 			return
 		}
 		if op.login {
-			s.plat.Login(op.c.Username, op.c.Password, op.c.ownSession.Client())
+			// The human's phone logs in fresh each day; keeping the new
+			// session means a session-store flap only interrupts home
+			// activity until the next login. Faults-off the fresh session
+			// is indistinguishable from the old one.
+			if sess, err := s.plat.Login(op.c.Username, op.c.Password, op.c.ownSession.Client()); err == nil {
+				op.c.ownSession = sess
+			}
 			if op.post {
 				op.c.ownSession.Post()
 			}
@@ -373,22 +377,26 @@ func (a *opApplier) apply(op plannedOp) {
 	if c.Churned || a.skip[op.action] {
 		return
 	}
+	if s.shedByBreaker(c, op.action) {
+		return
+	}
+	// All requests route through the shared resilience layer (execute):
+	// it counts outcomes, feeds the breaker, transparently re-logs-in on
+	// session revocation (churning the customer only when the password
+	// really changed), and schedules backoff retries on ErrUnavailable.
 	switch op.action {
 	case platform.ActionPost:
-		_, err := c.session.Post()
-		s.countOutcome(err)
-		if err == platform.ErrSessionRevoked {
-			c.Churned = true
-		} else if err == nil {
+		err := s.execute(c, op.action, func() error {
+			_, err := c.session.Post()
+			return err
+		})
+		if err == nil {
 			c.countAction(platform.ActionPost)
 		}
 		return
 	case platform.ActionUnfollow:
-		err := c.session.Unfollow(op.target)
-		s.countOutcome(err)
-		if err == platform.ErrSessionRevoked {
-			c.Churned = true
-		} else if err == nil {
+		err := s.execute(c, op.action, func() error { return c.session.Unfollow(op.target) })
+		if err == nil {
 			c.countAction(platform.ActionUnfollow)
 		}
 		return
@@ -396,16 +404,15 @@ func (a *opApplier) apply(op plannedOp) {
 	var err error
 	switch op.action {
 	case platform.ActionLike:
-		err = c.session.Like(op.post)
+		err = s.execute(c, op.action, func() error { return c.session.Like(op.post) })
 	case platform.ActionFollow:
-		err = c.session.Follow(op.target)
+		err = s.execute(c, op.action, func() error { return c.session.Follow(op.target) })
 		if err == nil && c.unfollowAfter {
 			c.pushUnfollow(op.target, s.plat.Now().Add(s.unfollowDelay))
 		}
 	case platform.ActionComment:
-		err = c.session.Comment(op.post, "nice!")
+		err = s.execute(c, op.action, func() error { return c.session.Comment(op.post, "nice!") })
 	}
-	s.countOutcome(err)
 	ad := s.adaptFor(c, op.action)
 	switch err {
 	case nil:
@@ -418,8 +425,13 @@ func (a *opApplier) apply(op plannedOp) {
 		a.skip[op.action] = true
 	case platform.ErrRateLimited:
 		a.skip[op.action] = true
+	case platform.ErrUnavailable:
+		// Retries are already booked; stop hammering a down platform
+		// with the rest of this hour's batch for the action type.
+		a.skip[op.action] = true
 	case platform.ErrSessionRevoked:
-		c.Churned = true // customer reset their password; account lost
+		// Re-login failed against a genuinely changed password; execute
+		// already churned the customer (account lost to the service).
 	}
 }
 

@@ -1,0 +1,334 @@
+package aas
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"footsteps/internal/platform"
+)
+
+// This file is the engines' shared resilience policy layer — how a
+// commercial automation service behaves when the platform's
+// infrastructure (not its defenses) misbehaves. The paper's services
+// were defined by exactly this: when Instagram flapped, they retried,
+// re-logged-in, throttled themselves, and kept selling (§6).
+//
+// Everything here is provably inert when fault injection is off:
+//   - the breaker counts only platform.ErrUnavailable, which a
+//     fault-free platform never returns;
+//   - retries are scheduled only for ErrUnavailable;
+//   - the session-refresh path runs on organic revocations too, but
+//     draws only from the customer's private resilience stream and —
+//     faults-off — always fails login against the reset password,
+//     emitting no event and consuming no shared draws before churning
+//     the customer exactly as the old ad-hoc handling did.
+// The faults-off byte-identity golden in internal/simtest pins this.
+
+// RetryPolicy tunes the shared resilience layer: retry budget, backoff
+// shape, and circuit-breaker thresholds.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per action (first attempt
+	// included) for revenue-critical actions; low-priority actions get
+	// a smaller budget (see retryBudget).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the capped exponential backoff
+	// between attempts.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// BreakerThreshold is how many consecutive hard (infrastructure)
+	// failures open a customer's circuit breaker.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an opened breaker sheds all traffic
+	// before half-opening to probe.
+	BreakerOpenFor time.Duration
+}
+
+// DefaultRetryPolicy returns the production policy: three attempts
+// with 2m..30m backoff, breaker at five consecutive hard failures,
+// half-open probes after two hours.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      3,
+		BaseBackoff:      2 * time.Minute,
+		MaxBackoff:       30 * time.Minute,
+		BreakerThreshold: 5,
+		BreakerOpenFor:   2 * time.Hour,
+	}
+}
+
+// retryBudget returns the attempt budget for an action type.
+// Follows/unfollows/posts — the revenue-critical mix — get the full
+// budget; likes and comments are shed first under sustained faults,
+// matching the paper's observation that services prioritized follow
+// delivery when throttled.
+func (p RetryPolicy) retryBudget(t platform.ActionType) int {
+	switch t {
+	case platform.ActionLike, platform.ActionComment:
+		if p.MaxAttempts > 2 {
+			return 2
+		}
+	}
+	return p.MaxAttempts
+}
+
+// breakerState is the derived state of a circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker transitions reported by onHardFailure.
+const (
+	brNone = iota
+	brOpened
+	brReopened
+)
+
+// breaker is a per-customer circuit breaker over consecutive
+// infrastructure failures. State is derived from (tripped, openUntil)
+// against the simulated clock, so the breaker needs no timers of its
+// own and half-opens "on a schedule" for free.
+type breaker struct {
+	fails     int // consecutive hard failures
+	tripped   bool
+	openUntil time.Time
+}
+
+// state derives the breaker position at the given instant.
+func (br *breaker) state(now time.Time) breakerState {
+	switch {
+	case !br.tripped:
+		return breakerClosed
+	case now.Before(br.openUntil):
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}
+
+// onSuccess records a successful request; it reports whether the
+// success closed a half-open breaker.
+func (br *breaker) onSuccess(now time.Time) bool {
+	closed := br.tripped && !now.Before(br.openUntil)
+	if closed {
+		br.tripped = false
+		br.openUntil = time.Time{}
+	}
+	br.fails = 0
+	return closed
+}
+
+// onHardFailure records one infrastructure failure and returns the
+// transition it caused: a half-open probe failure re-opens
+// immediately; a closed breaker opens at the policy threshold.
+func (br *breaker) onHardFailure(now time.Time, p RetryPolicy) int {
+	st := br.state(now)
+	br.fails++
+	switch {
+	case st == breakerHalfOpen:
+		br.openUntil = now.Add(p.BreakerOpenFor)
+		return brReopened
+	case st == breakerClosed && br.fails >= p.BreakerThreshold:
+		br.tripped = true
+		br.openUntil = now.Add(p.BreakerOpenFor)
+		return brOpened
+	}
+	return brNone
+}
+
+// shedByBreaker reports whether the customer's breaker sheds this
+// action right now, counting the shed when it does. Open sheds
+// everything; half-open sheds the low-priority mix (likes, comments)
+// while follows and the rest go through as probes — "shed likes before
+// follows".
+func (b *base) shedByBreaker(c *Customer, t platform.ActionType) bool {
+	switch c.br.state(b.plat.Now()) {
+	case breakerOpen:
+		b.countShed(t)
+		return true
+	case breakerHalfOpen:
+		if t == platform.ActionLike || t == platform.ActionComment {
+			b.countShed(t)
+			return true
+		}
+	}
+	return false
+}
+
+func (b *base) countShed(t platform.ActionType) {
+	if int(t) < len(b.telShed) {
+		b.telShed[t].Inc()
+	}
+}
+
+// breakerSuccess feeds one success into the customer's breaker.
+func (b *base) breakerSuccess(c *Customer) {
+	if c.br.onSuccess(b.plat.Now()) {
+		b.telBreakerClose.Inc()
+	}
+}
+
+// breakerFailure feeds one hard failure into the customer's breaker.
+func (b *base) breakerFailure(c *Customer) {
+	switch c.br.onHardFailure(b.plat.Now(), b.rp) {
+	case brOpened:
+		b.telBreakerOpen.Inc()
+	case brReopened:
+		b.telBreakerReopen.Inc()
+	}
+}
+
+// execute runs one automation request under the shared resilience
+// policy: outcome counting, breaker bookkeeping, transparent session
+// refresh on revocation, and scheduled retries with capped exponential
+// backoff on infrastructure failure. The returned error is what the
+// caller should react to; ErrUnavailable means retries (if any) are
+// already scheduled.
+//
+// op must re-read c.session at call time (closures over the customer
+// pointer do) so a refreshed session is picked up by later attempts.
+func (b *base) execute(c *Customer, t platform.ActionType, op func() error) error {
+	err := op()
+	b.countOutcome(err)
+	switch {
+	case err == nil:
+		b.breakerSuccess(c)
+	case errors.Is(err, platform.ErrUnavailable):
+		b.breakerFailure(c)
+		b.scheduleRetry(c, t, 1, op)
+	case errors.Is(err, platform.ErrSessionRevoked):
+		if b.refreshSession(c) {
+			err = op()
+			b.countOutcome(err)
+			switch {
+			case err == nil:
+				b.breakerSuccess(c)
+			case errors.Is(err, platform.ErrUnavailable):
+				b.breakerFailure(c)
+				b.scheduleRetry(c, t, 1, op)
+			}
+			// A second same-instant revocation is not refreshed again:
+			// the injector's verdict is a pure function of the request
+			// instant, so recursing here could never converge. The next
+			// action (at a later instant) refreshes instead.
+		}
+	}
+	return err
+}
+
+// scheduleRetry books attempt+1 after backoff, unless the action's
+// retry budget is exhausted.
+func (b *base) scheduleRetry(c *Customer, t platform.ActionType, attempt int, op func() error) {
+	if attempt >= b.rp.retryBudget(t) {
+		b.telRetryDrop.Inc()
+		return
+	}
+	b.telRetrySched.Inc()
+	delay := b.backoff(c, attempt)
+	b.sched.After(delay, func() { b.retryOp(c, t, attempt+1, op) })
+}
+
+// backoff is the capped exponential delay before the given retry
+// attempt, with full jitter on the upper half drawn from the
+// customer's private resilience stream — deterministic, yet decorrelated
+// across customers so retry storms do not synchronize.
+func (b *base) backoff(c *Customer, attempt int) time.Duration {
+	d := b.rp.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > b.rp.MaxBackoff {
+		d = b.rp.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(c.relRNG.Uint64n(uint64(half)+1))
+}
+
+// retryOp is a scheduled retry firing from the (serial) scheduler. It
+// re-checks the world — the customer may have churned, the service
+// stopped, the breaker opened — then re-runs the operation with the
+// same policy as execute, minus further same-call refresh recursion.
+//
+// Bookkeeping on success mirrors the engines' apply paths (adaptive
+// rate today-count, dashboard totals); retried follows deliberately
+// skip the auto-unfollow queue — a small, documented simplification
+// that keeps the retry layer independent of per-engine queues.
+func (b *base) retryOp(c *Customer, t platform.ActionType, attempt int, op func() error) {
+	if b.stopped || c.Churned {
+		return
+	}
+	if b.shedByBreaker(c, t) {
+		return
+	}
+	err := op()
+	b.countOutcome(err)
+	switch {
+	case err == nil:
+		b.retrySucceeded(c, t)
+	case errors.Is(err, platform.ErrUnavailable):
+		b.breakerFailure(c)
+		b.scheduleRetry(c, t, attempt, op)
+	case errors.Is(err, platform.ErrSessionRevoked):
+		if b.refreshSession(c) {
+			err = op()
+			b.countOutcome(err)
+			if err == nil {
+				b.retrySucceeded(c, t)
+			}
+		}
+	}
+	// ErrBlocked / ErrRateLimited on a retry: drop it. The original
+	// apply path already fed adaptation and skip state at plan time;
+	// a stale retry must not feed them again.
+}
+
+// retrySucceeded applies the success bookkeeping a normal apply-path
+// success would have done.
+func (b *base) retrySucceeded(c *Customer, t platform.ActionType) {
+	b.telRetryOK.Inc()
+	b.breakerSuccess(c)
+	switch t {
+	case platform.ActionLike, platform.ActionFollow, platform.ActionComment:
+		b.adaptFor(c, t).todayCount++
+	}
+	c.countAction(t)
+}
+
+// refreshSession attempts one automatic re-login after a session
+// revocation and reports whether the customer has a live session
+// again. The source IP draws only from the customer's private
+// resilience stream — a refresh attempt, successful or not, never
+// shifts any shared stream. When login fails with bad credentials the
+// password really changed under the service (reset or deletion) and
+// the account is lost, exactly as the engines always treated it.
+func (b *base) refreshSession(c *Customer) bool {
+	b.telRelogin.Inc()
+	sess, err := b.plat.Login(c.Username, c.Password, platform.ClientInfo{
+		IP:          b.resilienceIP(c),
+		Fingerprint: b.spec.Fingerprint,
+		API:         b.api,
+	})
+	switch {
+	case err == nil:
+		c.session = sess
+		b.telReloginOK.Inc()
+		return true
+	case errors.Is(err, platform.ErrUnavailable):
+		// The auth tier is down too; keep the customer and let the
+		// next action try again.
+		return false
+	default:
+		c.Churned = true
+		return false
+	}
+}
+
+// resilienceIP picks a source address for refresh logins from the
+// customer's private stream (cf. actionIP, which uses shared streams).
+func (b *base) resilienceIP(c *Customer) netip.Addr {
+	if b.proxies != nil {
+		return b.proxies.PickFrom(c.relRNG)
+	}
+	return b.serviceIPs[c.relRNG.Intn(len(b.serviceIPs))]
+}

@@ -1,0 +1,144 @@
+package aas
+
+import (
+	"testing"
+	"time"
+
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+)
+
+// TestBreakerStateMachine walks the circuit breaker through its full
+// lifecycle: closed → open at the consecutive-failure threshold →
+// half-open after the cooldown → closed on a successful probe, and
+// half-open → re-open on a failed probe.
+func TestBreakerStateMachine(t *testing.T) {
+	p := DefaultRetryPolicy()
+	now := time.Date(2017, 9, 2, 0, 0, 0, 0, time.UTC)
+	var br breaker
+
+	if br.state(now) != breakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	for i := 0; i < p.BreakerThreshold-1; i++ {
+		if tr := br.onHardFailure(now, p); tr != brNone {
+			t.Fatalf("failure %d caused transition %d before the threshold", i+1, tr)
+		}
+	}
+	if br.state(now) != breakerClosed {
+		t.Fatal("breaker opened below the threshold")
+	}
+	if tr := br.onHardFailure(now, p); tr != brOpened {
+		t.Fatalf("threshold failure returned %d, want brOpened", tr)
+	}
+	if br.state(now) != breakerOpen {
+		t.Fatal("breaker not open after the threshold failure")
+	}
+
+	// Just before the cooldown expires it is still open; at the boundary
+	// it half-opens.
+	almost := now.Add(p.BreakerOpenFor - time.Second)
+	if br.state(almost) != breakerOpen {
+		t.Fatal("breaker half-opened before the cooldown elapsed")
+	}
+	probe := now.Add(p.BreakerOpenFor)
+	if br.state(probe) != breakerHalfOpen {
+		t.Fatal("breaker not half-open after the cooldown")
+	}
+
+	// A failed probe re-opens for a full period.
+	if tr := br.onHardFailure(probe, p); tr != brReopened {
+		t.Fatalf("half-open failure returned %d, want brReopened", tr)
+	}
+	if br.state(probe.Add(p.BreakerOpenFor/2)) != breakerOpen {
+		t.Fatal("breaker not open again after a failed probe")
+	}
+
+	// A successful probe closes and resets the failure count.
+	probe2 := probe.Add(p.BreakerOpenFor)
+	if !br.onSuccess(probe2) {
+		t.Fatal("half-open success did not report closing the breaker")
+	}
+	if br.state(probe2) != breakerClosed || br.fails != 0 {
+		t.Fatalf("after closing: state %d fails %d", br.state(probe2), br.fails)
+	}
+	// Closing again from closed is not reported as a close transition.
+	if br.onSuccess(probe2) {
+		t.Fatal("success on a closed breaker reported a close transition")
+	}
+}
+
+// TestBreakerSuccessResetsConsecutiveCount pins "consecutive": a success
+// between failures restarts the count, so intermittent errors below the
+// threshold never open the breaker.
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	p := DefaultRetryPolicy()
+	now := time.Date(2017, 9, 2, 0, 0, 0, 0, time.UTC)
+	var br breaker
+	for round := 0; round < 3; round++ {
+		for i := 0; i < p.BreakerThreshold-1; i++ {
+			br.onHardFailure(now, p)
+		}
+		br.onSuccess(now)
+	}
+	if br.state(now) != breakerClosed {
+		t.Fatal("breaker opened despite successes interrupting the failure runs")
+	}
+}
+
+// TestRetryBudgetShedsLikesFirst pins the graceful-degradation order:
+// likes and comments get a smaller retry budget than the
+// revenue-critical follow mix.
+func TestRetryBudgetShedsLikesFirst(t *testing.T) {
+	p := DefaultRetryPolicy()
+	for _, tc := range []struct {
+		t    platform.ActionType
+		want int
+	}{
+		{platform.ActionLike, 2},
+		{platform.ActionComment, 2},
+		{platform.ActionFollow, p.MaxAttempts},
+		{platform.ActionUnfollow, p.MaxAttempts},
+		{platform.ActionPost, p.MaxAttempts},
+	} {
+		if got := p.retryBudget(tc.t); got != tc.want {
+			t.Errorf("retryBudget(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	// A policy with no headroom keeps its configured budget everywhere.
+	tight := RetryPolicy{MaxAttempts: 1}
+	if got := tight.retryBudget(platform.ActionLike); got != 1 {
+		t.Errorf("tight policy like budget %d, want 1", got)
+	}
+}
+
+// TestBackoffBoundsAndDeterminism checks the capped exponential shape:
+// attempt n waits in [base<<(n-1)/2, base<<(n-1)], capped at MaxBackoff,
+// and the jitter replays identically from an identically-seeded
+// customer stream.
+func TestBackoffBoundsAndDeterminism(t *testing.T) {
+	b := &base{rp: DefaultRetryPolicy()}
+	mk := func() *Customer { return &Customer{relRNG: rng.New(3).Split("resilience")} }
+
+	c := mk()
+	for attempt := 1; attempt <= 6; attempt++ {
+		full := b.rp.BaseBackoff << (attempt - 1)
+		if full <= 0 || full > b.rp.MaxBackoff {
+			full = b.rp.MaxBackoff
+		}
+		d := b.backoff(c, attempt)
+		if d < full/2 || d > full {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, full/2, full)
+		}
+	}
+	if d := b.backoff(c, 60); d > b.rp.MaxBackoff || d < b.rp.MaxBackoff/2 {
+		t.Errorf("huge attempt: backoff %v escaped the cap %v", d, b.rp.MaxBackoff)
+	}
+
+	c1, c2 := mk(), mk()
+	for attempt := 1; attempt <= 8; attempt++ {
+		if d1, d2 := b.backoff(c1, attempt), b.backoff(c2, attempt); d1 != d2 {
+			t.Fatalf("attempt %d: identical streams produced different jitter: %v vs %v", attempt, d1, d2)
+		}
+	}
+}

@@ -4,7 +4,10 @@
 // evaluation. See DESIGN.md for the experiment-to-module index.
 package core
 
-import "footsteps/internal/telemetry"
+import (
+	"footsteps/internal/faults"
+	"footsteps/internal/telemetry"
+)
 
 // Config sizes a study world. The zero value is unusable; start from
 // DefaultConfig or TestConfig.
@@ -65,6 +68,15 @@ type Config struct {
 	// simulation, so the event stream is byte-identical with it on or off
 	// (see docs/OBSERVABILITY.md). nil disables instrumentation.
 	Telemetry *telemetry.Registry
+
+	// Faults, when non-nil, schedules deterministic infrastructure
+	// faults — transient unavailability, session-store flaps, ASN
+	// outages, rate-limit storms — injected by the platform on every
+	// request (see docs/FAULTS.md). nil (the default) disables
+	// injection; a faults-off run is byte-identical to a build without
+	// the fault layer, and any faulted run is byte-identical across
+	// worker counts.
+	Faults *faults.Profile
 }
 
 // scaleFor returns the effective customer-dynamics scale for a service.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"footsteps/internal/telemetry"
+)
+
+// FaultSummary renders the study report's fault/retry/breaker section
+// from the telemetry counters (docs/FAULTS.md documents each
+// instrument). It returns "" when fault injection is off or no
+// telemetry registry is attached — the section only appears when there
+// is something measured to report.
+func (w *World) FaultSummary() string {
+	if w.Faults == nil || w.Cfg.Telemetry == nil {
+		return ""
+	}
+	snap := w.Cfg.Telemetry.Snapshot()
+	c := snap.Counters
+
+	var b strings.Builder
+	name := "(unnamed)"
+	if p := w.Faults.Profile(); p != nil && p.Name != "" {
+		name = p.Name
+	}
+	fmt.Fprintf(&b, "== Fault injection and client resilience (profile %q) ==\n\n", name)
+
+	// Injected faults, platform side.
+	unavailableEvents := int64(0)
+	for k, v := range c {
+		if strings.HasPrefix(k, "platform.events.") && strings.HasSuffix(k, ".unavailable") {
+			unavailableEvents += v
+		}
+	}
+	b.WriteString(telemetry.Table(
+		[]string{"fault", "injected"},
+		[][]string{
+			{"unavailable (transient 5xx)", fmt.Sprint(c["faults.injected.unavailable"])},
+			{"asn outage denials", fmt.Sprint(c["faults.injected.asn_outage"])},
+			{"session flaps (revocations)", fmt.Sprint(c["faults.injected.session_flap"])},
+			{"latency-affected requests", fmt.Sprint(c["faults.injected.latency"])},
+			{"rate-limit storm denials", fmt.Sprint(c["platform.ratelimit.storm_denied"])},
+			{"unavailable events emitted", fmt.Sprint(unavailableEvents)},
+		},
+	))
+
+	// Client resilience, per service.
+	b.WriteString("\n")
+	rows := make([][]string, 0, 8)
+	for _, svc := range w.ServiceNames() {
+		p := "aas." + svc + "."
+		shed := int64(0)
+		for k, v := range c {
+			if strings.HasPrefix(k, p+"shed.") {
+				shed += v
+			}
+		}
+		rows = append(rows, []string{
+			svc,
+			fmt.Sprint(c[p+"retries.scheduled"]),
+			fmt.Sprint(c[p+"retries.recovered"]),
+			fmt.Sprint(c[p+"retries.exhausted"]),
+			fmt.Sprint(c[p+"relogin.attempts"]),
+			fmt.Sprint(c[p+"relogin.recovered"]),
+			fmt.Sprintf("%d/%d/%d", c[p+"breaker.opened"], c[p+"breaker.reopened"], c[p+"breaker.closed"]),
+			fmt.Sprint(shed),
+		})
+	}
+	b.WriteString(telemetry.Table(
+		[]string{"service", "retries", "recovered", "exhausted", "relogins", "re-ok", "brk o/r/c", "shed"},
+		rows,
+	))
+	return b.String()
+}

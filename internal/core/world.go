@@ -8,6 +8,7 @@ import (
 	"footsteps/internal/behavior"
 	"footsteps/internal/clock"
 	"footsteps/internal/detection"
+	"footsteps/internal/faults"
 	"footsteps/internal/honeypot"
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
@@ -42,6 +43,10 @@ type World struct {
 	// Steps is the worker pool behind parallel per-tick stepping; nil
 	// when cfg.Workers <= 1, in which case planning runs inline.
 	Steps *step.Pool
+
+	// Faults is the installed fault injector; nil when cfg.Faults is
+	// nil (injection off).
+	Faults *faults.Injector
 
 	vpnSessions []*platform.Session
 	celebIDs    []platform.AccountID
@@ -85,6 +90,20 @@ func NewWorld(cfg Config) *World {
 		Coll:      make(map[string]*aas.CollusionService),
 		ProxyASNs: proxyASNs,
 	}
+	// Fault injection wires in before any traffic exists, so the first
+	// login is already subject to the schedule. The injector's seed comes
+	// from a dedicated Split stream (pure; consumes no root draws), so a
+	// faults-off run's draw sequences are untouched.
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			panic(fmt.Sprintf("core: fault profile: %v", err))
+		}
+		w.Faults = faults.NewInjector(cfg.Faults, root.Split("faults"))
+		w.Faults.BindNetwork(reg)
+		w.Faults.WireTelemetry(cfg.Telemetry)
+		plat.SetFaultInjector(w.Faults)
+	}
+
 	// With telemetry on, even a sequential run gets a (1-worker) pool so
 	// the tick tracer sees plan/apply phases; Run with workers <= 1 is the
 	// identical inline path, so this changes timing visibility, not bytes.

@@ -100,7 +100,14 @@ func (w *Writer) Write(ev platform.Event) error {
 	w.putUvarint(uint64(ev.ASN))
 	w.putUvarint(clientRef)
 	var flags uint64
-	flags |= uint64(ev.Outcome) & 0x3
+	if ev.Outcome == platform.OutcomeUnavailable {
+		// Outcome codes above 3 do not fit the two original outcome
+		// bits; unavailable rides a dedicated flag so pre-existing
+		// captures decode byte-for-byte unchanged.
+		flags |= 1 << 5
+	} else {
+		flags |= uint64(ev.Outcome) & 0x3
+	}
 	flags |= uint64(ev.API) << 2
 	if ev.Enforcement {
 		flags |= 1 << 3
@@ -119,15 +126,49 @@ func (w *Writer) Count() uint64 { return w.count }
 // Flush drains buffered output.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// TruncatedError reports a stream that ends (or corrupts) inside a
+// record — the signature of an interrupted capture. Events counts the
+// complete events decoded before the cut and Offset is the byte offset
+// where the partial record begins, so tools can say exactly how much
+// of the capture survived.
+type TruncatedError struct {
+	Events uint64 // complete events decoded before the cut
+	Offset int64  // byte offset of the partial record
+	Err    error  // the underlying decode failure
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("eventio: capture truncated at event %d (byte offset %d): %v", e.Events, e.Offset, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *TruncatedError) Unwrap() error { return e.Err }
+
+// countingReader tracks how many bytes the buffered layer has pulled
+// from the source, so the Reader can report precise truncation offsets.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Reader decodes a binary event stream.
 type Reader struct {
+	src     *countingReader
 	r       *bufio.Reader
 	strings []string
+	events  uint64
 }
 
 // NewReader validates the header and returns a reader.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	cr := &countingReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
@@ -137,45 +178,69 @@ func NewReader(r io.Reader) (*Reader, error) {
 			return nil, ErrBadMagic
 		}
 	}
-	return &Reader{r: br}, nil
+	return &Reader{src: cr, r: br}, nil
 }
 
-// Next returns the next event, or io.EOF at end of stream.
+// Events returns the number of complete events decoded so far.
+func (r *Reader) Events() uint64 { return r.events }
+
+// offset returns the stream offset of the next undecoded byte.
+func (r *Reader) offset() int64 { return r.src.n - int64(r.r.Buffered()) }
+
+// truncated wraps a mid-record decode failure. A bare io.EOF here means
+// the stream was cut inside a record, so it is promoted to
+// io.ErrUnexpectedEOF before wrapping.
+func (r *Reader) truncated(start int64, what string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return &TruncatedError{Events: r.events, Offset: start, Err: fmt.Errorf("%s: %w", what, err)}
+}
+
+// Next returns the next event, or io.EOF at a clean end of stream. A
+// stream that ends inside a record yields a *TruncatedError.
 func (r *Reader) Next() (platform.Event, error) {
 	for {
 		op, err := r.r.ReadByte()
 		if err != nil {
+			// io.EOF at a record boundary is a clean end of stream.
 			return platform.Event{}, err
 		}
+		start := r.offset() - 1
 		switch op {
 		case opString:
 			n, err := binary.ReadUvarint(r.r)
 			if err != nil {
-				return platform.Event{}, fmt.Errorf("eventio: string length: %w", err)
+				return platform.Event{}, r.truncated(start, "string length", err)
 			}
 			if n > 1<<16 {
-				return platform.Event{}, fmt.Errorf("eventio: implausible string length %d", n)
+				return platform.Event{}, fmt.Errorf("eventio: implausible string length %d at event %d (byte offset %d)", n, r.events, start)
 			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(r.r, buf); err != nil {
-				return platform.Event{}, err
+				return platform.Event{}, r.truncated(start, "string body", err)
 			}
 			r.strings = append(r.strings, string(buf))
 		case opEvent:
-			return r.readEvent()
+			ev, err := r.readEvent(start)
+			if err != nil {
+				return ev, err
+			}
+			r.events++
+			return ev, nil
 		default:
-			return platform.Event{}, fmt.Errorf("eventio: unknown opcode %d", op)
+			return platform.Event{}, fmt.Errorf("eventio: unknown opcode %d at event %d (byte offset %d)", op, r.events, start)
 		}
 	}
 }
 
-func (r *Reader) readEvent() (platform.Event, error) {
+func (r *Reader) readEvent(start int64) (platform.Event, error) {
 	var ev platform.Event
 	fields := make([]uint64, 10)
 	for i := range fields {
 		v, err := binary.ReadUvarint(r.r)
 		if err != nil {
-			return ev, fmt.Errorf("eventio: truncated event: %w", err)
+			return ev, r.truncated(start, "event record", err)
 		}
 		fields[i] = v
 	}
@@ -196,6 +261,9 @@ func (r *Reader) readEvent() (platform.Event, error) {
 	}
 	flags := fields[9]
 	ev.Outcome = platform.Outcome(flags & 0x3)
+	if flags&(1<<5) != 0 {
+		ev.Outcome = platform.OutcomeUnavailable
+	}
 	ev.API = platform.APIKind((flags >> 2) & 0x1)
 	ev.Enforcement = flags&(1<<3) != 0
 	ev.Duplicate = flags&(1<<4) != 0

@@ -161,8 +161,109 @@ func TestTruncatedStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Next(); err == nil {
+	_, err = r.Next()
+	if err == nil {
 		t.Fatal("truncated record decoded without error")
+	}
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("err = %v (%T), want *TruncatedError", err, err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation does not unwrap to io.ErrUnexpectedEOF: %v", err)
+	}
+}
+
+// TestTruncatedErrorDetails pins the diagnostic contract fsevdump
+// relies on: a capture cut mid-record still yields every complete event
+// before the cut, and the error then names the event count and the byte
+// offset where the partial record begins.
+func TestTruncatedErrorDetails(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	events := sampleEvents()
+	for _, ev := range events {
+		w.Write(ev)
+	}
+	w.Flush()
+	raw := buf.Bytes()[:buf.Len()-2] // cut inside the final record
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if len(got) != len(events)-1 {
+		t.Fatalf("decoded %d events before the cut, want %d", len(got), len(events)-1)
+	}
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("err = %v (%T), want *TruncatedError", err, err)
+	}
+	if trunc.Events != uint64(len(events)-1) || trunc.Events != r.Events() {
+		t.Errorf("Events = %d (reader says %d), want %d", trunc.Events, r.Events(), len(events)-1)
+	}
+	if trunc.Offset < int64(len(magic)) || trunc.Offset >= int64(len(raw)) {
+		t.Errorf("Offset = %d outside the stream body [%d, %d)", trunc.Offset, len(magic), len(raw))
+	}
+	msg := trunc.Error()
+	for _, want := range []string{"truncated", "event 3", "byte offset"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestCorruptOpcodeNamesPosition checks that a garbage byte at a record
+// boundary is reported with the decode position, not as a bare opcode
+// error.
+func TestCorruptOpcodeNamesPosition(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(sampleEvents()[0])
+	w.Flush()
+	buf.WriteByte(0x7f) // invalid opcode after one valid event
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if len(got) != 1 {
+		t.Fatalf("decoded %d events before the corruption, want 1", len(got))
+	}
+	if err == nil || !strings.Contains(err.Error(), "unknown opcode 127 at event 1") {
+		t.Fatalf("err = %v, want unknown-opcode error naming event 1", err)
+	}
+}
+
+// TestUnavailableOutcomeRoundTrip pins the bit-5 outcome encoding: the
+// fault-injected outcome survives the codec, and — critically for the
+// faults-off golden — events with classic outcomes encode exactly as
+// they always did.
+func TestUnavailableOutcomeRoundTrip(t *testing.T) {
+	t.Parallel()
+	ev := sampleEvents()[1]
+	ev.Outcome = platform.OutcomeUnavailable
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(ev)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outcome != platform.OutcomeUnavailable {
+		t.Fatalf("outcome %v, want unavailable", got.Outcome)
+	}
+	if got != ev {
+		t.Fatalf("event mutated in round trip:\n got %+v\nwant %+v", got, ev)
 	}
 }
 

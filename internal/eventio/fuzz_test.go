@@ -2,6 +2,7 @@ package eventio
 
 import (
 	"bytes"
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
@@ -23,6 +24,11 @@ func FuzzEventRoundTrip(f *testing.F) {
 			uint32(0x0a000001)<<(kind%3), uint32(64496)+uint32(kind),
 			"mobile-official", kind)
 	}
+	// The fault-injected outcome rides flag bit 5 (see the codec); seed
+	// it explicitly so the corpus always covers OutcomeUnavailable.
+	f.Add(uint64(7), int64(1504224000000000000), byte(1),
+		uint64(10), uint64(20), uint64(30),
+		uint32(0x0a000001), uint32(64496), "mobile-official", byte(1<<5))
 	f.Fuzz(func(t *testing.T, seq uint64, nanos int64, kind byte,
 		actor, target, post uint64, ipBits, asn uint32, client string, flags byte) {
 		if len(client) > 1<<16 {
@@ -41,6 +47,11 @@ func FuzzEventRoundTrip(f *testing.F) {
 			API:         platform.APIKind((flags >> 2) & 0x1),
 			Enforcement: flags&(1<<3) != 0,
 			Duplicate:   flags&(1<<4) != 0,
+		}
+		if flags&(1<<5) != 0 {
+			// Mirror the codec's flag layout: bit 5 marks the
+			// fault-injected outcome regardless of the low outcome bits.
+			ev.Outcome = platform.OutcomeUnavailable
 		}
 		if ipBits != 0 {
 			ev.IP = netip.AddrFrom4([4]byte{byte(ipBits >> 24), byte(ipBits >> 16), byte(ipBits >> 8), byte(ipBits)})
@@ -91,12 +102,61 @@ func FuzzReaderNoPanic(f *testing.F) {
 	f.Add([]byte{opEvent, 1, 2, 3})
 	f.Add([]byte{opString, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{7, 7, 7})
+	// Truncated-capture seeds: a well-formed stream cut at every prefix
+	// of its final record, the exact shape an interrupted run leaves
+	// behind. The decoder must surface these as *TruncatedError (checked
+	// in the body below), never as a panic or a silent clean EOF plus
+	// garbage.
+	for _, body := range truncatedSeedBodies() {
+		f.Add(body)
+	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		stream := append(append([]byte(nil), magic...), body...)
 		r, err := NewReader(bytes.NewReader(stream))
 		if err != nil {
 			return
 		}
-		_, _ = r.ReadAll()
+		_, err = r.ReadAll()
+		var trunc *TruncatedError
+		if errors.As(err, &trunc) {
+			// A truncation report must stay self-consistent: the offset
+			// points inside the body and the event count matches what
+			// was actually handed back.
+			if trunc.Offset < int64(len(magic)) || trunc.Offset > int64(len(stream)) {
+				t.Fatalf("truncation offset %d outside stream [%d, %d]", trunc.Offset, len(magic), len(stream))
+			}
+			if trunc.Events != r.Events() {
+				t.Fatalf("truncation reports %d events, reader decoded %d", trunc.Events, r.Events())
+			}
+		}
 	})
+}
+
+// truncatedSeedBodies encodes a small valid stream and returns it cut at
+// several mid-record points (magic stripped: the fuzz harness prepends
+// it).
+func truncatedSeedBodies() [][]byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	ev := platform.Event{
+		Seq: 1, Time: time.Unix(0, 1504224000000000000).UTC(),
+		Type: platform.ActionLike, Actor: 10, Target: 20, Post: 30,
+		ASN: 64496, Client: "mobile-official",
+		Outcome: platform.OutcomeUnavailable,
+	}
+	w.Write(ev)
+	ev.Seq, ev.Outcome = 2, platform.OutcomeAllowed
+	w.Write(ev)
+	w.Flush()
+	full := buf.Bytes()[len(magic):]
+	var bodies [][]byte
+	for _, cut := range []int{1, len(full) / 2, len(full) - 5, len(full) - 1} {
+		if cut > 0 && cut < len(full) {
+			bodies = append(bodies, append([]byte(nil), full[:cut]...))
+		}
+	}
+	return bodies
 }

@@ -1,0 +1,315 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+)
+
+func testInjector(t *testing.T, p *Profile) *Injector {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test profile invalid: %v", err)
+	}
+	return NewInjector(p, rng.New(1).Split("faults"))
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	orig := &Profile{
+		Name: "round-trip",
+		Windows: []Window{
+			{Kind: KindUnavailable, FromDay: 1, ToDay: 2.5, Probability: 0.2},
+			{Kind: KindLatency, FromDay: 0, ToDay: 3, Probability: 0.5, LatencyMS: 250},
+			{Kind: KindSessionFlap, FromDay: 2, ToDay: 4, Probability: 0.01},
+			{Kind: KindASNOutage, FromDay: 1, ToDay: 2, ASN: 1004, Availability: 0.25},
+			{Kind: KindRateLimitStorm, FromDay: 3, ToDay: 5, LimitScale: 0.5},
+		},
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Windows) != len(orig.Windows) {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	for i := range orig.Windows {
+		if back.Windows[i] != orig.Windows[i] {
+			t.Errorf("window %d: got %+v want %+v", i, back.Windows[i], orig.Windows[i])
+		}
+	}
+}
+
+func TestKindJSONNames(t *testing.T) {
+	for k, name := range kindNames {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != `"`+name+`"` {
+			t.Errorf("kind %d marshaled to %s, want %q", int(k), data, name)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"no_such_fault"`), &k); err == nil {
+		t.Error("unknown kind name unmarshaled without error")
+	}
+	if _, err := json.Marshal(Kind(99)); err == nil {
+		t.Error("unknown kind value marshaled without error")
+	}
+}
+
+func TestValidateRejectsBadWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Window
+		want string
+	}{
+		{"inverted interval", Window{Kind: KindUnavailable, FromDay: 2, ToDay: 1, Probability: 0.5}, "to_day"},
+		{"zero probability", Window{Kind: KindUnavailable, FromDay: 0, ToDay: 1}, "probability"},
+		{"probability over 1", Window{Kind: KindSessionFlap, FromDay: 0, ToDay: 1, Probability: 1.5}, "probability"},
+		{"latency without ms", Window{Kind: KindLatency, FromDay: 0, ToDay: 1, Probability: 0.5}, "latency_ms"},
+		{"outage without asn", Window{Kind: KindASNOutage, FromDay: 0, ToDay: 1, Availability: 0.5}, "asn"},
+		{"outage availability 1", Window{Kind: KindASNOutage, FromDay: 0, ToDay: 1, ASN: 7, Availability: 1}, "availability"},
+		{"storm scale 1", Window{Kind: KindRateLimitStorm, FromDay: 0, ToDay: 1, LimitScale: 1}, "limit_scale"},
+		{"unknown kind", Window{Kind: Kind(42), FromDay: 0, ToDay: 1}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		p := &Profile{Windows: []Window{tc.w}}
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.w)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (*Profile)(nil).Validate(); err != nil {
+		t.Errorf("nil profile (faults off) must validate: %v", err)
+	}
+}
+
+func TestBuiltInScenariosValidate(t *testing.T) {
+	names := Scenarios()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 built-in scenarios, got %v", names)
+	}
+	for _, name := range names {
+		p, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("scenario %q carries name %q", name, p.Name)
+		}
+	}
+	if _, err := Scenario("no-such-scenario"); err == nil {
+		t.Error("unknown scenario name returned no error")
+	}
+
+	// Scenario must hand out copies: mutating one must not poison the
+	// next caller's profile.
+	a := MustScenario("mixed")
+	a.Windows[0].Probability = 0.999
+	if b := MustScenario("mixed"); b.Windows[0].Probability == 0.999 {
+		t.Error("Scenario returned a shared profile; mutation leaked")
+	}
+}
+
+// TestDecideIsPure is the determinism contract: the verdict for a given
+// request is a pure function of the injector seed and the request
+// identity — repeated calls, interleaved calls, and injectors rebuilt
+// from the same rng stream all agree.
+func TestDecideIsPure(t *testing.T) {
+	p := MustScenario("mixed")
+	inj := testInjector(t, p)
+	now := clock.Epoch.Add(36 * time.Hour) // day 1.5, inside the mixed windows
+
+	type req struct {
+		actor  platform.AccountID
+		action platform.ActionType
+		salt   uint64
+	}
+	reqs := make([]req, 200)
+	for i := range reqs {
+		reqs[i] = req{platform.AccountID(i * 7), platform.ActionType(i % 5), uint64(i) * 13}
+	}
+	first := make([]platform.FaultDecision, len(reqs))
+	for i, r := range reqs {
+		first[i] = inj.Decide(now, r.actor, r.action, 0, r.salt)
+	}
+	// Reversed order, fresh injector from an identically-forked stream.
+	inj2 := NewInjector(p, rng.New(1).Split("faults"))
+	for i := len(reqs) - 1; i >= 0; i-- {
+		r := reqs[i]
+		if got := inj2.Decide(now, r.actor, r.action, 0, r.salt); got != first[i] {
+			t.Fatalf("request %d verdict changed with call order/injector rebuild: %+v vs %+v", i, got, first[i])
+		}
+	}
+	// Different seeds must produce different verdict patterns.
+	inj3 := NewInjector(p, rng.New(2).Split("faults"))
+	same := 0
+	for i, r := range reqs {
+		if inj3.Decide(now, r.actor, r.action, 0, r.salt) == first[i] {
+			same++
+		}
+	}
+	if same == len(reqs) {
+		t.Error("different injector seeds produced identical verdicts for all 200 requests")
+	}
+}
+
+func TestDecideProbabilityCalibration(t *testing.T) {
+	const p = 0.3
+	prof := &Profile{Windows: []Window{
+		{Kind: KindUnavailable, FromDay: 0, ToDay: 10, Probability: p},
+	}}
+	inj := testInjector(t, prof)
+	now := clock.Epoch.Add(12 * time.Hour)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if inj.Decide(now, platform.AccountID(i), platform.ActionLike, 0, uint64(i)).Unavailable {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.02 {
+		t.Errorf("unavailable hit rate %.4f, want %.2f±0.02", got, p)
+	}
+}
+
+func TestDecideWindowBoundaries(t *testing.T) {
+	prof := &Profile{Windows: []Window{
+		{Kind: KindUnavailable, FromDay: 1, ToDay: 2, Probability: 1},
+	}}
+	inj := testInjector(t, prof)
+	cases := []struct {
+		at   time.Time
+		want bool
+	}{
+		{clock.Epoch.Add(23 * time.Hour), false},       // day 0: before
+		{clock.Epoch.Add(24 * time.Hour), true},        // day 1: inclusive start
+		{clock.Epoch.Add(47 * time.Hour), true},        // day 1.96: inside
+		{clock.Epoch.Add(48 * time.Hour), false},       // day 2: exclusive end
+		{clock.Epoch.Add(100 * 24 * time.Hour), false}, // long after
+		{clock.Epoch.Add(-1 * time.Hour), false},       // before epoch
+	}
+	for _, tc := range cases {
+		if got := inj.Decide(tc.at, 1, platform.ActionLike, 0, 0).Unavailable; got != tc.want {
+			t.Errorf("at %v: unavailable=%v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestDecideSessionFlapExemptsLogin(t *testing.T) {
+	prof := &Profile{Windows: []Window{
+		{Kind: KindSessionFlap, FromDay: 0, ToDay: 10, Probability: 1},
+	}}
+	inj := testInjector(t, prof)
+	now := clock.Epoch.Add(time.Hour)
+	if !inj.Decide(now, 1, platform.ActionLike, 0, 0).RevokeSession {
+		t.Error("probability-1 flap window did not revoke a like request")
+	}
+	if inj.Decide(now, 1, platform.ActionLogin, 0, 0).RevokeSession {
+		t.Error("session flap revoked a login; logins must be exempt or recovery is impossible")
+	}
+}
+
+func TestDecideLatencyAccumulatesAndStormTakesTightest(t *testing.T) {
+	prof := &Profile{Windows: []Window{
+		{Kind: KindLatency, FromDay: 0, ToDay: 10, Probability: 1, LatencyMS: 100},
+		{Kind: KindLatency, FromDay: 0, ToDay: 10, Probability: 1, LatencyMS: 250},
+		{Kind: KindRateLimitStorm, FromDay: 0, ToDay: 10, LimitScale: 0.5},
+		{Kind: KindRateLimitStorm, FromDay: 0, ToDay: 10, LimitScale: 0.25},
+	}}
+	inj := testInjector(t, prof)
+	d := inj.Decide(clock.Epoch.Add(time.Hour), 1, platform.ActionLike, 0, 0)
+	if d.Latency != 350*time.Millisecond {
+		t.Errorf("overlapping latency windows: got %v, want 350ms", d.Latency)
+	}
+	if d.LimitScale != 0.25 {
+		t.Errorf("overlapping storms: got scale %g, want tightest 0.25", d.LimitScale)
+	}
+}
+
+func TestDecideASNOutage(t *testing.T) {
+	const asn netsim.ASN = 1004
+	prof := &Profile{Windows: []Window{
+		{Kind: KindASNOutage, FromDay: 0, ToDay: 10, ASN: asn, Availability: 0},
+	}}
+	inj := testInjector(t, prof)
+	reg := netsim.NewRegistry()
+	reg.Register(asn, "outage-as", "US", netsim.KindHosting)
+	inj.BindNetwork(reg)
+	now := clock.Epoch.Add(time.Hour)
+
+	if !inj.Decide(now, 1, platform.ActionLike, asn, 0).Unavailable {
+		t.Error("availability-0 outage did not fail a request from the affected ASN")
+	}
+	if inj.Decide(now, 1, platform.ActionLike, asn+1, 0).Unavailable {
+		t.Error("outage leaked to an unaffected ASN")
+	}
+	after := clock.Epoch.Add(11 * 24 * time.Hour)
+	if inj.Decide(after, 1, platform.ActionLike, asn, 0).Unavailable {
+		t.Error("outage fired outside its window")
+	}
+}
+
+func TestNilInjectorDecidesNothing(t *testing.T) {
+	var inj *Injector
+	if d := inj.Decide(clock.Epoch, 1, platform.ActionLike, 0, 0); d != (platform.FaultDecision{}) {
+		t.Errorf("nil injector returned a non-zero decision: %+v", d)
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	if _, err := Load(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("Load of a missing file returned no error")
+	}
+	if _, err := Parse([]byte(`{"windows": [{"kind": "unavailable"`)); err == nil {
+		t.Error("Parse of malformed JSON returned no error")
+	}
+	if _, err := Parse([]byte(`{"windows": [{"kind": "unavailable", "from_day": 0, "to_day": 1}]}`)); err == nil {
+		t.Error("Parse of an invalid window (no probability) returned no error")
+	}
+}
+
+func TestHealthScheduleCompilation(t *testing.T) {
+	prof := &Profile{Windows: []Window{
+		{Kind: KindUnavailable, FromDay: 0, ToDay: 1, Probability: 0.5},
+		{Kind: KindASNOutage, FromDay: 1, ToDay: 3, ASN: 7, Availability: 0.4},
+	}}
+	h := prof.HealthSchedule()
+	if h == nil {
+		t.Fatal("profile with an asn_outage window compiled to a nil schedule")
+	}
+	ws := h.Windows()
+	if len(ws) != 1 || ws[0].ASN != 7 || ws[0].Availability != 0.4 {
+		t.Fatalf("compiled windows: %+v", ws)
+	}
+	if !ws[0].From.Equal(clock.Epoch.Add(24*time.Hour)) || !ws[0].Until.Equal(clock.Epoch.Add(72*time.Hour)) {
+		t.Errorf("compiled interval [%v, %v) does not match days [1, 3)", ws[0].From, ws[0].Until)
+	}
+	none := &Profile{Windows: []Window{{Kind: KindUnavailable, FromDay: 0, ToDay: 1, Probability: 0.5}}}
+	if none.HealthSchedule() != nil {
+		t.Error("profile without asn_outage windows compiled a schedule")
+	}
+	if (*Profile)(nil).HealthSchedule() != nil {
+		t.Error("nil profile compiled a schedule")
+	}
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"footsteps/internal/netsim"
+)
+
+// scenarioOutageASN is the datacenter ASN degraded by the built-in
+// outage scenarios. The value is aas.ASNHublaagramUS (1004), hardcoded
+// so this infrastructure package does not depend on the service
+// catalog; a test in this package pins the two in sync.
+const scenarioOutageASN netsim.ASN = 1004
+
+// scenarios are the built-in fault schedules. Windows start a day or
+// more into the run so every scenario also exercises clean operation,
+// and end by day 5 so even short test runs cover the recovery phase.
+var scenarios = map[string]*Profile{
+	"blip": {
+		Name: "blip",
+		Windows: []Window{
+			{Kind: KindUnavailable, FromDay: 1, ToDay: 2, Probability: 0.2},
+			{Kind: KindLatency, FromDay: 1, ToDay: 2, Probability: 0.3, LatencyMS: 250},
+		},
+	},
+	"flap": {
+		Name: "flap",
+		Windows: []Window{
+			{Kind: KindSessionFlap, FromDay: 1, ToDay: 5, Probability: 0.01},
+		},
+	},
+	"asn-outage": {
+		Name: "asn-outage",
+		Windows: []Window{
+			{Kind: KindASNOutage, FromDay: 2, ToDay: 4, ASN: scenarioOutageASN, Availability: 0.15},
+		},
+	},
+	// Storm scales are tight (5% of the configured cap, 18/hour at the
+	// default 360) because simulation-scale actors pace far below the
+	// real caps: a storm that merely halves the limit never binds.
+	"storm": {
+		Name: "storm",
+		Windows: []Window{
+			{Kind: KindRateLimitStorm, FromDay: 1, ToDay: 3, LimitScale: 0.05},
+		},
+	},
+	"mixed": {
+		Name: "mixed",
+		Windows: []Window{
+			{Kind: KindUnavailable, FromDay: 1, ToDay: 4, Probability: 0.12},
+			{Kind: KindLatency, FromDay: 1, ToDay: 4, Probability: 0.25, LatencyMS: 200},
+			{Kind: KindSessionFlap, FromDay: 1, ToDay: 5, Probability: 0.008},
+			{Kind: KindASNOutage, FromDay: 2, ToDay: 4, ASN: scenarioOutageASN, Availability: 0.3},
+			{Kind: KindRateLimitStorm, FromDay: 3, ToDay: 5, LimitScale: 0.05},
+		},
+	},
+}
+
+// Scenario returns a copy of the named built-in profile.
+func Scenario(name string) (*Profile, error) {
+	p, ok := scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown scenario %q (have: %v)", name, Scenarios())
+	}
+	cp := &Profile{Name: p.Name, Windows: append([]Window(nil), p.Windows...)}
+	return cp, nil
+}
+
+// MustScenario is Scenario for known-good names; it panics on error.
+func MustScenario(name string) *Profile {
+	p, err := Scenario(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Scenarios lists the built-in scenario names, sorted.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

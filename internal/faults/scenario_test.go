@@ -1,0 +1,33 @@
+package faults
+
+import (
+	"testing"
+
+	"footsteps/internal/aas"
+)
+
+// TestScenarioOutageASNMatchesCatalog pins the built-in asn-outage
+// scenario to a real service's datacenter: the scenarios hardcode the
+// ASN number (this package must not depend on aas), so this test is
+// the tripwire if the catalog ever renumbers.
+func TestScenarioOutageASNMatchesCatalog(t *testing.T) {
+	if scenarioOutageASN != aas.ASNHublaagramUS {
+		t.Fatalf("scenarioOutageASN %d no longer matches aas.ASNHublaagramUS %d; update scenario.go",
+			scenarioOutageASN, aas.ASNHublaagramUS)
+	}
+	for _, name := range []string{"asn-outage", "mixed"} {
+		p := MustScenario(name)
+		found := false
+		for _, w := range p.Windows {
+			if w.Kind == KindASNOutage {
+				found = true
+				if w.ASN != scenarioOutageASN {
+					t.Errorf("scenario %q targets ASN %d, want %d", name, w.ASN, scenarioOutageASN)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q has no asn_outage window", name)
+		}
+	}
+}

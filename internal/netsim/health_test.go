@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"footsteps/internal/rng"
+)
+
+var healthT0 = time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func TestHealthScheduleAvailability(t *testing.T) {
+	h := NewHealthSchedule(
+		HealthWindow{ASN: 10, From: healthT0, Until: healthT0.Add(2 * time.Hour), Availability: 0.5},
+		HealthWindow{ASN: 10, From: healthT0.Add(time.Hour), Until: healthT0.Add(3 * time.Hour), Availability: 0.2},
+		HealthWindow{ASN: 20, From: healthT0, Until: healthT0.Add(time.Hour), Availability: 0},
+	)
+	cases := []struct {
+		asn  ASN
+		at   time.Time
+		want float64
+	}{
+		{10, healthT0.Add(-time.Minute), 1},        // before any window
+		{10, healthT0, 0.5},                        // inclusive start
+		{10, healthT0.Add(90 * time.Minute), 0.2},  // overlap: minimum wins
+		{10, healthT0.Add(150 * time.Minute), 0.2}, // second window only
+		{10, healthT0.Add(3 * time.Hour), 1},       // exclusive end
+		{20, healthT0.Add(30 * time.Minute), 0},    // full outage
+		{30, healthT0.Add(30 * time.Minute), 1},    // unscheduled ASN
+	}
+	for _, tc := range cases {
+		if got := h.Availability(tc.asn, tc.at); got != tc.want {
+			t.Errorf("Availability(%d, %v) = %g, want %g", tc.asn, tc.at, got, tc.want)
+		}
+	}
+	var nilSched *HealthSchedule
+	if got := nilSched.Availability(10, healthT0); got != 1 {
+		t.Errorf("nil schedule availability = %g, want 1", got)
+	}
+}
+
+func TestHealthScheduleClampsAndCopies(t *testing.T) {
+	ws := []HealthWindow{
+		{ASN: 1, From: healthT0, Until: healthT0.Add(time.Hour), Availability: -0.5},
+		{ASN: 2, From: healthT0, Until: healthT0.Add(time.Hour), Availability: 1.5},
+	}
+	h := NewHealthSchedule(ws...)
+	ws[0].ASN = 99 // mutating the input must not reach the schedule
+	got := h.Windows()
+	if got[0].ASN != 1 {
+		t.Error("schedule aliased its input slice")
+	}
+	if got[0].Availability != 0 || got[1].Availability != 1 {
+		t.Errorf("clamping failed: %g, %g", got[0].Availability, got[1].Availability)
+	}
+	got[0].ASN = 77 // mutating the output must not reach the schedule either
+	if h.Windows()[0].ASN != 1 {
+		t.Error("Windows returned the schedule's backing slice")
+	}
+}
+
+func TestRegistryHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(10, "as-ten", "US", KindHosting)
+	if got := reg.Availability(10, healthT0); got != 1 {
+		t.Errorf("registry without health: availability %g, want 1", got)
+	}
+	reg.SetHealth(NewHealthSchedule(
+		HealthWindow{ASN: 10, From: healthT0, Until: healthT0.Add(time.Hour), Availability: 0.3},
+	))
+	if got := reg.Availability(10, healthT0.Add(time.Minute)); got != 0.3 {
+		t.Errorf("availability in window: %g, want 0.3", got)
+	}
+	if got := reg.Availability(10, healthT0.Add(2*time.Hour)); got != 1 {
+		t.Errorf("availability after window: %g, want 1", got)
+	}
+}
+
+// TestPickFromLeavesPoolStreamAlone pins the property the resilience
+// layer depends on: PickFrom consumes draws only from the caller's
+// stream, so refresh logins cannot shift the pool's shared sequence.
+func TestPickFromLeavesPoolStreamAlone(t *testing.T) {
+	build := func() *ProxyPool {
+		reg := NewRegistry()
+		reg.Register(1, "a", "US", KindHosting)
+		reg.Register(2, "b", "US", KindHosting)
+		return NewProxyPool(reg, []ASN{1, 2}, 16, rng.New(7).Split("pool"))
+	}
+	a, b := build(), build()
+
+	private := rng.New(99).Split("resilience")
+	for i := 0; i < 10; i++ {
+		a.PickFrom(private)
+	}
+	for i := 0; i < 20; i++ {
+		if x, y := a.Pick(), b.Pick(); x != y {
+			t.Fatalf("Pick %d diverged after PickFrom calls: %v vs %v", i, x, y)
+		}
+	}
+}

@@ -67,6 +67,10 @@ type Registry struct {
 	next  map[ASN]uint32 // next host offset within the ASN's block
 	order []ASN          // registration order, for deterministic iteration
 	rib   *PrefixTrie    // longest-prefix-match ownership table
+
+	// health, when set, degrades Availability answers per ASN; nil
+	// means the whole network is fully available (see health.go).
+	health *HealthSchedule
 }
 
 // NewRegistry returns an empty registry.
@@ -228,6 +232,14 @@ func NewProxyPool(reg *Registry, asns []ASN, size int, r *rng.RNG) *ProxyPool {
 // Pick returns a uniformly chosen proxy address.
 func (p *ProxyPool) Pick() netip.Addr {
 	return p.addrs[p.rng.Intn(len(p.addrs))]
+}
+
+// PickFrom returns a uniformly chosen proxy address drawing from r
+// instead of the pool's own stream — for callers (such as per-customer
+// resilience paths) that must not consume draws from the shared pool
+// stream.
+func (p *ProxyPool) PickFrom(r *rng.RNG) netip.Addr {
+	return p.addrs[r.Intn(len(p.addrs))]
 }
 
 // Size returns the number of proxies in the pool.

@@ -57,6 +57,9 @@ const (
 	OutcomeRateLimited
 	// OutcomeFailed: structural failure (missing target, revoked session).
 	OutcomeFailed
+	// OutcomeUnavailable: transient infrastructure failure injected by a
+	// fault schedule; the request never reached the application tier.
+	OutcomeUnavailable
 )
 
 func (o Outcome) String() string {
@@ -69,6 +72,8 @@ func (o Outcome) String() string {
 		return "rate-limited"
 	case OutcomeFailed:
 		return "failed"
+	case OutcomeUnavailable:
+		return "unavailable"
 	default:
 		return "unknown"
 	}

@@ -45,6 +45,9 @@ var (
 	ErrBlocked        = errors.New("platform: action blocked")
 	ErrRateLimited    = errors.New("platform: rate limited")
 	ErrUsernameTaken  = errors.New("platform: username taken")
+	// ErrUnavailable is a transient 5xx-style infrastructure failure
+	// injected by a fault schedule (internal/faults); clients may retry.
+	ErrUnavailable = errors.New("platform: service unavailable")
 )
 
 // Profile captures the externally visible richness of an account — what
@@ -155,6 +158,7 @@ type Platform struct {
 	postAuthor map[PostID]AccountID
 	nextPost   PostID
 	gate       Gatekeeper
+	faults     FaultInjector
 	limiter    *hourlyLimiter
 
 	log EventLog
@@ -170,9 +174,10 @@ type Platform struct {
 // handling, so metrics on/off cannot change any event.
 type platformMetrics struct {
 	// events[type][outcome] counts every emitted event.
-	events [int(ActionLogin) + 1][int(OutcomeFailed) + 1]*telemetry.Counter
+	events [int(ActionLogin) + 1][int(OutcomeUnavailable) + 1]*telemetry.Counter
 
 	rateLimited  *telemetry.Counter // ordinary API limit denials
+	stormDenied  *telemetry.Counter // denials attributable to a rate-limit storm
 	gateChecks   *telemetry.Counter // gatekeeper consultations
 	verdictBlock *telemetry.Counter // synchronous blocks issued
 	verdictDelay *telemetry.Counter // delayed removals scheduled
@@ -192,6 +197,7 @@ func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
 	}
 	m := &platformMetrics{
 		rateLimited:  reg.Counter("platform.ratelimit.denied"),
+		stormDenied:  reg.Counter("platform.ratelimit.storm_denied"),
 		gateChecks:   reg.Counter("platform.gate.checks"),
 		verdictBlock: reg.Counter("platform.gate.verdict.block"),
 		verdictDelay: reg.Counter("platform.gate.verdict.delay_remove"),
@@ -201,7 +207,7 @@ func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
 		logins:       reg.Counter("platform.logins"),
 	}
 	for t := ActionLike; t <= ActionLogin; t++ {
-		for o := OutcomeAllowed; o <= OutcomeFailed; o++ {
+		for o := OutcomeAllowed; o <= OutcomeUnavailable; o++ {
 			m.events[t][o] = reg.Counter("platform.events." + t.String() + "." + o.String())
 		}
 	}
@@ -459,6 +465,15 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	if a.deleted || a.password != password {
 		p.mu.Unlock()
 		return nil, ErrBadCredentials
+	}
+	if p.faults != nil {
+		asn, _ := p.net.Lookup(ci.IP)
+		if d := p.faults.Decide(p.clk.Now(), id, ActionLogin, asn, 0); d.Unavailable {
+			// The auth frontend is down: no session, no event, and no
+			// geolocation update — the request never reached the app tier.
+			p.mu.Unlock()
+			return nil, ErrUnavailable
+		}
 	}
 	country := p.net.Country(ci.IP)
 	if country != "" {

@@ -44,3 +44,14 @@ func (l *hourlyLimiter) allow(id AccountID, t time.Time, limit int) bool {
 	w.count++
 	return true
 }
+
+// peek returns the count already consumed in t's bucket without
+// recording anything — used to attribute a denial to a storm-tightened
+// limit versus the ordinary cap.
+func (l *hourlyLimiter) peek(id AccountID, t time.Time) int {
+	w := l.counts[id]
+	if w == nil || w.hour != t.Unix()/3600 {
+		return 0
+	}
+	return w.count
+}

@@ -132,14 +132,51 @@ func (s *Session) do(ev Event, apply func() (bool, error)) error {
 		p.mu.Unlock()
 		return ErrSessionRevoked
 	}
+	var fd FaultDecision
+	if p.faults != nil {
+		asn, _ := p.net.Lookup(ev.IP)
+		fd = p.faults.Decide(ev.Time, s.id, ev.Type, asn, uint64(ev.Target)<<32^uint64(ev.Post))
+	}
+	if fd.RevokeSession {
+		// Session-store flap: every live session for the account dies,
+		// exactly like an organic revocation — no event is emitted.
+		a.sessionEpoch++
+		p.mu.Unlock()
+		return ErrSessionRevoked
+	}
+	if fd.Unavailable {
+		// Injected before rate limiting on purpose: an unavailable
+		// request consumes no budget, so a client retry cannot
+		// double-count against the limiter.
+		p.mu.Unlock()
+		ev.Outcome = OutcomeUnavailable
+		p.emit(ev)
+		return ErrUnavailable
+	}
 	limit := p.cfg.PrivateHourlyLimit
 	if s.client.API == APIOAuth {
 		limit = p.cfg.OAuthHourlyLimit
 	}
-	if !p.limiter.allow(s.id, ev.Time, limit) {
+	effLimit := limit
+	if fd.LimitScale > 0 && fd.LimitScale < 1 && limit > 0 {
+		// Rate-limit storm: the limit is temporarily a fraction of its
+		// configured value (at least 1, so storms throttle rather than
+		// blackhole).
+		effLimit = int(float64(limit) * fd.LimitScale)
+		if effLimit < 1 {
+			effLimit = 1
+		}
+	}
+	if !p.limiter.allow(s.id, ev.Time, effLimit) {
+		// A denial is storm-attributable when the tightened limit fired
+		// below the level the ordinary limit would have tolerated.
+		storm := effLimit < limit && p.limiter.peek(s.id, ev.Time) < limit
 		p.mu.Unlock()
 		if m := p.tel; m != nil {
 			m.rateLimited.Inc()
+			if storm {
+				m.stormDenied.Inc()
+			}
 		}
 		ev.Outcome = OutcomeRateLimited
 		p.emit(ev)

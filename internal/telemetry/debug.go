@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -67,3 +68,8 @@ func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener.
 func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Shutdown drains in-flight requests (a pprof profile mid-capture, a
+// metrics scrape) before closing, bounded by ctx. Used by the CLI's
+// SIGINT/SIGTERM handler for graceful exits.
+func (s *DebugServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

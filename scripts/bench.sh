@@ -1,21 +1,25 @@
 #!/bin/sh
-# Runs the parallel-stepping benchmark and converts the result lines into
-# BENCH_PR2.json, a machine-readable record of tick/event throughput per
-# worker count (ticks/op, events/op, ns/tick, events/sec).
+# Runs the parallel-stepping benchmarks — faults-off and the mixed
+# fault-injection scenario — and converts the result lines into
+# BENCH_PR3.json, a machine-readable record of tick/event throughput per
+# worker count (ticks/op, events/op, ns/tick, events/sec). Comparing the
+# ns/tick of ParallelStep vs ParallelStepFaults bounds the injector
+# overhead; the faults-off arm should stay within 5% of its historical
+# numbers (a nil injector costs one pointer check per request).
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'BenchmarkParallelStep' -benchtime "${BENCHTIME:-1x}" .)"
+raw="$(go test -run '^$' -bench 'BenchmarkParallelStep(Faults)?$' -benchtime "${BENCHTIME:-1x}" .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^BenchmarkParallelStep\// {
+/^BenchmarkParallelStep(Faults)?\// {
     name = $1
-    sub(/^BenchmarkParallelStep\//, "", name)
+    sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
     rec = "  {\"bench\": \"" name "\", \"iters\": " $2
     for (i = 3; i + 1 <= NF; i += 2) {
