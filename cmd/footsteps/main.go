@@ -146,6 +146,7 @@ func main() {
 	days := flag.Int("days", 90, "measurement window in days")
 	quick := flag.Bool("quick", false, "small fast configuration")
 	workers := flag.Int("workers", 0, "worker pool size for parallel stepping (0 = sequential; same output either way)")
+	shards := flag.Int("shards", 0, "lock-stripe count for platform state (0 = default; same output at any count)")
 	outDir := flag.String("o", "", "directory for machine-readable TSV exports (optional)")
 	record := flag.String("record", "", "write the full event stream to this FSEV1 capture file (business only)")
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
@@ -206,6 +207,7 @@ func main() {
 		cfg.Scale = *scale
 		cfg.Days = *days
 		cfg.Workers = *workers
+		cfg.Shards = *shards
 		cfg.Telemetry = telReg
 		cfg.Faults = faultProfile
 		if *quick {

@@ -40,11 +40,39 @@ import (
 // Config sizes a study; see DefaultConfig and TestConfig.
 type Config = core.Config
 
+// Option mutates a Config during construction; see New.
+type Option = core.Option
+
 // DefaultConfig is the 1/500-scale, 90-day harness configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // TestConfig is a small configuration suitable for quick runs and tests.
 func TestConfig() Config { return core.TestConfig() }
+
+// New returns DefaultConfig with the options applied:
+//
+//	cfg := footsteps.New(footsteps.WithWorkers(8), footsteps.WithShards(16))
+func New(opts ...Option) Config { return core.New(opts...) }
+
+// NewTest returns TestConfig with the options applied.
+func NewTest(opts ...Option) Config { return core.NewTest(opts...) }
+
+// Functional options for New/NewTest, re-exported from the study core.
+var (
+	WithSeed              = core.WithSeed
+	WithScale             = core.WithScale
+	WithDays              = core.WithDays
+	WithWorkers           = core.WithWorkers
+	WithShards            = core.WithShards
+	WithGraphWrites       = core.WithGraphWrites
+	WithOrganicPopulation = core.WithOrganicPopulation
+	WithPoolSize          = core.WithPoolSize
+	WithVPNUsers          = core.WithVPNUsers
+	WithIPDailyBudget     = core.WithIPDailyBudget
+	WithTelemetry         = core.WithTelemetry
+	WithFaults            = core.WithFaults
+	WithFaultProfile      = core.WithFaultProfile
+)
 
 // Result types, re-exported from the study core.
 type (

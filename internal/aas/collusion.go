@@ -199,19 +199,19 @@ func (s *CollusionService) deliverLikes(c *Customer, pid platform.PostID, n int,
 		n = s.spec.Collusion.FreeLikeHourlyCap
 	}
 	return s.deliver(c, platform.ActionLike, n, func(src *Customer) error {
-		return src.session.Like(pid)
+		return src.session.Do(platform.Request{Action: platform.ActionLike, Post: pid}).Err
 	})
 }
 
 func (s *CollusionService) deliverFollows(c *Customer, n int) int {
 	return s.deliver(c, platform.ActionFollow, n, func(src *Customer) error {
-		return src.session.Follow(c.Account)
+		return src.session.Do(platform.Request{Action: platform.ActionFollow, Target: c.Account}).Err
 	})
 }
 
 func (s *CollusionService) deliverComments(c *Customer, pid platform.PostID, n int) int {
 	return s.deliver(c, platform.ActionComment, n, func(src *Customer) error {
-		return src.session.Comment(pid, "awesome!")
+		return src.session.Do(platform.Request{Action: platform.ActionComment, Post: pid, Text: "awesome!"}).Err
 	})
 }
 
@@ -470,7 +470,7 @@ func (s *CollusionService) dailyTick(scale float64) {
 		}
 		posted := false
 		if op.post {
-			if _, err := c.ownSession.Post(); err == nil {
+			if c.ownSession.Do(platform.Request{Action: platform.ActionPost}).Err == nil {
 				posted = true
 			}
 		}

@@ -261,7 +261,7 @@ func (s *ReciprocityService) dailyTick(scale float64) {
 				op.c.ownSession = sess
 			}
 			if op.post {
-				op.c.ownSession.Post()
+				op.c.ownSession.Do(platform.Request{Action: platform.ActionPost})
 			}
 		}
 	})
@@ -387,15 +387,16 @@ func (a *opApplier) apply(op plannedOp) {
 	switch op.action {
 	case platform.ActionPost:
 		err := s.execute(c, op.action, func() error {
-			_, err := c.session.Post()
-			return err
+			return c.session.Do(platform.Request{Action: platform.ActionPost}).Err
 		})
 		if err == nil {
 			c.countAction(platform.ActionPost)
 		}
 		return
 	case platform.ActionUnfollow:
-		err := s.execute(c, op.action, func() error { return c.session.Unfollow(op.target) })
+		err := s.execute(c, op.action, func() error {
+			return c.session.Do(platform.Request{Action: platform.ActionUnfollow, Target: op.target}).Err
+		})
 		if err == nil {
 			c.countAction(platform.ActionUnfollow)
 		}
@@ -404,14 +405,20 @@ func (a *opApplier) apply(op plannedOp) {
 	var err error
 	switch op.action {
 	case platform.ActionLike:
-		err = s.execute(c, op.action, func() error { return c.session.Like(op.post) })
+		err = s.execute(c, op.action, func() error {
+			return c.session.Do(platform.Request{Action: platform.ActionLike, Post: op.post}).Err
+		})
 	case platform.ActionFollow:
-		err = s.execute(c, op.action, func() error { return c.session.Follow(op.target) })
+		err = s.execute(c, op.action, func() error {
+			return c.session.Do(platform.Request{Action: platform.ActionFollow, Target: op.target}).Err
+		})
 		if err == nil && c.unfollowAfter {
 			c.pushUnfollow(op.target, s.plat.Now().Add(s.unfollowDelay))
 		}
 	case platform.ActionComment:
-		err = s.execute(c, op.action, func() error { return c.session.Comment(op.post, "nice!") })
+		err = s.execute(c, op.action, func() error {
+			return c.session.Do(platform.Request{Action: platform.ActionComment, Post: op.post, Text: "nice!"}).Err
+		})
 	}
 	ad := s.adaptFor(c, op.action)
 	switch err {

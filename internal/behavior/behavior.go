@@ -374,11 +374,11 @@ func (p *Population) scheduleReaction(m *member, actor platform.AccountID, actio
 			if !ok {
 				return
 			}
-			if err := sess.Like(pid); err != nil {
+			if resp := sess.Do(platform.Request{Action: platform.ActionLike, Post: pid}); resp.Err != nil {
 				return
 			}
 		case platform.ActionFollow:
-			if err := sess.Follow(actor); err != nil {
+			if resp := sess.Do(platform.Request{Action: platform.ActionFollow, Target: actor}); resp.Err != nil {
 				return
 			}
 		}
@@ -494,9 +494,9 @@ func (p *Population) StartPosting(label string, days int, dailyProb float64) {
 				return
 			}
 			if m.tag != "" {
-				sess.PostTagged(m.tag)
+				sess.Do(platform.Request{Action: platform.ActionPost, Tags: []string{m.tag}})
 			} else {
-				sess.Post()
+				sess.Do(platform.Request{Action: platform.ActionPost})
 			}
 		})
 	})

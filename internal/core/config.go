@@ -62,6 +62,12 @@ type Config struct {
 	// time, never bytes (see docs/DETERMINISM.md).
 	Workers int
 
+	// Shards is the lock-stripe count for the platform's and social
+	// graph's mutable state. 0 means the built-in default. Like Workers,
+	// it is a pure concurrency knob: any shard count produces the same
+	// event stream for the same seed (see docs/ARCHITECTURE.md).
+	Shards int
+
 	// Telemetry, when non-nil, receives counters, gauges, and tick-phase
 	// histograms from every layer of the world. Telemetry is a pure
 	// observer: it consumes no RNG draws and feeds nothing back into the

@@ -66,10 +66,10 @@ func (w *World) EngagementStudy(n, days int) (*EngagementResults, error) {
 			if err != nil {
 				return 0, nil, err
 			}
-			fs.Follow(id)
+			fs.Do(platform.Request{Action: platform.ActionFollow, Target: id})
 			if r.Bool(0.25) {
 				if pid, ok := w.Plat.LatestPost(id); ok {
-					fs.Like(pid)
+					fs.Do(platform.Request{Action: platform.ActionLike, Post: pid})
 				}
 			}
 		}
@@ -111,7 +111,8 @@ func (w *World) EngagementStudy(n, days int) (*EngagementResults, error) {
 	w.Sched.EveryDay(12*time.Hour, days, func(day int) {
 		for i, sess := range sessions {
 			if (day+i)%2 == 0 {
-				if pid, err := sess.Post(); err == nil {
+				if resp := sess.Do(platform.Request{Action: platform.ActionPost}); resp.Err == nil {
+					pid := resp.Post
 					// Tier delivery for treated accounts (index even).
 					if i%2 == 0 {
 						cust := customers[i/2]

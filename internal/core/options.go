@@ -1,0 +1,80 @@
+package core
+
+import (
+	"footsteps/internal/faults"
+	"footsteps/internal/telemetry"
+)
+
+// Option mutates a Config during construction. Options compose left to
+// right over a base config, so new knobs stop widening struct literals:
+//
+//	cfg := core.New(core.WithWorkers(8), core.WithShards(16), core.WithFaults("storm"))
+//
+// The plain Config struct keeps working — options are a front door, not
+// a replacement.
+type Option func(*Config)
+
+// New returns DefaultConfig with the options applied.
+func New(opts ...Option) Config {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// NewTest returns TestConfig with the options applied.
+func NewTest(opts ...Option) Config {
+	cfg := TestConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithSeed sets the run seed.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithScale sets the customer-dynamics scale.
+func WithScale(scale float64) Option { return func(c *Config) { c.Scale = scale } }
+
+// WithDays sets the measurement-window length.
+func WithDays(days int) Option { return func(c *Config) { c.Days = days } }
+
+// WithWorkers sets the intent-planning worker count.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithShards sets the lock-stripe count for platform and graph state.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithGraphWrites toggles full social-graph fidelity.
+func WithGraphWrites(on bool) Option { return func(c *Config) { c.GraphWrites = on } }
+
+// WithOrganicPopulation sets the general-population size.
+func WithOrganicPopulation(n int) Option { return func(c *Config) { c.OrganicPopulation = n } }
+
+// WithPoolSize sets each reciprocity service's target-pool size.
+func WithPoolSize(n int) Option { return func(c *Config) { c.PoolSize = n } }
+
+// WithVPNUsers sets the benign-VPN-user count.
+func WithVPNUsers(n int) Option { return func(c *Config) { c.VPNUsers = n } }
+
+// WithIPDailyBudget sets the per-IP daily action cap (0 disables).
+func WithIPDailyBudget(n int) Option { return func(c *Config) { c.IPDailyBudget = n } }
+
+// WithTelemetry attaches a telemetry registry (nil disables).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.Telemetry = reg }
+}
+
+// WithFaults enables the named built-in fault scenario (blip, flap,
+// asn-outage, storm, mixed — see docs/FAULTS.md). It panics on an
+// unknown name, like faults.MustScenario.
+func WithFaults(name string) Option {
+	return func(c *Config) { c.Faults = faults.MustScenario(name) }
+}
+
+// WithFaultProfile attaches a fully built fault profile (nil disables).
+func WithFaultProfile(p *faults.Profile) Option {
+	return func(c *Config) { c.Faults = p }
+}

@@ -77,7 +77,10 @@ func NewWorld(cfg Config) *World {
 
 	pcfg := platform.DefaultConfig()
 	pcfg.GraphWrites = cfg.GraphWrites
-	plat := platform.New(pcfg, socialgraph.New(), reg, sched)
+	pcfg.Shards = cfg.Shards
+	graph := socialgraph.NewSharded(cfg.Shards)
+	graph.WireTelemetry(cfg.Telemetry)
+	plat := platform.New(pcfg, graph, reg, sched)
 	plat.WireTelemetry(cfg.Telemetry)
 
 	w := &World{
@@ -239,9 +242,9 @@ func (w *World) setupVPNUsers() {
 			}
 		}, func(op vpnOp) {
 			if op.like {
-				op.sess.Like(op.post)
+				op.sess.Do(platform.Request{Action: platform.ActionLike, Post: op.post})
 			} else {
-				op.sess.Follow(op.target)
+				op.sess.Do(platform.Request{Action: platform.ActionFollow, Target: op.target})
 			}
 		})
 	})

@@ -217,7 +217,7 @@ func (f *Framework) Create(kind Kind) (*Account, error) {
 		}
 		n := 10 + f.rng.Intn(11) // 10–20
 		for _, idx := range f.rng.Sample(len(f.highProfile), n) {
-			sess.Follow(f.highProfile[idx])
+			sess.Do(platform.Request{Action: platform.ActionFollow, Target: f.highProfile[idx]})
 		}
 		// Creation-time follows of celebrities are setup, not service
 		// activity; reset the counters so measurements start clean.

@@ -197,9 +197,11 @@ func TestConcurrentRateLimitAccountingStaysInBounds(t *testing.T) {
 			t.Errorf("account %d landed %d allowed actions, budget is %d", sess.Account(), n, limit)
 		}
 	}
-	for id, w := range p.limiter.counts {
-		if w.count < 0 || w.count > limit {
-			t.Errorf("limiter bucket for account %d holds %d, want within [0, %d]", id, w.count, limit)
+	for _, sh := range p.shards {
+		for id, w := range sh.limiter.counts {
+			if w.count < 0 || w.count > limit {
+				t.Errorf("limiter bucket for account %d holds %d, want within [0, %d]", id, w.count, limit)
+			}
 		}
 	}
 }

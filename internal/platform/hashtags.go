@@ -78,9 +78,7 @@ func (h *hashtagIndex) recent(tag string, k int) []PostID {
 // they were part of the caption. World-building code uses this to tag
 // profile-seed photos; live posts tag through Session.PostTagged.
 func (p *Platform) TagPost(id AccountID, pid PostID, tags ...string) error {
-	p.mu.Lock()
-	author, ok := p.postAuthor[pid]
-	p.mu.Unlock()
+	author, ok := p.PostAuthor(pid)
 	if !ok || author != id {
 		return ErrAccountGone
 	}
@@ -94,16 +92,4 @@ func (p *Platform) TagPost(id AccountID, pid PostID, tags ...string) error {
 // the hashtag discovery surface AASs crawl for targeting.
 func (p *Platform) RecentByTag(tag string, k int) []PostID {
 	return p.tags.recent(tag, k)
-}
-
-// PostTagged publishes a post carrying hashtags.
-func (s *Session) PostTagged(tags ...string) (PostID, error) {
-	pid, err := s.Post()
-	if err != nil {
-		return 0, err
-	}
-	for _, t := range tags {
-		s.p.tags.add(t, pid)
-	}
-	return pid, nil
 }

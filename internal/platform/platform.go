@@ -15,6 +15,15 @@
 //     synchronously, or allow it and schedule deferred removal (§6.1);
 //   - resetting an account's password revokes all outstanding sessions,
 //     which is exactly how users evict an AAS (§3.3.1).
+//
+// Every mutation routes through one choke point, Do(Request): a typed
+// action envelope carrying the session, client metadata, and payload.
+// Session-validity checks, fault injection, rate limiting, gatekeeping,
+// state mutation, event emission, and telemetry all happen once, in
+// Do's pipeline, instead of being re-wired per action (see
+// docs/ARCHITECTURE.md). Mutable state is lock-striped across shards
+// keyed by a stable hash of AccountID (see shard.go), so the parallel
+// planning phase and independent mutations scale past a single lock.
 package platform
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"footsteps/internal/clock"
@@ -48,6 +58,8 @@ var (
 	// ErrUnavailable is a transient 5xx-style infrastructure failure
 	// injected by a fault schedule (internal/faults); clients may retry.
 	ErrUnavailable = errors.New("platform: service unavailable")
+	// ErrNoSession marks a Request submitted without a session.
+	ErrNoSession = errors.New("platform: request without session")
 )
 
 // Profile captures the externally visible richness of an account — what
@@ -78,6 +90,11 @@ type Config struct {
 	// OAuthHourlyLimit caps the public API "in a manner that precludes
 	// broad abusive use" (§2) — far below the private limit.
 	OAuthHourlyLimit int
+	// Shards is the lock-stripe count for mutable platform state
+	// (accounts, sessions, rate-limit buckets, post index). 0 means
+	// DefaultShards. Purely a concurrency knob: the event stream is
+	// byte-identical at every shard count (see docs/ARCHITECTURE.md).
+	Shards int
 }
 
 // DefaultConfig matches the study's standard world. The OAuth cap of a
@@ -137,12 +154,15 @@ type account struct {
 }
 
 // Platform is the simulated service. All exported methods are safe for
-// concurrent use. Pure queries (Exists, LatestPost, PostAuthor, Posts,
-// RecentByTag, …) take only read locks, so the parallel stepping engine's
-// intent-generation phase can interrogate platform state from many
-// workers at once; mutation — registration, login, and the session action
-// path with its rate-limit and gatekeeper checks — serializes on the
-// write lock and, in simulation, runs only on the single apply goroutine.
+// concurrent use. Mutable state is partitioned into lock-striped shards
+// keyed by a stable hash of AccountID (shard.go): pure queries (Exists,
+// LatestPost, PostAuthor, Posts, RecentByTag, …) take only the owning
+// stripe's read lock, so the parallel stepping engine's intent-generation
+// phase can interrogate platform state from many workers at once, and
+// mutations — registration, login, and the Do(Request) action pipeline
+// with its rate-limit and gatekeeper checks — lock only the stripes they
+// touch. In simulation, mutation runs on the single apply goroutine; the
+// striping is what lets many planners read while it writes.
 type Platform struct {
 	cfg   Config
 	graph *socialgraph.Graph
@@ -152,14 +172,26 @@ type Platform struct {
 
 	tags *hashtagIndex
 
-	mu         sync.RWMutex
-	accounts   map[AccountID]*account
+	// shards stripe the account records and their rate-limit buckets by
+	// hash(AccountID); postIdx stripes the post→author index by
+	// hash(PostID). nextPost allocates post IDs in stateless
+	// (GraphWrites off) mode.
+	shards   []*shard
+	postIdx  []*postStripe
+	nextPost atomic.Uint64
+
+	// nameMu guards the username index and serializes registration and
+	// deletion (the only paths that mutate it). Ranked before every
+	// shard lock; never acquired while one is held.
+	nameMu     sync.RWMutex
 	byUsername map[string]AccountID
-	postAuthor map[PostID]AccountID
-	nextPost   PostID
-	gate       Gatekeeper
-	faults     FaultInjector
-	limiter    *hourlyLimiter
+
+	// hookMu guards the enforcement and fault-injection hook pointers,
+	// which are installed at construction (faults) or between serial
+	// experiment phases (gatekeepers) and read on every request.
+	hookMu sync.RWMutex
+	gate   Gatekeeper
+	faults FaultInjector
 
 	log EventLog
 
@@ -183,14 +215,16 @@ type platformMetrics struct {
 	verdictDelay *telemetry.Counter // delayed removals scheduled
 	enforcement  *telemetry.Counter // platform-performed removals landed
 	duplicates   *telemetry.Counter // allowed structural no-ops
-
-	accounts *telemetry.Gauge // live accounts
-	logins   *telemetry.Counter
+	accounts     *telemetry.Gauge   // live accounts
+	logins       *telemetry.Counter
 }
 
 // WireTelemetry registers the platform's metric set in reg and starts
 // recording. Call during construction, before traffic; a nil registry is
-// a no-op (telemetry stays off).
+// a no-op (telemetry stays off). Besides the event and enforcement
+// counters, each lock stripe gets a contention counter
+// (platform.shard.NN.contention, platform.postshard.NN.contention)
+// counting acquisitions that found the stripe already held.
 func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -211,24 +245,41 @@ func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
 			m.events[t][o] = reg.Counter("platform.events." + t.String() + "." + o.String())
 		}
 	}
+	reg.Gauge("platform.shards").Set(int64(len(p.shards)))
+	for i, sh := range p.shards {
+		sh.contention = reg.Counter(fmt.Sprintf("platform.shard.%02d.contention", i))
+	}
+	for i, ps := range p.postIdx {
+		ps.contention = reg.Counter(fmt.Sprintf("platform.postshard.%02d.contention", i))
+	}
 	p.tel = m
 }
 
 // New assembles a platform over the given substrates.
 func New(cfg Config, g *socialgraph.Graph, net *netsim.Registry, sched *clock.Scheduler) *Platform {
-	return &Platform{
+	n := normShards(cfg.Shards)
+	p := &Platform{
 		cfg:        cfg,
 		graph:      g,
 		net:        net,
 		clk:        sched.Clock(),
 		sched:      sched,
 		tags:       newHashtagIndex(),
-		accounts:   make(map[AccountID]*account),
+		shards:     make([]*shard, n),
+		postIdx:    make([]*postStripe, n),
 		byUsername: make(map[string]AccountID),
-		postAuthor: make(map[PostID]AccountID),
-		limiter:    newHourlyLimiter(),
 	}
+	for i := range p.shards {
+		p.shards[i] = newShard()
+	}
+	for i := range p.postIdx {
+		p.postIdx[i] = &postStripe{author: make(map[PostID]AccountID)}
+	}
+	return p
 }
+
+// Shards reports the configured lock-stripe count.
+func (p *Platform) Shards() int { return len(p.shards) }
 
 // Log exposes the event stream for subscribers (detection, monitors).
 func (p *Platform) Log() *EventLog { return &p.log }
@@ -245,17 +296,25 @@ func (p *Platform) Now() time.Time { return p.clk.Now() }
 // SetGatekeeper installs gk as the enforcement hook. Passing nil removes
 // all countermeasures.
 func (p *Platform) SetGatekeeper(gk Gatekeeper) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.hookMu.Lock()
 	p.gate = gk
+	p.hookMu.Unlock()
+}
+
+// hooks snapshots the gatekeeper and fault-injector pointers.
+func (p *Platform) hooks() (Gatekeeper, FaultInjector) {
+	p.hookMu.RLock()
+	g, f := p.gate, p.faults
+	p.hookMu.RUnlock()
+	return g, f
 }
 
 // RegisterAccount creates an account with the given credentials and profile
 // and returns its ID. The homeCountry is where the human behind the account
 // usually logs in from.
 func (p *Platform) RegisterAccount(username, password string, profile Profile, homeCountry string) (AccountID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.nameMu.Lock()
+	defer p.nameMu.Unlock()
 	if _, taken := p.byUsername[username]; taken {
 		return 0, fmt.Errorf("%w: %q", ErrUsernameTaken, username)
 	}
@@ -270,18 +329,24 @@ func (p *Platform) RegisterAccount(username, password string, profile Profile, h
 		loginCountries: make(map[string]int),
 		likeCounts:     make(map[PostID]int),
 	}
-	p.accounts[id] = a
-	p.byUsername[username] = id
-	if m := p.tel; m != nil {
-		m.accounts.Add(1)
-	}
+	sh := p.shardFor(id)
+	sh.lock()
+	sh.accounts[id] = a
 	// The profile's initial photos exist as posts.
 	for i := 0; i < profile.PhotoCount; i++ {
 		p.addPostLocked(a)
 	}
+	sh.mu.Unlock()
+	p.byUsername[username] = id
+	if m := p.tel; m != nil {
+		m.accounts.Add(1)
+	}
 	return id, nil
 }
 
+// addPostLocked creates a post for a, whose shard lock the caller holds.
+// It takes the post-index stripe lock for the new ID — account shard
+// before post stripe is the canonical order.
 func (p *Platform) addPostLocked(a *account) PostID {
 	var pid PostID
 	if p.cfg.GraphWrites {
@@ -291,31 +356,41 @@ func (p *Platform) addPostLocked(a *account) PostID {
 			panic(fmt.Sprintf("platform: graph post for live account: %v", err))
 		}
 	} else {
-		p.nextPost++
-		pid = p.nextPost
+		pid = PostID(p.nextPost.Add(1))
 	}
 	a.posts = append(a.posts, pid)
-	p.postAuthor[pid] = a.id
+	ps := p.postStripeFor(pid)
+	ps.lock()
+	ps.author[pid] = a.id
+	ps.mu.Unlock()
 	return pid
 }
 
 // DeleteAccount removes the account and, per the paper's honeypot protocol,
 // all actions to or from it.
 func (p *Platform) DeleteAccount(id AccountID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[id]
+	p.nameMu.Lock()
+	defer p.nameMu.Unlock()
+	sh := p.shardFor(id)
+	sh.lock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrAccountGone, id)
 	}
 	a.deleted = true
 	a.sessionEpoch++ // revoke sessions
+	posts := a.posts
+	sh.mu.Unlock()
 	delete(p.byUsername, a.username)
 	if m := p.tel; m != nil {
 		m.accounts.Add(-1)
 	}
-	for _, pid := range a.posts {
-		delete(p.postAuthor, pid)
+	for _, pid := range posts {
+		ps := p.postStripeFor(pid)
+		ps.lock()
+		delete(ps.author, pid)
+		ps.mu.Unlock()
 	}
 	if p.cfg.GraphWrites {
 		return p.graph.DeleteAccount(id)
@@ -326,9 +401,10 @@ func (p *Platform) DeleteAccount(id AccountID) error {
 // ResetPassword changes the account's password and revokes every live
 // session — the user-level remedy for evicting an AAS.
 func (p *Platform) ResetPassword(id AccountID, newPassword string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted {
 		return fmt.Errorf("%w: %d", ErrAccountGone, id)
 	}
@@ -339,17 +415,19 @@ func (p *Platform) ResetPassword(id AccountID, newPassword string) error {
 
 // Exists reports whether the account is live.
 func (p *Platform) Exists(id AccountID) bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	return ok && !a.deleted
 }
 
 // AccountProfile returns the account's profile.
 func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted {
 		return Profile{}, false
 	}
@@ -358,9 +436,10 @@ func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
 
 // Username returns the account's username.
 func (p *Platform) Username(id AccountID) (string, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted {
 		return "", false
 	}
@@ -369,9 +448,10 @@ func (p *Platform) Username(id AccountID) (string, bool) {
 
 // CreatedAt returns the account's registration time.
 func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok {
 		return time.Time{}, false
 	}
@@ -382,9 +462,10 @@ func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
 // "the most frequent country used to login to the account" (§5.1). The
 // second result is false when the account has never logged in.
 func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok {
 		return "", false
 	}
@@ -399,9 +480,10 @@ func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
 
 // Posts returns the account's post IDs in creation order.
 func (p *Platform) Posts(id AccountID) []PostID {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted {
 		return nil
 	}
@@ -410,9 +492,10 @@ func (p *Platform) Posts(id AccountID) []PostID {
 
 // LatestPost returns the account's most recent post, if any.
 func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	a, ok := p.accounts[id]
+	sh := p.shardFor(id)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.accounts[id]
 	if !ok || a.deleted || len(a.posts) == 0 {
 		return 0, false
 	}
@@ -421,28 +504,30 @@ func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
 
 // PostAuthor resolves a post to its author.
 func (p *Platform) PostAuthor(pid PostID) (AccountID, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	id, ok := p.postAuthor[pid]
+	ps := p.postStripeFor(pid)
+	ps.rlock()
+	defer ps.mu.RUnlock()
+	id, ok := ps.author[pid]
 	return id, ok
 }
 
 // LikeCount returns the number of likes on pid as tracked by the platform
 // (valid in both graph and stateless modes).
 func (p *Platform) LikeCount(pid PostID) int {
-	p.mu.RLock()
-	author, ok := p.postAuthor[pid]
+	author, ok := p.PostAuthor(pid)
 	if !ok {
-		p.mu.RUnlock()
 		return 0
 	}
-	if !p.cfg.GraphWrites {
-		n := p.accounts[author].likeCounts[pid]
-		p.mu.RUnlock()
-		return n
+	if p.cfg.GraphWrites {
+		return p.graph.LikeCount(pid)
 	}
-	p.mu.RUnlock()
-	return p.graph.LikeCount(pid)
+	sh := p.shardFor(author)
+	sh.rlock()
+	defer sh.mu.RUnlock()
+	if a, ok := sh.accounts[author]; ok {
+		return a.likeCounts[pid]
+	}
+	return 0
 }
 
 // ClientInfo describes the client a session presents to the platform.
@@ -455,23 +540,26 @@ type ClientInfo struct {
 // Login authenticates and returns a session bound to the client info. The
 // login is recorded as an event and feeds geolocation.
 func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, error) {
-	p.mu.Lock()
+	p.nameMu.RLock()
 	id, ok := p.byUsername[username]
+	p.nameMu.RUnlock()
 	if !ok {
-		p.mu.Unlock()
 		return nil, ErrBadCredentials
 	}
-	a := p.accounts[id]
-	if a.deleted || a.password != password {
-		p.mu.Unlock()
+	_, faults := p.hooks()
+	sh := p.shardFor(id)
+	sh.lock()
+	a, ok := sh.accounts[id]
+	if !ok || a.deleted || a.password != password {
+		sh.mu.Unlock()
 		return nil, ErrBadCredentials
 	}
-	if p.faults != nil {
+	if faults != nil {
 		asn, _ := p.net.Lookup(ci.IP)
-		if d := p.faults.Decide(p.clk.Now(), id, ActionLogin, asn, 0); d.Unavailable {
+		if d := faults.Decide(p.clk.Now(), id, ActionLogin, asn, 0); d.Unavailable {
 			// The auth frontend is down: no session, no event, and no
 			// geolocation update — the request never reached the app tier.
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			return nil, ErrUnavailable
 		}
 	}
@@ -481,7 +569,7 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	}
 	epoch := a.sessionEpoch
 	now := p.clk.Now()
-	p.mu.Unlock()
+	sh.mu.Unlock()
 
 	p.emit(Event{
 		Time: now, Type: ActionLogin, Actor: id, IP: ci.IP,
@@ -490,8 +578,8 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	return &Session{p: p, id: id, epoch: epoch, client: ci}, nil
 }
 
-// emit resolves the ASN and delivers the event. Callers must NOT hold p.mu:
-// subscribers may call back into the platform.
+// emit resolves the ASN and delivers the event. Callers must NOT hold any
+// shard or stripe lock: subscribers may call back into the platform.
 func (p *Platform) emit(ev Event) {
 	if asn, ok := p.net.Lookup(ev.IP); ok {
 		ev.ASN = asn

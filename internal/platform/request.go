@@ -1,0 +1,312 @@
+package platform
+
+import (
+	"fmt"
+	"time"
+)
+
+// Request is the unified action envelope: one typed value carrying the
+// session (actor + client metadata), the action kind, and its payload.
+// Every mutation of platform state routes through Do(Request), so
+// session validity, fault injection, rate limiting, gatekeeping,
+// application, event emission, and telemetry happen at one choke point
+// instead of being re-wired per action.
+//
+// Payload fields by action:
+//
+//	ActionLike     Post
+//	ActionFollow   Target
+//	ActionUnfollow Target
+//	ActionComment  Post, Text
+//	ActionPost     Tags (optional)
+//
+// Unused fields are ignored.
+type Request struct {
+	Session *Session
+	Action  ActionType
+	Target  AccountID
+	Post    PostID
+	Text    string
+	Tags    []string
+}
+
+// Response reports how a Request fared. Outcome mirrors the emitted
+// event's outcome; when the request died before any event could be
+// emitted (revoked session, missing session), Outcome is OutcomeFailed
+// and Err says why.
+type Response struct {
+	// Outcome is the terminal outcome of the request.
+	Outcome Outcome
+	// Err is non-nil when the action did not take effect: one of the
+	// package's sentinel errors (possibly wrapped) or a graph error.
+	Err error
+	// Applied is true when the action changed state; an allowed
+	// structural no-op (re-follow, re-like) leaves it false and the
+	// emitted event carries Duplicate.
+	Applied bool
+	// Post is the created post's ID for an allowed ActionPost.
+	Post PostID
+}
+
+// Do submits a request on this session. Shorthand for p.Do with the
+// Session field set.
+func (s *Session) Do(req Request) Response {
+	req.Session = s
+	return s.p.Do(req)
+}
+
+// Do routes one action request through the full pipeline:
+//
+//	preflight → session epoch → fault injection → rate limit →
+//	gatekeeper → apply → emit (→ deferred enforcement)
+//
+// The stages and their order are load-bearing — see
+// docs/ARCHITECTURE.md before reordering anything:
+//
+//   - structural preflight (target post/account must exist) fails
+//     without consulting the session, limiter, or gatekeeper, like a
+//     404 from a stateless frontend;
+//   - an injected outage emits OutcomeUnavailable before rate limiting,
+//     so a faulted request consumes no budget and a client retry cannot
+//     double-count;
+//   - the gatekeeper sees the request with its ASN resolved, after the
+//     limiter — countermeasures observe only traffic the service would
+//     actually process;
+//   - all emission happens with no shard lock held (subscribers may call
+//     back into the platform).
+func (p *Platform) Do(req Request) Response {
+	s := req.Session
+	if s == nil {
+		return Response{Outcome: OutcomeFailed, Err: ErrNoSession}
+	}
+
+	ev := Event{
+		Type:   req.Action,
+		Actor:  s.id,
+		Time:   p.clk.Now(),
+		IP:     s.client.IP,
+		Client: s.client.Fingerprint,
+		API:    s.client.API,
+	}
+
+	// Structural preflight + apply closure per action kind. The apply
+	// functions run after the pipeline's checks, with no locks held;
+	// each takes exactly the stripes it needs.
+	var apply func() (bool, error)
+	resp := Response{}
+	switch req.Action {
+	case ActionLike:
+		author, ok := p.PostAuthor(req.Post)
+		if !ok {
+			return p.failReq(Event{Type: ActionLike, Post: req.Post}, s)
+		}
+		ev.Target, ev.Post = author, req.Post
+		apply = func() (bool, error) {
+			if p.cfg.GraphWrites {
+				return p.graph.Like(s.id, req.Post)
+			}
+			sh := p.shardFor(author)
+			sh.lock()
+			if a, ok := sh.accounts[author]; ok {
+				a.likeCounts[req.Post]++
+			}
+			sh.mu.Unlock()
+			return true, nil
+		}
+	case ActionFollow:
+		if !p.Exists(req.Target) {
+			return p.failReq(Event{Type: ActionFollow, Target: req.Target}, s)
+		}
+		ev.Target = req.Target
+		apply = func() (bool, error) {
+			if p.cfg.GraphWrites {
+				return p.graph.Follow(s.id, req.Target)
+			}
+			return true, nil
+		}
+	case ActionUnfollow:
+		if !p.Exists(req.Target) {
+			return p.failReq(Event{Type: ActionUnfollow, Target: req.Target}, s)
+		}
+		ev.Target = req.Target
+		apply = func() (bool, error) {
+			if p.cfg.GraphWrites {
+				return p.graph.Unfollow(s.id, req.Target)
+			}
+			return true, nil
+		}
+	case ActionComment:
+		author, ok := p.PostAuthor(req.Post)
+		if !ok {
+			return p.failReq(Event{Type: ActionComment, Post: req.Post}, s)
+		}
+		ev.Target, ev.Post = author, req.Post
+		apply = func() (bool, error) {
+			if p.cfg.GraphWrites {
+				return true, p.graph.AddComment(s.id, req.Post, req.Text, p.clk.Now())
+			}
+			return true, nil
+		}
+	case ActionPost:
+		apply = func() (bool, error) {
+			sh := p.shardFor(s.id)
+			sh.lock()
+			a, ok := sh.accounts[s.id]
+			if !ok || a.deleted {
+				sh.mu.Unlock()
+				return false, ErrAccountGone
+			}
+			resp.Post = p.addPostLocked(a)
+			sh.mu.Unlock()
+			return true, nil
+		}
+	default:
+		return Response{Outcome: OutcomeFailed,
+			Err: fmt.Errorf("platform: action %v cannot be requested", req.Action)}
+	}
+
+	gate, faults := p.hooks()
+	sh := p.shardFor(s.id)
+	sh.lock()
+	a, ok := sh.accounts[s.id]
+	if !ok || a.deleted || a.sessionEpoch != s.epoch {
+		sh.mu.Unlock()
+		return Response{Outcome: OutcomeFailed, Err: ErrSessionRevoked}
+	}
+	var fd FaultDecision
+	if faults != nil {
+		asn, _ := p.net.Lookup(ev.IP)
+		fd = faults.Decide(ev.Time, s.id, ev.Type, asn, uint64(ev.Target)<<32^uint64(ev.Post))
+	}
+	if fd.RevokeSession {
+		// Session-store flap: every live session for the account dies,
+		// exactly like an organic revocation — no event is emitted.
+		a.sessionEpoch++
+		sh.mu.Unlock()
+		return Response{Outcome: OutcomeFailed, Err: ErrSessionRevoked}
+	}
+	if fd.Unavailable {
+		// Injected before rate limiting on purpose: an unavailable
+		// request consumes no budget, so a client retry cannot
+		// double-count against the limiter.
+		sh.mu.Unlock()
+		ev.Outcome = OutcomeUnavailable
+		p.emit(ev)
+		return Response{Outcome: OutcomeUnavailable, Err: ErrUnavailable}
+	}
+	limit := p.cfg.PrivateHourlyLimit
+	if s.client.API == APIOAuth {
+		limit = p.cfg.OAuthHourlyLimit
+	}
+	effLimit := limit
+	if fd.LimitScale > 0 && fd.LimitScale < 1 && limit > 0 {
+		// Rate-limit storm: the limit is temporarily a fraction of its
+		// configured value (at least 1, so storms throttle rather than
+		// blackhole).
+		effLimit = int(float64(limit) * fd.LimitScale)
+		if effLimit < 1 {
+			effLimit = 1
+		}
+	}
+	if !sh.limiter.allow(s.id, ev.Time, effLimit) {
+		// A denial is storm-attributable when the tightened limit fired
+		// below the level the ordinary limit would have tolerated.
+		storm := effLimit < limit && sh.limiter.peek(s.id, ev.Time) < limit
+		sh.mu.Unlock()
+		if m := p.tel; m != nil {
+			m.rateLimited.Inc()
+			if storm {
+				m.stormDenied.Inc()
+			}
+		}
+		ev.Outcome = OutcomeRateLimited
+		p.emit(ev)
+		return Response{Outcome: OutcomeRateLimited, Err: ErrRateLimited}
+	}
+	sh.mu.Unlock()
+
+	verdict := Allow
+	if gate != nil {
+		// The gatekeeper sees the request with its ASN resolved, exactly
+		// the signal surface detection uses.
+		greq := ev
+		if asn, ok := p.net.Lookup(greq.IP); ok {
+			greq.ASN = asn
+		}
+		verdict = gate.Check(greq)
+		if m := p.tel; m != nil {
+			m.gateChecks.Inc()
+			switch verdict.Kind {
+			case VerdictBlock:
+				m.verdictBlock.Inc()
+			case VerdictDelayRemove:
+				m.verdictDelay.Inc()
+			}
+		}
+	}
+	if verdict.Kind == VerdictBlock {
+		ev.Outcome = OutcomeBlocked
+		p.emit(ev)
+		return Response{Outcome: OutcomeBlocked, Err: ErrBlocked}
+	}
+
+	applied, err := apply()
+	if err != nil {
+		ev.Outcome = OutcomeFailed
+		p.emit(ev)
+		return Response{Outcome: OutcomeFailed, Err: err}
+	}
+	ev.Outcome = OutcomeAllowed
+	ev.Duplicate = !applied
+	p.emit(ev)
+	resp.Outcome = OutcomeAllowed
+	resp.Applied = applied
+
+	// Hashtags attach after the post event exists, mirroring a caption
+	// indexed once the media is live.
+	if req.Action == ActionPost {
+		for _, t := range req.Tags {
+			p.tags.add(t, resp.Post)
+		}
+	}
+
+	if verdict.Kind == VerdictDelayRemove && ev.Type == ActionFollow {
+		from, to := ev.Actor, ev.Target
+		delay := verdict.RemoveAfter
+		if delay <= 0 {
+			delay = 24 * time.Hour
+		}
+		p.sched.After(delay, func() {
+			if p.cfg.GraphWrites {
+				// Either endpoint may be gone by now; removal is then moot.
+				if !p.graph.Exists(from) || !p.graph.Exists(to) {
+					return
+				}
+				if removed, _ := p.graph.Unfollow(from, to); !removed {
+					return
+				}
+			}
+			p.emit(Event{
+				Time: p.clk.Now(), Type: ActionUnfollow, Actor: from,
+				Target: to, Outcome: OutcomeAllowed, Enforcement: true,
+			})
+		})
+	}
+	return resp
+}
+
+// failReq records a structurally invalid request (target post or account
+// does not exist) and returns the failure. The event deliberately skips
+// session, limiter, and gatekeeper checks: a 404 from a stateless
+// frontend, not a policy decision.
+func (p *Platform) failReq(ev Event, s *Session) Response {
+	ev.Actor = s.id
+	ev.Time = p.clk.Now()
+	ev.IP = s.client.IP
+	ev.Client = s.client.Fingerprint
+	ev.API = s.client.API
+	ev.Outcome = OutcomeFailed
+	p.emit(ev)
+	return Response{Outcome: OutcomeFailed,
+		Err: fmt.Errorf("platform: %s target does not exist", ev.Type)}
+}

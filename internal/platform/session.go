@@ -1,16 +1,14 @@
 package platform
 
-import (
-	"fmt"
-	"time"
-)
-
 // Session is an authenticated client acting as one account. Sessions are
 // exactly what customers hand to an AAS: whoever holds the session can act
 // as the account until the password is reset.
 //
 // A session is safe for concurrent use, but simulation code normally drives
 // it from scheduler callbacks on the single simulated timeline.
+//
+// Actions are submitted as a Request through Do; the named methods below
+// remain as shorthand wrappers.
 type Session struct {
 	p      *Platform
 	id     AccountID
@@ -25,222 +23,51 @@ func (s *Session) Account() AccountID { return s.id }
 func (s *Session) Client() ClientInfo { return s.client }
 
 // Like likes the given post on behalf of the session's account.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
 func (s *Session) Like(pid PostID) error {
-	author, ok := s.p.PostAuthor(pid)
-	if !ok {
-		return s.fail(Event{Type: ActionLike, Post: pid})
-	}
-	return s.do(Event{Type: ActionLike, Target: author, Post: pid}, func() (bool, error) {
-		if s.p.cfg.GraphWrites {
-			return s.p.graph.Like(s.id, pid)
-		}
-		s.p.mu.Lock()
-		if a, ok := s.p.accounts[author]; ok {
-			a.likeCounts[pid]++
-		}
-		s.p.mu.Unlock()
-		return true, nil
-	})
+	return s.Do(Request{Action: ActionLike, Post: pid}).Err
 }
 
 // Follow follows the target account.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
 func (s *Session) Follow(target AccountID) error {
-	if !s.p.Exists(target) {
-		return s.fail(Event{Type: ActionFollow, Target: target})
-	}
-	return s.do(Event{Type: ActionFollow, Target: target}, func() (bool, error) {
-		if s.p.cfg.GraphWrites {
-			return s.p.graph.Follow(s.id, target)
-		}
-		return true, nil
-	})
+	return s.Do(Request{Action: ActionFollow, Target: target}).Err
 }
 
 // Unfollow removes a follow edge.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
 func (s *Session) Unfollow(target AccountID) error {
-	if !s.p.Exists(target) {
-		return s.fail(Event{Type: ActionUnfollow, Target: target})
-	}
-	return s.do(Event{Type: ActionUnfollow, Target: target}, func() (bool, error) {
-		if s.p.cfg.GraphWrites {
-			return s.p.graph.Unfollow(s.id, target)
-		}
-		return true, nil
-	})
+	return s.Do(Request{Action: ActionUnfollow, Target: target}).Err
 }
 
 // Comment comments on the given post.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
 func (s *Session) Comment(pid PostID, text string) error {
-	author, ok := s.p.PostAuthor(pid)
-	if !ok {
-		return s.fail(Event{Type: ActionComment, Post: pid})
-	}
-	return s.do(Event{Type: ActionComment, Target: author, Post: pid}, func() (bool, error) {
-		if s.p.cfg.GraphWrites {
-			return true, s.p.graph.AddComment(s.id, pid, text, s.p.clk.Now())
-		}
-		return true, nil
-	})
+	return s.Do(Request{Action: ActionComment, Post: pid, Text: text}).Err
 }
 
 // Post publishes a new post and returns its ID.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
 func (s *Session) Post() (PostID, error) {
-	var pid PostID
-	err := s.do(Event{Type: ActionPost}, func() (bool, error) {
-		s.p.mu.Lock()
-		a, ok := s.p.accounts[s.id]
-		if !ok || a.deleted {
-			s.p.mu.Unlock()
-			return false, ErrAccountGone
-		}
-		pid = s.p.addPostLocked(a)
-		s.p.mu.Unlock()
-		return true, nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	return pid, nil
+	resp := s.Do(Request{Action: ActionPost})
+	return resp.Post, resp.Err
 }
 
-// fail records a structurally invalid request and returns an error.
-func (s *Session) fail(ev Event) error {
-	ev.Actor = s.id
-	ev.Time = s.p.clk.Now()
-	ev.IP = s.client.IP
-	ev.Client = s.client.Fingerprint
-	ev.API = s.client.API
-	ev.Outcome = OutcomeFailed
-	s.p.emit(ev)
-	return fmt.Errorf("platform: %s target does not exist", ev.Type)
-}
-
-// do runs one action through the full request path: session validity, rate
-// limit, gatekeeper, application, event emission, and (for delay-remove
-// verdicts on follows) scheduling the deferred removal.
-func (s *Session) do(ev Event, apply func() (bool, error)) error {
-	ev.Actor = s.id
-	ev.Time = s.p.clk.Now()
-	ev.IP = s.client.IP
-	ev.Client = s.client.Fingerprint
-	ev.API = s.client.API
-
-	p := s.p
-	p.mu.Lock()
-	a, ok := p.accounts[s.id]
-	if !ok || a.deleted || a.sessionEpoch != s.epoch {
-		p.mu.Unlock()
-		return ErrSessionRevoked
-	}
-	var fd FaultDecision
-	if p.faults != nil {
-		asn, _ := p.net.Lookup(ev.IP)
-		fd = p.faults.Decide(ev.Time, s.id, ev.Type, asn, uint64(ev.Target)<<32^uint64(ev.Post))
-	}
-	if fd.RevokeSession {
-		// Session-store flap: every live session for the account dies,
-		// exactly like an organic revocation — no event is emitted.
-		a.sessionEpoch++
-		p.mu.Unlock()
-		return ErrSessionRevoked
-	}
-	if fd.Unavailable {
-		// Injected before rate limiting on purpose: an unavailable
-		// request consumes no budget, so a client retry cannot
-		// double-count against the limiter.
-		p.mu.Unlock()
-		ev.Outcome = OutcomeUnavailable
-		p.emit(ev)
-		return ErrUnavailable
-	}
-	limit := p.cfg.PrivateHourlyLimit
-	if s.client.API == APIOAuth {
-		limit = p.cfg.OAuthHourlyLimit
-	}
-	effLimit := limit
-	if fd.LimitScale > 0 && fd.LimitScale < 1 && limit > 0 {
-		// Rate-limit storm: the limit is temporarily a fraction of its
-		// configured value (at least 1, so storms throttle rather than
-		// blackhole).
-		effLimit = int(float64(limit) * fd.LimitScale)
-		if effLimit < 1 {
-			effLimit = 1
-		}
-	}
-	if !p.limiter.allow(s.id, ev.Time, effLimit) {
-		// A denial is storm-attributable when the tightened limit fired
-		// below the level the ordinary limit would have tolerated.
-		storm := effLimit < limit && p.limiter.peek(s.id, ev.Time) < limit
-		p.mu.Unlock()
-		if m := p.tel; m != nil {
-			m.rateLimited.Inc()
-			if storm {
-				m.stormDenied.Inc()
-			}
-		}
-		ev.Outcome = OutcomeRateLimited
-		p.emit(ev)
-		return ErrRateLimited
-	}
-	gate := p.gate
-	p.mu.Unlock()
-
-	verdict := Allow
-	if gate != nil {
-		// The gatekeeper sees the request with its ASN resolved, exactly
-		// the signal surface detection uses.
-		req := ev
-		if asn, ok := p.net.Lookup(req.IP); ok {
-			req.ASN = asn
-		}
-		verdict = gate.Check(req)
-		if m := p.tel; m != nil {
-			m.gateChecks.Inc()
-			switch verdict.Kind {
-			case VerdictBlock:
-				m.verdictBlock.Inc()
-			case VerdictDelayRemove:
-				m.verdictDelay.Inc()
-			}
-		}
-	}
-	if verdict.Kind == VerdictBlock {
-		ev.Outcome = OutcomeBlocked
-		p.emit(ev)
-		return ErrBlocked
-	}
-
-	applied, err := apply()
-	if err != nil {
-		ev.Outcome = OutcomeFailed
-		p.emit(ev)
-		return err
-	}
-	ev.Outcome = OutcomeAllowed
-	ev.Duplicate = !applied
-	p.emit(ev)
-
-	if verdict.Kind == VerdictDelayRemove && ev.Type == ActionFollow {
-		from, to := ev.Actor, ev.Target
-		delay := verdict.RemoveAfter
-		if delay <= 0 {
-			delay = 24 * time.Hour
-		}
-		p.sched.After(delay, func() {
-			if p.cfg.GraphWrites {
-				// Either endpoint may be gone by now; removal is then moot.
-				if !p.graph.Exists(from) || !p.graph.Exists(to) {
-					return
-				}
-				if removed, _ := p.graph.Unfollow(from, to); !removed {
-					return
-				}
-			}
-			p.emit(Event{
-				Time: p.clk.Now(), Type: ActionUnfollow, Actor: from,
-				Target: to, Outcome: OutcomeAllowed, Enforcement: true,
-			})
-		})
-	}
-	return nil
+// PostTagged publishes a post carrying hashtags.
+//
+// Deprecated: submit a Request through Session.Do instead; this is a thin
+// wrapper kept for convenience.
+func (s *Session) PostTagged(tags ...string) (PostID, error) {
+	resp := s.Do(Request{Action: ActionPost, Tags: tags})
+	return resp.Post, resp.Err
 }

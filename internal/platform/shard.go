@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"sync"
+
+	"footsteps/internal/telemetry"
+)
+
+// The platform's mutable per-account state — the account records
+// themselves (credentials, profile, session epoch, posts, like counts)
+// and the hourly rate-limit buckets — is partitioned into N lock-striped
+// shards keyed by a stable hash of AccountID. The post→author index is
+// striped the same way by PostID. Striping lets the parallel planning
+// phase read different accounts without rendezvousing on one global
+// RWMutex, and lets independent apply-path mutations proceed without
+// false sharing of a single lock.
+//
+// Shard count is a pure performance knob: the hash is a fixed function
+// of the ID (never of the shard count's runtime environment), every
+// lookup is exact-key, and nothing ever iterates a shard map in an
+// order that reaches the event stream — so the FSEV1 bytes are
+// identical at every shard count (enforced in internal/simtest).
+//
+// Lock-ordering rule (deadlock freedom): nameMu → account shard →
+// post-index stripe → socialgraph locks. Paths that need two locks of
+// the same family take them in ascending shard-index order; no path
+// acquires an earlier-ranked lock while holding a later-ranked one.
+
+// DefaultShards is the stripe count used when Config.Shards is zero.
+const DefaultShards = 8
+
+// shardHash is a SplitMix64-style finalizer: a stable, well-mixed pure
+// function of the 64-bit key. IDs are assigned densely from 1, so
+// without mixing, consecutive accounts — which services enroll and act
+// on in waves — would stripe into adjacent shards in lockstep.
+func shardHash(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// normShards clamps a configured shard count to a usable value.
+func normShards(n int) int {
+	if n < 1 {
+		return DefaultShards
+	}
+	return n
+}
+
+// shard is one stripe of account state plus the rate-limit buckets of
+// the accounts it owns.
+type shard struct {
+	mu       sync.RWMutex
+	accounts map[AccountID]*account
+	limiter  *hourlyLimiter
+
+	// contention counts lock acquisitions that found the stripe already
+	// held (a failed TryLock/TryRLock before blocking). nil = telemetry
+	// off; pure observer either way.
+	contention *telemetry.Counter
+}
+
+func newShard() *shard {
+	return &shard{
+		accounts: make(map[AccountID]*account),
+		limiter:  newHourlyLimiter(),
+	}
+}
+
+// lock acquires the stripe's write lock, counting contention.
+func (s *shard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contention.Inc()
+	s.mu.Lock()
+}
+
+// rlock acquires the stripe's read lock, counting contention.
+func (s *shard) rlock() {
+	if s.mu.TryRLock() {
+		return
+	}
+	s.contention.Inc()
+	s.mu.RLock()
+}
+
+// shardFor returns the stripe owning the account.
+func (p *Platform) shardFor(id AccountID) *shard {
+	return p.shards[shardHash(uint64(id))%uint64(len(p.shards))]
+}
+
+// postStripe is one stripe of the post→author index.
+type postStripe struct {
+	mu         sync.RWMutex
+	author     map[PostID]AccountID
+	contention *telemetry.Counter
+}
+
+func (s *postStripe) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	s.contention.Inc()
+	s.mu.Lock()
+}
+
+func (s *postStripe) rlock() {
+	if s.mu.TryRLock() {
+		return
+	}
+	s.contention.Inc()
+	s.mu.RLock()
+}
+
+// postStripeFor returns the stripe owning the post's author record.
+func (p *Platform) postStripeFor(pid PostID) *postStripe {
+	return p.postIdx[shardHash(uint64(pid))%uint64(len(p.postIdx))]
+}

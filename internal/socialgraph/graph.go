@@ -8,7 +8,10 @@
 // paper's honeypot-deletion semantics: "when deleting a honeypot account,
 // all actions to or from the account are eventually removed").
 //
-// All methods are safe for concurrent use.
+// State is lock-striped across shards keyed by a stable hash of the ID
+// (see shard.go), so independent accounts and posts can be read and
+// mutated concurrently; cross-shard operations take their locks in
+// canonical order. All methods are safe for concurrent use.
 package socialgraph
 
 import (
@@ -58,78 +61,109 @@ type account struct {
 
 // Graph is the mutable social graph.
 type Graph struct {
-	mu       sync.RWMutex
-	accounts map[AccountID]*account
-	posts    map[PostID]*post
+	ashards []*gShard
+	pshards []*pShard
+
+	// idMu guards the ID counters. A leaf lock: held only to bump a
+	// counter, never while acquiring a shard.
+	idMu     sync.Mutex
 	nextAcct AccountID
 	nextPost PostID
 }
 
-// New returns an empty graph.
-func New() *Graph {
-	return &Graph{
-		accounts: make(map[AccountID]*account),
-		posts:    make(map[PostID]*post),
+// New returns an empty graph with the default stripe count.
+func New() *Graph { return NewSharded(0) }
+
+// NewSharded returns an empty graph striped across n shards; n < 1 means
+// the default. Shard count only affects lock contention, never results.
+func NewSharded(n int) *Graph {
+	if n < 1 {
+		n = defaultShards
 	}
+	g := &Graph{
+		ashards: make([]*gShard, n),
+		pshards: make([]*pShard, n),
+	}
+	for i := range g.ashards {
+		g.ashards[i] = &gShard{accounts: make(map[AccountID]*account)}
+	}
+	for i := range g.pshards {
+		g.pshards[i] = &pShard{posts: make(map[PostID]*post)}
+	}
+	return g
 }
+
+// Shards reports the stripe count.
+func (g *Graph) Shards() int { return len(g.ashards) }
 
 // CreateAccount adds a fresh account and returns its ID.
 func (g *Graph) CreateAccount(now time.Time) AccountID {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.idMu.Lock()
 	g.nextAcct++
 	id := g.nextAcct
-	g.accounts[id] = &account{
+	g.idMu.Unlock()
+	s := g.ashard(id)
+	s.lock()
+	s.accounts[id] = &account{
 		followers: make(map[AccountID]struct{}),
 		followees: make(map[AccountID]struct{}),
 		likes:     make(map[PostID]struct{}),
 		commented: make(map[PostID]int),
 		created:   now,
 	}
+	s.mu.Unlock()
 	return id
 }
 
 // Exists reports whether id is a live account.
 func (g *Graph) Exists(id AccountID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	_, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	_, ok := s.accounts[id]
 	return ok
 }
 
 // NumAccounts returns the number of live accounts.
 func (g *Graph) NumAccounts() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.accounts)
+	n := 0
+	for _, s := range g.ashards {
+		s.rlock()
+		n += len(s.accounts)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // DeleteAccount removes the account and every trace of it: its posts (with
 // all likes and comments they received), its follow edges in both
-// directions, and all likes/comments it placed on others' posts.
+// directions, and all likes/comments it placed on others' posts. The
+// cascade can touch any account or post, so it takes every stripe — an
+// acceptable cost for the rare honeypot-deletion path.
 func (g *Graph) DeleteAccount(id AccountID) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, ok := g.accounts[id]
+	unlock := g.lockAll()
+	defer unlock()
+	home := g.ashards[g.aidx(id)]
+	a, ok := home.accounts[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoAccount, id)
 	}
 	// Sever follow edges.
 	for f := range a.followers {
-		delete(g.accounts[f].followees, id)
+		delete(g.ashards[g.aidx(f)].accounts[f].followees, id)
 	}
 	for f := range a.followees {
-		delete(g.accounts[f].followers, id)
+		delete(g.ashards[g.aidx(f)].accounts[f].followers, id)
 	}
 	// Remove likes this account placed.
 	for pid := range a.likes {
-		if p, ok := g.posts[pid]; ok {
+		if p, ok := g.pshards[g.pidx(pid)].posts[pid]; ok {
 			delete(p.likes, id)
 		}
 	}
 	// Remove comments this account placed.
 	for pid := range a.commented {
-		p, ok := g.posts[pid]
+		p, ok := g.pshards[g.pidx(pid)].posts[pid]
 		if !ok {
 			continue
 		}
@@ -143,22 +177,23 @@ func (g *Graph) DeleteAccount(id AccountID) error {
 	}
 	// Remove this account's own posts and the actions on them.
 	for _, pid := range a.posts {
-		p := g.posts[pid]
+		ps := g.pshards[g.pidx(pid)]
+		p := ps.posts[pid]
 		for liker := range p.likes {
-			if la, ok := g.accounts[liker]; ok {
+			if la, ok := g.ashards[g.aidx(liker)].accounts[liker]; ok {
 				delete(la.likes, pid)
 			}
 		}
 		for _, c := range p.comments {
-			if ca, ok := g.accounts[c.Author]; ok {
+			if ca, ok := g.ashards[g.aidx(c.Author)].accounts[c.Author]; ok {
 				if ca.commented[pid]--; ca.commented[pid] <= 0 {
 					delete(ca.commented, pid)
 				}
 			}
 		}
-		delete(g.posts, pid)
+		delete(ps.posts, pid)
 	}
-	delete(g.accounts, id)
+	delete(home.accounts, id)
 	return nil
 }
 
@@ -168,13 +203,13 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 	if from == to {
 		return false, ErrSelfAction
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	fa, ok := g.accounts[from]
+	unlock := g.lockAccounts(from, to)
+	defer unlock()
+	fa, ok := g.ashards[g.aidx(from)].accounts[from]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
 	}
-	ta, ok := g.accounts[to]
+	ta, ok := g.ashards[g.aidx(to)].accounts[to]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
 	}
@@ -189,13 +224,13 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 // Unfollow removes the edge from → to. Removing a missing edge is a no-op
 // reported via the bool result.
 func (g *Graph) Unfollow(from, to AccountID) (bool, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	fa, ok := g.accounts[from]
+	unlock := g.lockAccounts(from, to)
+	defer unlock()
+	fa, ok := g.ashards[g.aidx(from)].accounts[from]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
 	}
-	ta, ok := g.accounts[to]
+	ta, ok := g.ashards[g.aidx(to)].accounts[to]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
 	}
@@ -209,9 +244,10 @@ func (g *Graph) Unfollow(from, to AccountID) (bool, error) {
 
 // Follows reports whether the edge from → to exists.
 func (g *Graph) Follows(from, to AccountID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	fa, ok := g.accounts[from]
+	s := g.ashard(from)
+	s.rlock()
+	defer s.mu.RUnlock()
+	fa, ok := s.accounts[from]
 	if !ok {
 		return false
 	}
@@ -221,9 +257,10 @@ func (g *Graph) Follows(from, to AccountID) bool {
 
 // InDegree returns the follower count (the paper's "followers").
 func (g *Graph) InDegree(id AccountID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if a, ok := g.accounts[id]; ok {
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	if a, ok := s.accounts[id]; ok {
 		return len(a.followers)
 	}
 	return 0
@@ -231,9 +268,10 @@ func (g *Graph) InDegree(id AccountID) int {
 
 // OutDegree returns the followee count (the paper's "following").
 func (g *Graph) OutDegree(id AccountID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if a, ok := g.accounts[id]; ok {
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	if a, ok := s.accounts[id]; ok {
 		return len(a.followees)
 	}
 	return 0
@@ -241,9 +279,10 @@ func (g *Graph) OutDegree(id AccountID) int {
 
 // Followers returns a snapshot of the accounts following id.
 func (g *Graph) Followers(id AccountID) []AccountID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	a, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[id]
 	if !ok {
 		return nil
 	}
@@ -256,9 +295,10 @@ func (g *Graph) Followers(id AccountID) []AccountID {
 
 // Followees returns a snapshot of the accounts id follows.
 func (g *Graph) Followees(id AccountID) []AccountID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	a, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[id]
 	if !ok {
 		return nil
 	}
@@ -271,24 +311,31 @@ func (g *Graph) Followees(id AccountID) []AccountID {
 
 // AddPost creates a post authored by id.
 func (g *Graph) AddPost(id AccountID, now time.Time) (PostID, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoAccount, id)
 	}
+	g.idMu.Lock()
 	g.nextPost++
 	pid := g.nextPost
-	g.posts[pid] = &post{id: pid, author: id, created: now, likes: make(map[AccountID]struct{})}
+	g.idMu.Unlock()
+	ps := g.pshard(pid)
+	ps.lock()
+	ps.posts[pid] = &post{id: pid, author: id, created: now, likes: make(map[AccountID]struct{})}
+	ps.mu.Unlock()
 	a.posts = append(a.posts, pid)
 	return pid, nil
 }
 
 // Posts returns the IDs of id's posts in creation order.
 func (g *Graph) Posts(id AccountID) []PostID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	a, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.rlock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[id]
 	if !ok {
 		return nil
 	}
@@ -297,9 +344,10 @@ func (g *Graph) Posts(id AccountID) []PostID {
 
 // PostAuthor returns the author of pid.
 func (g *Graph) PostAuthor(pid PostID) (AccountID, error) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	p, ok := g.posts[pid]
+	s := g.pshard(pid)
+	s.rlock()
+	defer s.mu.RUnlock()
+	p, ok := s.posts[pid]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
@@ -309,13 +357,17 @@ func (g *Graph) PostAuthor(pid PostID) (AccountID, error) {
 // Like records who liking pid. Liking your own post is allowed (as on the
 // real platform); liking twice is a no-op reported via the bool result.
 func (g *Graph) Like(who AccountID, pid PostID) (bool, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, ok := g.accounts[who]
+	sa := g.ashard(who)
+	sa.lock()
+	defer sa.mu.Unlock()
+	a, ok := sa.accounts[who]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
-	p, ok := g.posts[pid]
+	sp := g.pshard(pid)
+	sp.lock()
+	defer sp.mu.Unlock()
+	p, ok := sp.posts[pid]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
@@ -329,13 +381,17 @@ func (g *Graph) Like(who AccountID, pid PostID) (bool, error) {
 
 // Unlike removes who's like from pid.
 func (g *Graph) Unlike(who AccountID, pid PostID) (bool, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, ok := g.accounts[who]
+	sa := g.ashard(who)
+	sa.lock()
+	defer sa.mu.Unlock()
+	a, ok := sa.accounts[who]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
-	p, ok := g.posts[pid]
+	sp := g.pshard(pid)
+	sp.lock()
+	defer sp.mu.Unlock()
+	p, ok := sp.posts[pid]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
@@ -349,9 +405,10 @@ func (g *Graph) Unlike(who AccountID, pid PostID) (bool, error) {
 
 // LikeCount returns the number of likes on pid.
 func (g *Graph) LikeCount(pid PostID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if p, ok := g.posts[pid]; ok {
+	s := g.pshard(pid)
+	s.rlock()
+	defer s.mu.RUnlock()
+	if p, ok := s.posts[pid]; ok {
 		return len(p.likes)
 	}
 	return 0
@@ -359,9 +416,10 @@ func (g *Graph) LikeCount(pid PostID) int {
 
 // Likers returns a snapshot of the accounts that liked pid.
 func (g *Graph) Likers(pid PostID) []AccountID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	p, ok := g.posts[pid]
+	s := g.pshard(pid)
+	s.rlock()
+	defer s.mu.RUnlock()
+	p, ok := s.posts[pid]
 	if !ok {
 		return nil
 	}
@@ -374,13 +432,17 @@ func (g *Graph) Likers(pid PostID) []AccountID {
 
 // AddComment appends a comment by who to pid.
 func (g *Graph) AddComment(who AccountID, pid PostID, text string, now time.Time) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, ok := g.accounts[who]
+	sa := g.ashard(who)
+	sa.lock()
+	defer sa.mu.Unlock()
+	a, ok := sa.accounts[who]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
-	p, ok := g.posts[pid]
+	sp := g.pshard(pid)
+	sp.lock()
+	defer sp.mu.Unlock()
+	p, ok := sp.posts[pid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
@@ -391,9 +453,10 @@ func (g *Graph) AddComment(who AccountID, pid PostID, text string, now time.Time
 
 // Comments returns a snapshot of pid's comments in posting order.
 func (g *Graph) Comments(pid PostID) []Comment {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	p, ok := g.posts[pid]
+	s := g.pshard(pid)
+	s.rlock()
+	defer s.mu.RUnlock()
+	p, ok := s.posts[pid]
 	if !ok {
 		return nil
 	}
@@ -405,18 +468,28 @@ func (g *Graph) Comments(pid PostID) []Comment {
 //	ER = (likes + comments on the user's posts) / followers
 //
 // It returns 0 for accounts with no followers, missing accounts, or
-// accounts with no posts.
+// accounts with no posts. The follower count and post list are
+// snapshotted first, then each post is read under its own stripe — the
+// serial analysis paths that call this see a quiescent graph either way.
 func (g *Graph) EngagementRate(id AccountID) float64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	a, ok := g.accounts[id]
+	s := g.ashard(id)
+	s.rlock()
+	a, ok := s.accounts[id]
 	if !ok || len(a.followers) == 0 {
+		s.mu.RUnlock()
 		return 0
 	}
+	followers := len(a.followers)
+	posts := append([]PostID(nil), a.posts...)
+	s.mu.RUnlock()
 	total := 0
-	for _, pid := range a.posts {
-		p := g.posts[pid]
-		total += len(p.likes) + len(p.comments)
+	for _, pid := range posts {
+		ps := g.pshard(pid)
+		ps.rlock()
+		if p, ok := ps.posts[pid]; ok {
+			total += len(p.likes) + len(p.comments)
+		}
+		ps.mu.RUnlock()
 	}
-	return float64(total) / float64(len(a.followers))
+	return float64(total) / float64(followers)
 }

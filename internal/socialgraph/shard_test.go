@@ -1,0 +1,217 @@
+package socialgraph
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"footsteps/internal/rng"
+	"footsteps/internal/telemetry"
+)
+
+// TestShardHashStable pins the stripe hash: shard assignment is part of
+// the determinism story (a changed hash re-stripes state, which must
+// never change results, but a *drifting* hash would make contention
+// numbers incomparable across runs of the same build).
+func TestShardHashStable(t *testing.T) {
+	t.Parallel()
+	got := map[uint64]uint64{
+		1:       shardHash(1),
+		2:       shardHash(2),
+		1 << 40: shardHash(1 << 40),
+	}
+	for k, v := range got {
+		if v == k || v == 0 {
+			t.Errorf("shardHash(%d) = %d: not mixed", k, v)
+		}
+	}
+	if shardHash(1) == shardHash(2) {
+		t.Error("adjacent IDs collapsed to one hash")
+	}
+}
+
+// TestCrossShardFollowUnfollowProperty is the lock-ordering gauntlet:
+// many goroutines hammer follow/unfollow on pairs chosen to cross shard
+// boundaries in both directions — including symmetric pairs (a→b while
+// b→a), the classic deadlock shape for two-lock operations. Run under
+// -race this checks memory safety; the watchdog converts a lock-order
+// deadlock into a test failure instead of a suite timeout; and the final
+// sweep asserts conservation: every in-edge is someone's out-edge and
+// the total counts balance.
+func TestCrossShardFollowUnfollowProperty(t *testing.T) {
+	t.Parallel()
+	const (
+		accounts    = 64
+		workers     = 8
+		opsPerActor = 3000
+	)
+	g := NewSharded(16)
+	ids := make([]AccountID, accounts)
+	for i := range ids {
+		ids[i] = g.CreateAccount(time.Unix(0, 0))
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 7)
+			me := ids[w%len(ids)]
+			for k := 0; k < opsPerActor; k++ {
+				// Mostly symmetric churn between two fixed accounts per
+				// worker pair (maximal lock-order stress), plus random
+				// pairs for coverage.
+				var from, to AccountID
+				switch k % 4 {
+				case 0:
+					from, to = me, ids[(w+1)%len(ids)]
+				case 1:
+					from, to = ids[(w+1)%len(ids)], me
+				default:
+					from, to = ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+					if from == to {
+						continue
+					}
+				}
+				if r.Bool(0.5) {
+					g.Follow(from, to)
+				} else {
+					g.Unfollow(from, to)
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("follow/unfollow hammer did not finish in 60s: likely shard-lock deadlock")
+	}
+
+	// Conservation sweep: Σ in-degree == Σ out-degree == edge count, and
+	// every edge is consistent from both endpoints.
+	in, out := 0, 0
+	for _, id := range ids {
+		in += g.InDegree(id)
+		out += g.OutDegree(id)
+		for _, f := range g.Followees(id) {
+			if !g.Follows(id, f) {
+				t.Fatalf("edge %d→%d in followee list but Follows says no", id, f)
+			}
+			found := false
+			for _, b := range g.Followers(f) {
+				if b == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d missing from %d's follower set", id, f, f)
+			}
+		}
+	}
+	if in != out {
+		t.Fatalf("edge conservation broken: Σin=%d Σout=%d", in, out)
+	}
+	if in == 0 {
+		t.Fatal("no edges survived the churn; property check is vacuous")
+	}
+}
+
+// TestShardCountResultEquivalence drives an identical deterministic
+// workload against shards=1 and shards=16 graphs and asserts every
+// observable query agrees — the graph-level form of the stream-bytes
+// invariant.
+func TestShardCountResultEquivalence(t *testing.T) {
+	t.Parallel()
+	build := func(shards int) *Graph {
+		g := NewSharded(shards)
+		r := rng.New(42)
+		ids := make([]AccountID, 40)
+		var pids []PostID
+		for i := range ids {
+			ids[i] = g.CreateAccount(time.Unix(int64(i), 0))
+		}
+		for _, id := range ids {
+			if r.Bool(0.7) {
+				pid, err := g.AddPost(id, time.Unix(0, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				pids = append(pids, pid)
+			}
+		}
+		for k := 0; k < 2000; k++ {
+			a, b := ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+			switch r.Intn(5) {
+			case 0:
+				g.Follow(a, b)
+			case 1:
+				g.Unfollow(a, b)
+			case 2:
+				if len(pids) > 0 {
+					g.Like(a, pids[r.Intn(len(pids))])
+				}
+			case 3:
+				if len(pids) > 0 {
+					g.Unlike(a, pids[r.Intn(len(pids))])
+				}
+			default:
+				if len(pids) > 0 {
+					g.AddComment(a, pids[r.Intn(len(pids))], "x", time.Unix(0, 0))
+				}
+			}
+		}
+		// One deletion cascade to cover lockAll.
+		if err := g.DeleteAccount(ids[3]); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g16 := build(1), build(16)
+	if a, b := g1.NumAccounts(), g16.NumAccounts(); a != b {
+		t.Fatalf("NumAccounts: shards=1 %d != shards=16 %d", a, b)
+	}
+	for id := AccountID(1); id <= 40; id++ {
+		if a, b := g1.Exists(id), g16.Exists(id); a != b {
+			t.Fatalf("Exists(%d): %v != %v", id, a, b)
+		}
+		if a, b := g1.InDegree(id), g16.InDegree(id); a != b {
+			t.Fatalf("InDegree(%d): %d != %d", id, a, b)
+		}
+		if a, b := g1.OutDegree(id), g16.OutDegree(id); a != b {
+			t.Fatalf("OutDegree(%d): %d != %d", id, a, b)
+		}
+		if a, b := g1.EngagementRate(id), g16.EngagementRate(id); a != b {
+			t.Fatalf("EngagementRate(%d): %v != %v", id, a, b)
+		}
+	}
+	for pid := PostID(1); pid <= 40; pid++ {
+		if a, b := g1.LikeCount(pid), g16.LikeCount(pid); a != b {
+			t.Fatalf("LikeCount(%d): %d != %d", pid, a, b)
+		}
+		if a, b := len(g1.Comments(pid)), len(g16.Comments(pid)); a != b {
+			t.Fatalf("Comments(%d): %d != %d", pid, a, b)
+		}
+	}
+}
+
+// TestGraphWireTelemetry checks the per-stripe contention counters
+// register under the documented names and count under contention.
+func TestGraphWireTelemetry(t *testing.T) {
+	t.Parallel()
+	g := NewSharded(2)
+	reg := telemetry.NewRegistry()
+	g.WireTelemetry(reg)
+	snap := reg.Snapshot().Counters
+	for _, name := range []string{
+		"socialgraph.shard.00.contention", "socialgraph.shard.01.contention",
+		"socialgraph.postshard.00.contention", "socialgraph.postshard.01.contention",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("counter %q not registered", name)
+		}
+	}
+}

@@ -1,23 +1,26 @@
 #!/bin/sh
-# Runs the parallel-stepping benchmarks — faults-off and the mixed
-# fault-injection scenario — and converts the result lines into
-# BENCH_PR3.json, a machine-readable record of tick/event throughput per
-# worker count (ticks/op, events/op, ns/tick, events/sec). Comparing the
-# ns/tick of ParallelStep vs ParallelStepFaults bounds the injector
-# overhead; the faults-off arm should stay within 5% of its historical
-# numbers (a nil injector costs one pointer check per request).
+# Runs the parallel-stepping benchmarks — faults-off, the mixed
+# fault-injection scenario, and the shards × workers grid — and converts
+# the result lines into BENCH_PR4.json, a machine-readable record of
+# tick/event throughput per configuration (ticks/op, events/op, ns/tick,
+# events/sec). Comparing the ns/tick of ParallelStep vs
+# ParallelStepFaults bounds the injector overhead; the ShardedStep grid
+# (shards 1/4/16 at workers 1/4/8) isolates lock-striping gains, with
+# shards=1 reproducing the old single-global-lock layout. Every point in
+# the grid produces identical ticks/op and events/op — shard and worker
+# counts are concurrency knobs, never semantics.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'BenchmarkParallelStep(Faults)?$' -benchtime "${BENCHTIME:-1x}" .)"
+raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep)$' -benchtime "${BENCHTIME:-1x}" .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^BenchmarkParallelStep(Faults)?\// {
+/^Benchmark(ParallelStep(Faults)?|ShardedStep)\// {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
