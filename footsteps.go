@@ -69,6 +69,7 @@ var (
 	WithPoolSize          = core.WithPoolSize
 	WithVPNUsers          = core.WithVPNUsers
 	WithIPDailyBudget     = core.WithIPDailyBudget
+	WithScratchReuse      = core.WithScratchReuse
 	WithTelemetry         = core.WithTelemetry
 	WithFaults            = core.WithFaults
 	WithFaultProfile      = core.WithFaultProfile

@@ -32,6 +32,14 @@ type CollusionService struct {
 	sourceCache   []*Customer
 	sourceCacheAt time.Time
 
+	// seenMark/seenEpoch implement deliver's duplicate-source filter
+	// without a per-request map: a pool index is "seen" in the current
+	// request iff seenMark[idx] == seenEpoch. Bumping the epoch resets
+	// every mark in O(1); on the (astronomically rare) uint32 wrap the
+	// slice is cleared so stale marks can never alias a new epoch.
+	seenMark  []uint32
+	seenEpoch uint32
+
 	// Delivered tallies inbound actions delivered, by action type.
 	Delivered map[platform.ActionType]int
 }
@@ -198,39 +206,48 @@ func (s *CollusionService) deliverLikes(c *Customer, pid platform.PostID, n int,
 	if free && s.spec.Collusion.FreeLikeHourlyCap > 0 && n > s.spec.Collusion.FreeLikeHourlyCap {
 		n = s.spec.Collusion.FreeLikeHourlyCap
 	}
-	return s.deliver(c, platform.ActionLike, n, func(src *Customer) error {
-		return src.session.Do(platform.Request{Action: platform.ActionLike, Post: pid}).Err
-	})
+	return s.deliver(c, n, platform.Request{Action: platform.ActionLike, Post: pid})
 }
 
 func (s *CollusionService) deliverFollows(c *Customer, n int) int {
-	return s.deliver(c, platform.ActionFollow, n, func(src *Customer) error {
-		return src.session.Do(platform.Request{Action: platform.ActionFollow, Target: c.Account}).Err
-	})
+	return s.deliver(c, n, platform.Request{Action: platform.ActionFollow, Target: c.Account})
 }
 
 func (s *CollusionService) deliverComments(c *Customer, pid platform.PostID, n int) int {
-	return s.deliver(c, platform.ActionComment, n, func(src *Customer) error {
-		return src.session.Do(platform.Request{Action: platform.ActionComment, Post: pid, Text: "awesome!"}).Err
-	})
+	return s.deliver(c, n, platform.Request{Action: platform.ActionComment, Post: pid, Text: "awesome!"})
 }
 
-func (s *CollusionService) deliver(c *Customer, t platform.ActionType, n int, act func(*Customer) error) int {
+// deliver makes n distinct sources submit req (the recipient-fixed
+// action: the target post/account is the same for every source, only
+// the acting session differs). req.Session stays unset — the resilience
+// layer fills it per attempt from each source's live session.
+func (s *CollusionService) deliver(c *Customer, n int, req platform.Request) int {
+	t := req.Action
 	pool := s.sources()
 	if len(pool) == 0 || n <= 0 {
 		return 0
 	}
 	// Draw distinct random sources by probing; bounded attempts keep a
 	// request O(n) even when most of the pool is throttled or the pool is
-	// smaller than the quantum.
-	seen := make(map[int]struct{}, n)
+	// smaller than the quantum. The duplicate filter is the epoch-marked
+	// slice (see seenMark) — same skip/attempt semantics as a per-request
+	// set, zero allocations in steady state.
+	s.seenEpoch++
+	if s.seenEpoch == 0 {
+		clear(s.seenMark)
+		s.seenEpoch = 1
+	}
+	if len(s.seenMark) < len(pool) {
+		s.seenMark = make([]uint32, len(pool))
+	}
+	mark, epoch := s.seenMark, s.seenEpoch
 	delivered := 0
 	for attempts := 0; delivered < n && attempts < 4*n+64; attempts++ {
 		idx := s.rng.Intn(len(pool))
-		if _, dup := seen[idx]; dup {
+		if mark[idx] == epoch {
 			continue
 		}
-		seen[idx] = struct{}{}
+		mark[idx] = epoch
 		src := pool[idx]
 		if src.Account == c.Account || src.Churned {
 			continue
@@ -249,7 +266,7 @@ func (s *CollusionService) deliver(c *Customer, t platform.ActionType, n int, ac
 		// Late retry successes count on the source's dashboard but not
 		// in delivered/Delivered — the request's quantum is judged at
 		// request time.
-		err := s.execute(src, t, func() error { return act(src) })
+		err := s.execute(src, req)
 		switch err {
 		case nil:
 			ad.todayCount++
@@ -424,13 +441,14 @@ func (s *CollusionService) dailyTick(scale float64) {
 		s.spawnCustomer()
 	}
 
-	alive := make([]*Customer, 0, len(s.customers))
+	alive := s.filterCustomers()
 	for _, c := range s.customers {
 		if !c.Churned {
 			alive = append(alive, c)
 		}
 	}
-	runSharded(s.steps, alive, func(c *Customer, emit func(lifeOp)) {
+	s.keepFilter(alive)
+	runSharded(s.steps, s.lifeSC(), alive, func(c *Customer, emit func(lifeOp)) {
 		// Sources' daily adaptation windows roll for every enrolled
 		// account, managed or not (honeypots are sources too); the state
 		// is customer-local, so rolling it during planning is safe.
@@ -509,14 +527,15 @@ func (s *CollusionService) hourTick() {
 		return
 	}
 	now := s.plat.Now()
-	eligible := make([]*Customer, 0, len(s.customers))
+	eligible := s.filterCustomers()
 	for _, c := range s.customers {
 		if !c.Managed || !s.activeAt(c, now) || c.Product == PaidMonthlyTier || c.Product == PaidOneTime {
 			continue
 		}
 		eligible = append(eligible, c)
 	}
-	runSharded(s.steps, eligible, func(c *Customer, emit func(freeReq)) {
+	s.keepFilter(eligible)
+	runSharded(s.steps, s.freeSC(), eligible, func(c *Customer, emit func(freeReq)) {
 		n := c.rng.Poisson(s.freeRequestsPerDay / 24 * diurnal(now))
 		for i := 0; i < n; i++ {
 			// Request-type mix: like requests deliver twice the quantum of

@@ -31,15 +31,38 @@ type lifeOp struct {
 // that makes the post-merge event stream a pure function of the seed.
 const shardChunk = 16
 
+// tickScratch is an engine's reusable planning scratch for one intent
+// type: the chunk bounds and the per-shard intent buffers runSharded
+// fills every tick. A service holds one tickScratch per (tick, intent
+// type) pair and hands it back each tick, so steady-state planning
+// allocates nothing. The zero value is ready to use; a nil *tickScratch
+// restores fresh per-tick allocations (the reuse-off arm of the simtest
+// pooling property test).
+type tickScratch[T any] struct {
+	chunks [][2]int
+	bufs   step.Buffers[T]
+}
+
 // runSharded partitions actors into fixed-size shards and runs one
 // intent/apply cycle over them on the service's pool: plan is invoked
 // for every actor (concurrently across shards, in order within a
 // shard) and must only read shared state and draw from the actor's own
 // forked stream; apply receives the emitted intents serially in
 // (shard, emission) order and is the only place shared state mutates.
-func runSharded[T any](pool *step.Pool, actors []*Customer, plan func(c *Customer, emit func(T)), apply func(T)) {
-	bounds := step.Chunks(len(actors), shardChunk)
-	step.Run(pool, len(bounds), func(si int, emit func(T)) {
+//
+// sc, when non-nil, supplies reused chunk/intent scratch; reuse is
+// invisible to plan and apply (see step.RunInto).
+func runSharded[T any](pool *step.Pool, sc *tickScratch[T], actors []*Customer, plan func(c *Customer, emit func(T)), apply func(T)) {
+	var bounds [][2]int
+	var bufs *step.Buffers[T]
+	if sc != nil {
+		sc.chunks = step.ChunksInto(sc.chunks, len(actors), shardChunk)
+		bounds = sc.chunks
+		bufs = &sc.bufs
+	} else {
+		bounds = step.Chunks(len(actors), shardChunk)
+	}
+	step.RunInto(pool, bufs, len(bounds), func(si int, emit func(T)) {
 		for _, c := range actors[bounds[si][0]:bounds[si][1]] {
 			plan(c, emit)
 		}

@@ -30,6 +30,10 @@ type ReciprocityService struct {
 
 	nextAcct     int
 	automationOn bool
+
+	// applier is the persistent serial-apply state machine for hourTick;
+	// reset (cur/skip) at the top of every tick.
+	applier opApplier
 }
 
 // NewReciprocityService builds the engine for spec. The spec must describe
@@ -214,13 +218,14 @@ func (s *ReciprocityService) dailyTick(scale float64) {
 		s.spawnCustomer()
 	}
 
-	managed := make([]*Customer, 0, len(s.customers))
+	managed := s.filterCustomers()
 	for _, c := range s.customers {
 		if c.Managed && !c.Churned {
 			managed = append(managed, c)
 		}
 	}
-	runSharded(s.steps, managed, func(c *Customer, emit func(lifeOp)) {
+	s.keepFilter(managed)
+	runSharded(s.steps, s.lifeSC(), managed, func(c *Customer, emit func(lifeOp)) {
 		op := lifeOp{c: c}
 		// Long-term customers renew once the previous period lapses.
 		op.renew = c.LongTermIntent && now.After(c.EngagedUntil) && now.After(c.PaidThrough)
@@ -279,16 +284,23 @@ func (s *ReciprocityService) hourTick() {
 		return
 	}
 	now := s.plat.Now()
-	active := make([]*Customer, 0, len(s.customers))
+	active := s.filterCustomers()
 	for _, c := range s.customers {
 		if s.activeAt(c, now) {
 			active = append(active, c)
 		}
 	}
-	a := &opApplier{s: s, skip: make(map[platform.ActionType]bool)}
-	runSharded(s.steps, active, func(c *Customer, emit func(plannedOp)) {
+	s.keepFilter(active)
+	// The applier persists across ticks; resetting cur and the skip set
+	// makes each tick start from exactly the state a fresh applier has.
+	if s.applier.skip == nil {
+		s.applier = opApplier{s: s, skip: make(map[platform.ActionType]bool)}
+	}
+	s.applier.cur = nil
+	clear(s.applier.skip)
+	runSharded(s.steps, s.planSC(), active, func(c *Customer, emit func(plannedOp)) {
 		s.planCustomer(c, now, emit)
-	}, a.apply)
+	}, s.applier.apply)
 	if now.Hour() == 23 {
 		for _, c := range active {
 			for _, ad := range c.adapt {
@@ -386,17 +398,13 @@ func (a *opApplier) apply(op plannedOp) {
 	// really changed), and schedules backoff retries on ErrUnavailable.
 	switch op.action {
 	case platform.ActionPost:
-		err := s.execute(c, op.action, func() error {
-			return c.session.Do(platform.Request{Action: platform.ActionPost}).Err
-		})
+		err := s.execute(c, platform.Request{Action: platform.ActionPost})
 		if err == nil {
 			c.countAction(platform.ActionPost)
 		}
 		return
 	case platform.ActionUnfollow:
-		err := s.execute(c, op.action, func() error {
-			return c.session.Do(platform.Request{Action: platform.ActionUnfollow, Target: op.target}).Err
-		})
+		err := s.execute(c, platform.Request{Action: platform.ActionUnfollow, Target: op.target})
 		if err == nil {
 			c.countAction(platform.ActionUnfollow)
 		}
@@ -405,20 +413,14 @@ func (a *opApplier) apply(op plannedOp) {
 	var err error
 	switch op.action {
 	case platform.ActionLike:
-		err = s.execute(c, op.action, func() error {
-			return c.session.Do(platform.Request{Action: platform.ActionLike, Post: op.post}).Err
-		})
+		err = s.execute(c, platform.Request{Action: platform.ActionLike, Post: op.post})
 	case platform.ActionFollow:
-		err = s.execute(c, op.action, func() error {
-			return c.session.Do(platform.Request{Action: platform.ActionFollow, Target: op.target}).Err
-		})
+		err = s.execute(c, platform.Request{Action: platform.ActionFollow, Target: op.target})
 		if err == nil && c.unfollowAfter {
 			c.pushUnfollow(op.target, s.plat.Now().Add(s.unfollowDelay))
 		}
 	case platform.ActionComment:
-		err = s.execute(c, op.action, func() error {
-			return c.session.Do(platform.Request{Action: platform.ActionComment, Post: op.post, Text: "nice!"}).Err
-		})
+		err = s.execute(c, platform.Request{Action: platform.ActionComment, Post: op.post, Text: "nice!"})
 	}
 	ad := s.adaptFor(c, op.action)
 	switch err {
@@ -450,7 +452,11 @@ func (a *opApplier) apply(op plannedOp) {
 func (s *ReciprocityService) pickTarget(r *rng.RNG, c *Customer, needPost bool) (platform.AccountID, platform.PostID, bool) {
 	if len(c.Hashtags) > 0 {
 		tag := c.Hashtags[r.Intn(len(c.Hashtags))]
-		posts := s.plat.RecentByTag(tag, 64)
+		// The feed query fills the customer's own scratch buffer: picking
+		// runs in the parallel planning phase, and per-customer scratch is
+		// touched by exactly one planning goroutine.
+		c.tagScratch = s.plat.AppendRecentByTag(c.tagScratch[:0], tag, 64)
+		posts := c.tagScratch
 		if len(posts) > 0 {
 			pid := posts[r.Intn(len(posts))]
 			if author, ok := s.plat.PostAuthor(pid); ok {

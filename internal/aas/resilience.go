@@ -182,6 +182,15 @@ func (b *base) breakerFailure(c *Customer) {
 	}
 }
 
+// doReq submits req on the customer's current session. Re-reading
+// c.session here at each attempt — rather than capturing the session —
+// is what lets a mid-retry refreshSession take effect: the next attempt
+// automatically rides the fresh session, exactly as the old per-attempt
+// closures did.
+func (c *Customer) doReq(req platform.Request) error {
+	return c.session.Do(req).Err
+}
+
 // execute runs one automation request under the shared resilience
 // policy: outcome counting, breaker bookkeeping, transparent session
 // refresh on revocation, and scheduled retries with capped exponential
@@ -189,27 +198,29 @@ func (b *base) breakerFailure(c *Customer) {
 // caller should react to; ErrUnavailable means retries (if any) are
 // already scheduled.
 //
-// op must re-read c.session at call time (closures over the customer
-// pointer do) so a refreshed session is picked up by later attempts.
-func (b *base) execute(c *Customer, t platform.ActionType, op func() error) error {
-	err := op()
+// req is a plain value (Session left unset — doReq's Session.Do fills a
+// copy), so the steady-state success path allocates nothing; a retry
+// closure materializes only on the fault-injected ErrUnavailable path,
+// preserving the layer's faults-off inertness.
+func (b *base) execute(c *Customer, req platform.Request) error {
+	err := c.doReq(req)
 	b.countOutcome(err)
 	switch {
 	case err == nil:
 		b.breakerSuccess(c)
 	case errors.Is(err, platform.ErrUnavailable):
 		b.breakerFailure(c)
-		b.scheduleRetry(c, t, 1, op)
+		b.scheduleRetry(c, req, 1)
 	case errors.Is(err, platform.ErrSessionRevoked):
 		if b.refreshSession(c) {
-			err = op()
+			err = c.doReq(req)
 			b.countOutcome(err)
 			switch {
 			case err == nil:
 				b.breakerSuccess(c)
 			case errors.Is(err, platform.ErrUnavailable):
 				b.breakerFailure(c)
-				b.scheduleRetry(c, t, 1, op)
+				b.scheduleRetry(c, req, 1)
 			}
 			// A second same-instant revocation is not refreshed again:
 			// the injector's verdict is a pure function of the request
@@ -222,14 +233,14 @@ func (b *base) execute(c *Customer, t platform.ActionType, op func() error) erro
 
 // scheduleRetry books attempt+1 after backoff, unless the action's
 // retry budget is exhausted.
-func (b *base) scheduleRetry(c *Customer, t platform.ActionType, attempt int, op func() error) {
-	if attempt >= b.rp.retryBudget(t) {
+func (b *base) scheduleRetry(c *Customer, req platform.Request, attempt int) {
+	if attempt >= b.rp.retryBudget(req.Action) {
 		b.telRetryDrop.Inc()
 		return
 	}
 	b.telRetrySched.Inc()
 	delay := b.backoff(c, attempt)
-	b.sched.After(delay, func() { b.retryOp(c, t, attempt+1, op) })
+	b.sched.After(delay, func() { b.retryOp(c, req, attempt+1) })
 }
 
 // backoff is the capped exponential delay before the given retry
@@ -254,27 +265,27 @@ func (b *base) backoff(c *Customer, attempt int) time.Duration {
 // rate today-count, dashboard totals); retried follows deliberately
 // skip the auto-unfollow queue — a small, documented simplification
 // that keeps the retry layer independent of per-engine queues.
-func (b *base) retryOp(c *Customer, t platform.ActionType, attempt int, op func() error) {
+func (b *base) retryOp(c *Customer, req platform.Request, attempt int) {
 	if b.stopped || c.Churned {
 		return
 	}
-	if b.shedByBreaker(c, t) {
+	if b.shedByBreaker(c, req.Action) {
 		return
 	}
-	err := op()
+	err := c.doReq(req)
 	b.countOutcome(err)
 	switch {
 	case err == nil:
-		b.retrySucceeded(c, t)
+		b.retrySucceeded(c, req.Action)
 	case errors.Is(err, platform.ErrUnavailable):
 		b.breakerFailure(c)
-		b.scheduleRetry(c, t, attempt, op)
+		b.scheduleRetry(c, req, attempt)
 	case errors.Is(err, platform.ErrSessionRevoked):
 		if b.refreshSession(c) {
-			err = op()
+			err = c.doReq(req)
 			b.countOutcome(err)
 			if err == nil {
-				b.retrySucceeded(c, t)
+				b.retrySucceeded(c, req.Action)
 			}
 		}
 	}

@@ -137,6 +137,13 @@ type Population struct {
 	// inline with an identical apply sequence.
 	steps *step.Pool
 
+	// Reusable daily-posting scratch (chunk bounds + per-shard intent
+	// buffers); see docs/PERFORMANCE.md. noReuse restores fresh per-day
+	// allocations for the simtest pooling property test.
+	postChunks [][2]int
+	postBufs   step.Buffers[*member]
+	noReuse    bool
+
 	// Reacted counts reciprocal actions issued, by channel, for tests and
 	// diagnostics.
 	Reacted map[string]int
@@ -146,6 +153,10 @@ type member struct {
 	profile Profile
 	session *platform.Session
 	tag     string // hashtag interest, set by TagPool
+	// tags is the cached one-element Tags payload for the member's
+	// posts, built once in TagPool so the daily posting path does not
+	// allocate a fresh slice per post.
+	tags []string
 
 	// rng is the member's private stream, forked at creation, so daily
 	// posting decisions stay identical under any shard partitioning.
@@ -174,6 +185,10 @@ func New(model Model, plat *platform.Platform, sched *clock.Scheduler, r *rng.RN
 // SetStepPool installs the worker pool used for parallel planning of
 // daily posting. A nil pool (the default) plans inline.
 func (p *Population) SetStepPool(pool *step.Pool) { p.steps = pool }
+
+// SetScratchReuse toggles cross-day reuse of the posting scratch
+// buffers (on by default; reuse never changes the event stream).
+func (p *Population) SetScratchReuse(on bool) { p.noReuse = !on }
 
 // AddMembers grows the general population by n members drawn from
 // GeneralSpec and returns their IDs.
@@ -459,6 +474,7 @@ func (p *Population) TagPool(label string, tags ...string) {
 			continue
 		}
 		m.tag = tags[p.rng.Intn(len(tags))]
+		m.tags = []string{m.tag}
 		posts := p.plat.Posts(id)
 		if len(posts) > 0 {
 			p.plat.TagPost(id, posts[len(posts)-1], m.tag)
@@ -480,8 +496,16 @@ func (p *Population) StartPosting(label string, days int, dailyProb float64) {
 		// stream, sharded independently of worker count; the posts — which
 		// mutate the platform and may lazily log the member in — apply
 		// serially in shard order.
-		bounds := step.Chunks(len(ids), 64)
-		step.Run(p.steps, len(bounds), func(si int, emit func(*member)) {
+		var bounds [][2]int
+		var bufs *step.Buffers[*member]
+		if p.noReuse {
+			bounds = step.Chunks(len(ids), 64)
+		} else {
+			p.postChunks = step.ChunksInto(p.postChunks, len(ids), 64)
+			bounds = p.postChunks
+			bufs = &p.postBufs
+		}
+		step.RunInto(p.steps, bufs, len(bounds), func(si int, emit func(*member)) {
 			for _, id := range ids[bounds[si][0]:bounds[si][1]] {
 				m := p.members[id]
 				if m != nil && m.rng.Bool(dailyProb) {
@@ -494,7 +518,7 @@ func (p *Population) StartPosting(label string, days int, dailyProb float64) {
 				return
 			}
 			if m.tag != "" {
-				sess.Do(platform.Request{Action: platform.ActionPost, Tags: []string{m.tag}})
+				sess.Do(platform.Request{Action: platform.ActionPost, Tags: m.tags})
 			} else {
 				sess.Do(platform.Request{Action: platform.ActionPost})
 			}

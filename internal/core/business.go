@@ -253,6 +253,7 @@ func stabilitySeries(tracker *detection.Tracker, days int) map[string]StabilityS
 			Births:       make([]int, days),
 			Deaths:       make([]int, days),
 		}
+		var dayBuf []int
 		for _, a := range svc.ByAccount {
 			if !a.HasOutbound() && !collusion {
 				continue
@@ -260,7 +261,8 @@ func stabilitySeries(tracker *detection.Tracker, days int) map[string]StabilityS
 			if a.MaxConsecutiveDays() <= cutoff {
 				continue
 			}
-			active := a.ActiveDays()
+			dayBuf = a.AppendActiveDays(dayBuf[:0])
+			active := dayBuf
 			if len(active) == 0 {
 				continue
 			}
@@ -390,11 +392,13 @@ func conversionRate(svc *detection.ServiceActivity, cutoff, windowDays int, incl
 		horizon = windowDays
 	}
 	var newcomers, converted int
+	var dayBuf []int
 	for _, a := range svc.ByAccount {
 		if !a.HasOutbound() && !includeInboundOnly {
 			continue
 		}
-		days := a.ActiveDays()
+		dayBuf = a.AppendActiveDays(dayBuf[:0])
+		days := dayBuf
 		if len(days) == 0 || days[0] <= 1 || days[0] >= horizon {
 			continue // active from the start = preexisting, or too late
 		}
@@ -419,6 +423,7 @@ func longTermGrowth(svc *detection.ServiceActivity, cutoff, windowDays int, incl
 	earlyDay := windowDays / 6
 	lateDay := windowDays - windowDays/6
 	var early, late int
+	var dayBuf []int
 	for _, a := range svc.ByAccount {
 		if !a.HasOutbound() && !includeInboundOnly {
 			continue
@@ -426,7 +431,8 @@ func longTermGrowth(svc *detection.ServiceActivity, cutoff, windowDays int, incl
 		if a.MaxConsecutiveDays() <= cutoff {
 			continue
 		}
-		days := a.ActiveDays()
+		dayBuf = a.AppendActiveDays(dayBuf[:0])
+		days := dayBuf
 		if len(days) == 0 {
 			continue
 		}

@@ -75,6 +75,15 @@ type Config struct {
 	// (see docs/OBSERVABILITY.md). nil disables instrumentation.
 	Telemetry *telemetry.Registry
 
+	// DisableScratchReuse turns off cross-tick reuse of planning scratch
+	// (intent buffers, chunk bounds, customer filter slices) throughout
+	// the world, restoring fresh per-tick allocations. Reuse is a pure
+	// memory optimization — the event stream is byte-identical either
+	// way, pinned by the pooling property test in internal/simtest. The
+	// knob exists for that test and for bisecting suspected scratch
+	// leaks; leave it off (reuse on) otherwise.
+	DisableScratchReuse bool
+
 	// Faults, when non-nil, schedules deterministic infrastructure
 	// faults — transient unavailability, session-store flaps, ASN
 	// outages, rate-limit storms — injected by the platform on every

@@ -2,6 +2,7 @@ package core
 
 import (
 	"io"
+	"runtime"
 	"time"
 
 	"footsteps/internal/telemetry"
@@ -44,8 +45,20 @@ func (w *World) TelemetrySummary() string {
 }
 
 // updateGauges refreshes the point-in-time gauges before a snapshot.
+// Besides the simulation gauges it samples runtime.MemStats once, so the
+// daily JSONL stream and the end-of-run summary carry the allocator's
+// trajectory (heap in use, GC cycles, cumulative pause). One ReadMemStats
+// per simulated day is far too coarse to perturb the program it measures,
+// and gauges are never part of hashed report goldens — see
+// docs/DETERMINISM.md.
 func (w *World) updateGauges() {
 	reg := w.Cfg.Telemetry
 	reg.Gauge("sched.pending").Set(int64(w.Sched.Pending()))
 	reg.Gauge("sim.day").Set(int64(w.Sched.Clock().Day()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime.heap_alloc").Set(int64(ms.HeapAlloc))
+	reg.Gauge("runtime.gc_cycles").Set(int64(ms.NumGC))
+	reg.Gauge("runtime.pause_total_ns").Set(int64(ms.PauseTotalNs))
 }

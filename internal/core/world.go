@@ -123,6 +123,7 @@ func NewWorld(cfg Config) *World {
 
 	w.Pop = behavior.New(behavior.DefaultModel(), plat, sched, root.Split("population"))
 	w.Pop.SetStepPool(w.Steps)
+	w.Pop.SetScratchReuse(!cfg.DisableScratchReuse)
 	w.Pop.AddMembers(cfg.OrganicPopulation)
 
 	// High-profile celebrity accounts for lived-in honeypot setup.
@@ -145,6 +146,7 @@ func NewWorld(cfg Config) *World {
 		case aas.TechniqueReciprocity:
 			svc := aas.NewReciprocityService(spec, plat, sched, root.Split("svc-"+spec.Name))
 			svc.SetStepPool(w.Steps)
+			svc.SetScratchReuse(!cfg.DisableScratchReuse)
 			svc.WireTelemetry(cfg.Telemetry)
 			pool := w.Pop.AddCuratedPool(spec.Name, spec.TargetPool, cfg.PoolSize)
 			svc.SetTargetPool(pool)
@@ -156,6 +158,7 @@ func NewWorld(cfg Config) *World {
 			}
 			svc := aas.NewCollusionService(spec, plat, sched, root.Split("svc-"+spec.Name), ipPool)
 			svc.SetStepPool(w.Steps)
+			svc.SetScratchReuse(!cfg.DisableScratchReuse)
 			svc.WireTelemetry(cfg.Telemetry)
 			w.Coll[spec.Name] = svc
 		}
@@ -225,9 +228,15 @@ func (w *World) setupVPNUsers() {
 	}
 	// Modest daily organic activity through the VPN: action counts and
 	// targets are planned in parallel against the pre-tick snapshot, then
-	// the likes and follows apply serially in user order.
+	// the likes and follows apply serially in user order. The intent
+	// buffers persist in the closure and are reused day over day.
+	var vpnBufs step.Buffers[vpnOp]
 	w.Sched.EveryDay(11*time.Hour, w.Cfg.Days+7, func(int) {
-		step.Run(w.Steps, len(w.vpnSessions), func(i int, emit func(vpnOp)) {
+		bufs := &vpnBufs
+		if w.Cfg.DisableScratchReuse {
+			bufs = nil
+		}
+		step.RunInto(w.Steps, bufs, len(w.vpnSessions), func(i int, emit func(vpnOp)) {
 			ur := userRNG[i]
 			n := 2 + ur.Intn(25)
 			for k := 0; k < n; k++ {

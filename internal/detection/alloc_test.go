@@ -1,0 +1,36 @@
+package detection
+
+import (
+	"testing"
+
+	"footsteps/internal/platform"
+)
+
+// allocBudgetAppendActiveDays pins the per-account active-days query the
+// report generators run thousands of times: with a warm caller buffer it
+// must not allocate. Raise only with a profile — see docs/PERFORMANCE.md.
+const allocBudgetAppendActiveDays = 0
+
+func TestAllocBudgetAppendActiveDays(t *testing.T) {
+	a := &AccountActivity{
+		Daily:        map[int]map[platform.ActionType]int{},
+		InboundDaily: map[int]map[platform.ActionType]int{},
+	}
+	for d := 0; d < 30; d += 2 {
+		a.Daily[d] = map[platform.ActionType]int{platform.ActionLike: 1}
+	}
+	for d := 1; d < 30; d += 3 {
+		a.InboundDaily[d] = map[platform.ActionType]int{platform.ActionFollow: 1}
+	}
+	buf := a.AppendActiveDays(nil)
+	if len(buf) == 0 {
+		t.Fatal("no active days; measurement is vacuous")
+	}
+	got := testing.AllocsPerRun(100, func() {
+		buf = a.AppendActiveDays(buf[:0])
+	})
+	if got > allocBudgetAppendActiveDays {
+		t.Errorf("detection.AccountActivity.AppendActiveDays allocates %.1f/op into a warm buffer, budget %d",
+			got, allocBudgetAppendActiveDays)
+	}
+}

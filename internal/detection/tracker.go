@@ -28,30 +28,43 @@ type AccountActivity struct {
 	curHourPost  platform.PostID
 	curHour      int64
 	curHourCount int
+
+	// dayScratch backs MaxConsecutiveDays' AppendActiveDays call so the
+	// per-account statistic costs no allocation after the first query.
+	dayScratch []int
 }
 
 // ActiveDays returns the sorted day indices with any (in- or outbound)
 // service activity.
 func (a *AccountActivity) ActiveDays() []int {
-	seen := make(map[int]bool, len(a.Daily)+len(a.InboundDaily))
+	return a.AppendActiveDays(nil)
+}
+
+// AppendActiveDays appends the sorted active-day indices to dst and
+// returns the extended slice. Report generators that query thousands of
+// accounts pass a reused buffer instead of allocating per account; no
+// intermediate set is built (the outbound keys are collected first, the
+// inbound keys are added only when new, and the appended region is
+// sorted in place).
+func (a *AccountActivity) AppendActiveDays(dst []int) []int {
+	start := len(dst)
 	for d := range a.Daily {
-		seen[d] = true
+		dst = append(dst, d)
 	}
 	for d := range a.InboundDaily {
-		seen[d] = true
+		if _, dup := a.Daily[d]; !dup {
+			dst = append(dst, d)
+		}
 	}
-	out := make([]int, 0, len(seen))
-	for d := range seen {
-		out = append(out, d)
-	}
-	sort.Ints(out)
-	return out
+	sort.Ints(dst[start:])
+	return dst
 }
 
 // MaxConsecutiveDays returns the length of the longest run of consecutive
 // active days — the quantity behind the long-term/short-term split (§5.1).
 func (a *AccountActivity) MaxConsecutiveDays() int {
-	days := a.ActiveDays()
+	days := a.AppendActiveDays(a.dayScratch[:0])
+	a.dayScratch = days
 	if len(days) == 0 {
 		return 0
 	}

@@ -18,6 +18,7 @@ import (
 	"net/netip"
 	"time"
 
+	"footsteps/internal/intern"
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
 	"footsteps/internal/socialgraph"
@@ -81,24 +82,28 @@ func (w *Writer) stringRef(s string) uint64 {
 	return id
 }
 
-// Write encodes one event.
+// Write encodes one event. The full record is assembled in the writer's
+// scratch buffer — grown once to record size, then reused — and handed
+// to the buffered writer in a single call, instead of re-slicing scratch
+// and calling Write per varint. The emitted bytes are identical to the
+// per-varint encoding, so existing captures and goldens are unaffected.
 func (w *Writer) Write(ev platform.Event) error {
 	clientRef := w.stringRef(ev.Client)
-	w.w.WriteByte(opEvent)
-	w.putUvarint(ev.Seq)
-	w.putUvarint(uint64(ev.Time.UnixNano()))
-	w.putUvarint(uint64(ev.Type))
-	w.putUvarint(uint64(ev.Actor))
-	w.putUvarint(uint64(ev.Target))
-	w.putUvarint(uint64(ev.Post))
+	buf := append(w.scratch[:0], opEvent)
+	buf = binary.AppendUvarint(buf, ev.Seq)
+	buf = binary.AppendUvarint(buf, uint64(ev.Time.UnixNano()))
+	buf = binary.AppendUvarint(buf, uint64(ev.Type))
+	buf = binary.AppendUvarint(buf, uint64(ev.Actor))
+	buf = binary.AppendUvarint(buf, uint64(ev.Target))
+	buf = binary.AppendUvarint(buf, uint64(ev.Post))
 	var ipBits uint64
 	if ev.IP.Is4() {
 		b := ev.IP.As4()
 		ipBits = uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
 	}
-	w.putUvarint(ipBits)
-	w.putUvarint(uint64(ev.ASN))
-	w.putUvarint(clientRef)
+	buf = binary.AppendUvarint(buf, ipBits)
+	buf = binary.AppendUvarint(buf, uint64(ev.ASN))
+	buf = binary.AppendUvarint(buf, clientRef)
 	var flags uint64
 	if ev.Outcome == platform.OutcomeUnavailable {
 		// Outcome codes above 3 do not fit the two original outcome
@@ -115,7 +120,9 @@ func (w *Writer) Write(ev platform.Event) error {
 	if ev.Duplicate {
 		flags |= 1 << 4
 	}
-	w.putUvarint(flags)
+	buf = binary.AppendUvarint(buf, flags)
+	w.scratch = buf
+	w.w.Write(buf)
 	w.count++
 	return nil
 }
@@ -162,6 +169,7 @@ type Reader struct {
 	src     *countingReader
 	r       *bufio.Reader
 	strings []string
+	scratch []byte // reusable string-record read buffer
 	events  uint64
 }
 
@@ -216,11 +224,20 @@ func (r *Reader) Next() (platform.Event, error) {
 			if n > 1<<16 {
 				return platform.Event{}, fmt.Errorf("eventio: implausible string length %d at event %d (byte offset %d)", n, r.events, start)
 			}
-			buf := make([]byte, n)
+			// Read into the reader's reusable scratch, then intern. The
+			// writer emits each distinct string once per stream, so within
+			// one stream interning never dedups — but decoding many
+			// captures (or re-reading one) of the same world resolves the
+			// same fingerprints to one shared copy instead of fresh
+			// allocations per stream.
+			if cap(r.scratch) < int(n) {
+				r.scratch = make([]byte, n)
+			}
+			buf := r.scratch[:n]
 			if _, err := io.ReadFull(r.r, buf); err != nil {
 				return platform.Event{}, r.truncated(start, "string body", err)
 			}
-			r.strings = append(r.strings, string(buf))
+			r.strings = append(r.strings, intern.Bytes(buf))
 		case opEvent:
 			ev, err := r.readEvent(start)
 			if err != nil {
@@ -236,7 +253,7 @@ func (r *Reader) Next() (platform.Event, error) {
 
 func (r *Reader) readEvent(start int64) (platform.Event, error) {
 	var ev platform.Event
-	fields := make([]uint64, 10)
+	var fields [10]uint64
 	for i := range fields {
 		v, err := binary.ReadUvarint(r.r)
 		if err != nil {

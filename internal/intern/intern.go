@@ -1,0 +1,76 @@
+// Package intern provides a process-wide read-mostly string table so hot
+// paths that repeatedly materialize the same small set of strings —
+// hashtags, client fingerprints, FSEV1 string-table entries decoded from
+// many streams — share one canonical copy instead of allocating a fresh
+// one per occurrence.
+//
+// Interning is a pure memory optimization: the returned string is always
+// byte-equal to the input, so it can never change event content, stream
+// bytes, or report hashes. It only collapses duplicates. Strings that are
+// unique by construction (e.g. usernames, which the platform mints once
+// and stores for the account's lifetime) should NOT be interned — every
+// entry would miss, paying the table overhead for zero dedup.
+package intern
+
+import "sync"
+
+// Table is a concurrency-safe intern table. The zero value is ready to
+// use. Lookups on the hit path take only a read lock and — via Go's
+// map-index-by-converted-[]byte idiom in Bytes — allocate nothing.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// String returns the canonical copy of s, inserting it on first sight.
+func (t *Table) String(s string) string {
+	t.mu.RLock()
+	c, ok := t.m[s]
+	t.mu.RUnlock()
+	if ok {
+		return c
+	}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	c, ok = t.m[s]
+	if !ok {
+		c = s
+		t.m[s] = c
+	}
+	t.mu.Unlock()
+	return c
+}
+
+// Bytes returns the canonical string equal to b, inserting a copy on
+// first sight. On the hit path the compiler-recognized m[string(b)]
+// index does not allocate, which is the whole point: decoders can look
+// up record bytes without the per-record string copy.
+func (t *Table) Bytes(b []byte) string {
+	t.mu.RLock()
+	c, ok := t.m[string(b)]
+	t.mu.RUnlock()
+	if ok {
+		return c
+	}
+	return t.String(string(b))
+}
+
+// Len reports the number of canonical entries (for tests and telemetry).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// shared is the process-wide table used by the package-level helpers.
+// Sharing across subsystems is what lets a hashtag interned by the
+// platform be the same string object a Reader decodes from a stream.
+var shared Table
+
+// String interns s in the shared table.
+func String(s string) string { return shared.String(s) }
+
+// Bytes interns b's contents in the shared table.
+func Bytes(b []byte) string { return shared.Bytes(b) }

@@ -1,0 +1,41 @@
+package intern
+
+import "testing"
+
+func TestTableDedups(t *testing.T) {
+	var tb Table
+	a := tb.String("fingerprint-a")
+	b := tb.Bytes([]byte("fingerprint-a"))
+	if a != b {
+		t.Errorf("String and Bytes disagree: %q vs %q", a, b)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("table holds %d entries after two inserts of one value, want 1", tb.Len())
+	}
+	tb.String("fingerprint-b")
+	if tb.Len() != 2 {
+		t.Errorf("table holds %d entries, want 2", tb.Len())
+	}
+}
+
+// TestBytesHitPathAllocFree pins the compiler-recognized map[string(b)]
+// idiom: resolving an already-interned byte slice must not allocate.
+func TestBytesHitPathAllocFree(t *testing.T) {
+	var tb Table
+	tb.String("warm")
+	key := []byte("warm")
+	got := testing.AllocsPerRun(100, func() {
+		if s := tb.Bytes(key); s != "warm" {
+			t.Fatalf("Bytes returned %q", s)
+		}
+	})
+	if got > 0 {
+		t.Errorf("intern.Table.Bytes allocates %.1f/op on the hit path, want 0", got)
+	}
+}
+
+func TestSharedHelpers(t *testing.T) {
+	if String("shared-x") != Bytes([]byte("shared-x")) {
+		t.Error("package-level String and Bytes disagree")
+	}
+}

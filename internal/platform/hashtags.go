@@ -1,6 +1,10 @@
 package platform
 
-import "sync"
+import (
+	"sync"
+
+	"footsteps/internal/intern"
+)
 
 // hashtagIndex tracks recent posts per hashtag. Real feeds expose roughly
 // this surface: given a tag, fetch the most recent media — which is
@@ -36,8 +40,11 @@ func (h *hashtagIndex) add(tag string, pid PostID) {
 	defer h.mu.Unlock()
 	r := h.byTag[tag]
 	if r == nil {
+		// New tags are rare (campaign tag pools are small and fixed);
+		// intern the map key so the index holds the canonical copy and
+		// never pins a caller's larger backing array.
 		r = &tagRing{posts: make([]PostID, h.keepup)}
-		h.byTag[tag] = r
+		h.byTag[intern.String(tag)] = r
 	}
 	r.posts[r.next] = pid
 	r.next++
@@ -49,11 +56,18 @@ func (h *hashtagIndex) add(tag string, pid PostID) {
 
 // recent returns up to k of the newest posts for tag, newest first.
 func (h *hashtagIndex) recent(tag string, k int) []PostID {
+	return h.appendRecent(nil, tag, k)
+}
+
+// appendRecent appends up to k of the newest posts for tag to dst,
+// newest first, and returns the extended slice. Callers that crawl tag
+// feeds every tick pass a reused buffer to avoid per-query allocation.
+func (h *hashtagIndex) appendRecent(dst []PostID, tag string, k int) []PostID {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	r := h.byTag[tag]
 	if r == nil || k <= 0 {
-		return nil
+		return dst
 	}
 	n := r.next
 	if r.full {
@@ -62,16 +76,15 @@ func (h *hashtagIndex) recent(tag string, k int) []PostID {
 	if k > n {
 		k = n
 	}
-	out := make([]PostID, 0, k)
 	idx := r.next - 1
-	for len(out) < k {
+	for ; k > 0; k-- {
 		if idx < 0 {
 			idx = len(r.posts) - 1
 		}
-		out = append(out, r.posts[idx])
+		dst = append(dst, r.posts[idx])
 		idx--
 	}
-	return out
+	return dst
 }
 
 // TagPost associates hashtags with an existing post of account id, as if
@@ -92,4 +105,10 @@ func (p *Platform) TagPost(id AccountID, pid PostID, tags ...string) error {
 // the hashtag discovery surface AASs crawl for targeting.
 func (p *Platform) RecentByTag(tag string, k int) []PostID {
 	return p.tags.recent(tag, k)
+}
+
+// AppendRecentByTag is RecentByTag appending into dst (reusing its
+// capacity) — the allocation-free variant for per-tick crawlers.
+func (p *Platform) AppendRecentByTag(dst []PostID, tag string, k int) []PostID {
+	return p.tags.appendRecent(dst, tag, k)
 }

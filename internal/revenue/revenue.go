@@ -88,11 +88,13 @@ func EstimateReciprocity(svc *detection.ServiceActivity, pricing aas.Reciprocity
 	if windowDays <= 0 {
 		return est
 	}
+	var dayBuf []int
 	for _, a := range svc.ByAccount {
 		if !a.HasOutbound() {
 			continue // organic target of the service, not a customer
 		}
-		days := a.ActiveDays()
+		dayBuf = a.AppendActiveDays(dayBuf[:0])
+		days := dayBuf
 		if len(days) == 0 {
 			continue
 		}
@@ -260,11 +262,13 @@ type NewVsPreexisting struct {
 func SplitNewVsPreexisting(svc *detection.ServiceActivity, pricing aas.ReciprocityPricing, monthStart int) NewVsPreexisting {
 	trial := pricing.ActualTrialDays()
 	var newRev, oldRev float64
+	var dayBuf []int
 	for _, a := range svc.ByAccount {
 		if !a.HasOutbound() {
 			continue
 		}
-		days := a.ActiveDays()
+		dayBuf = a.AppendActiveDays(dayBuf[:0])
+		days := dayBuf
 		if len(days) == 0 {
 			continue
 		}

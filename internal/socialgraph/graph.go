@@ -203,8 +203,8 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 	if from == to {
 		return false, ErrSelfAction
 	}
-	unlock := g.lockAccounts(from, to)
-	defer unlock()
+	lo, hi := g.lockAccounts(from, to)
+	defer unlockAccounts(lo, hi)
 	fa, ok := g.ashards[g.aidx(from)].accounts[from]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
@@ -224,8 +224,8 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 // Unfollow removes the edge from → to. Removing a missing edge is a no-op
 // reported via the bool result.
 func (g *Graph) Unfollow(from, to AccountID) (bool, error) {
-	unlock := g.lockAccounts(from, to)
-	defer unlock()
+	lo, hi := g.lockAccounts(from, to)
+	defer unlockAccounts(lo, hi)
 	fa, ok := g.ashards[g.aidx(from)].accounts[from]
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)

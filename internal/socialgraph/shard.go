@@ -102,22 +102,32 @@ func (g *Graph) ashard(id AccountID) *gShard { return g.ashards[g.aidx(id)] }
 func (g *Graph) pshard(pid PostID) *pShard { return g.pshards[g.pidx(pid)] }
 
 // lockAccounts write-locks the shards owning both accounts in canonical
-// (ascending shard-index) order, taking one lock when they collide, and
-// returns the unlock function.
-func (g *Graph) lockAccounts(x, y AccountID) func() {
+// (ascending shard-index) order, taking one lock when they collide (hi
+// is then nil). Pair with unlockAccounts. Returning the shards instead
+// of an unlock closure keeps the per-edge mutation path (Follow,
+// Unfollow) allocation-free.
+func (g *Graph) lockAccounts(x, y AccountID) (lo, hi *gShard) {
 	ix, iy := g.aidx(x), g.aidx(y)
 	if ix == iy {
 		s := g.ashards[ix]
 		s.lock()
-		return func() { s.mu.Unlock() }
+		return s, nil
 	}
 	if ix > iy {
 		ix, iy = iy, ix
 	}
-	lo, hi := g.ashards[ix], g.ashards[iy]
+	lo, hi = g.ashards[ix], g.ashards[iy]
 	lo.lock()
 	hi.lock()
-	return func() { hi.mu.Unlock(); lo.mu.Unlock() }
+	return lo, hi
+}
+
+// unlockAccounts releases locks taken by lockAccounts, in reverse order.
+func unlockAccounts(lo, hi *gShard) {
+	if hi != nil {
+		hi.mu.Unlock()
+	}
+	lo.mu.Unlock()
 }
 
 // lockAll write-locks every shard in canonical order — account family

@@ -72,7 +72,44 @@ func (p *Pool) Tracer() *telemetry.TickTracer {
 	return p.tracer
 }
 
-// Run executes one tick's intent/apply cycle over n shards.
+// Buffers is reusable per-shard intent scratch for RunInto. A caller
+// that steps the same kind of intent every tick holds one Buffers per
+// intent type and passes it to RunInto, which reuses the accumulated
+// slice capacity across ticks instead of reallocating it per tick. The
+// zero value is ready to use.
+//
+// A Buffers value must not be shared by concurrent Run calls. Between
+// ticks the shard slices are truncated, not zeroed: stale intent values
+// stay reachable (keeping what they point at alive) until overwritten,
+// but are never observable — RunInto resets every shard to length zero
+// before generation, so no intent from a previous tick can leak into
+// the apply sequence. The pooled-vs-fresh stream property test in
+// internal/simtest pins this.
+type Buffers[T any] struct {
+	bufs [][]T
+	// emits caches the per-shard emit closures so steady-state ticks do
+	// not materialize n fresh closures per section. Each closure reads
+	// b.bufs at call time, so buffer-array regrowth cannot strand it.
+	emits []func(T)
+}
+
+// emit returns the cached emit closure for shard i, creating it on
+// first use.
+func (b *Buffers[T]) emit(i int) func(T) {
+	for len(b.emits) <= i {
+		j := len(b.emits)
+		b.emits = append(b.emits, func(v T) { b.bufs[j] = append(b.bufs[j], v) })
+	}
+	return b.emits[i]
+}
+
+// Run executes one tick's intent/apply cycle over n shards with fresh
+// (per-call) intent buffers. Equivalent to RunInto with nil Buffers.
+func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)) {
+	RunInto(p, nil, n, gen, apply)
+}
+
+// RunInto executes one tick's intent/apply cycle over n shards.
 //
 // gen(shard, emit) is called once per shard in [0, n), concurrently on up
 // to p.Workers() goroutines. It must treat shared simulation state as
@@ -84,7 +121,12 @@ func (p *Pool) Tracer() *telemetry.TickTracer {
 // observes the pre-tick state — apply is invoked serially on the calling
 // goroutine for every intent, ordered by (shardID, emission seq). apply
 // is where shared state may mutate.
-func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)) {
+//
+// b, when non-nil, provides the per-shard intent buffers and keeps their
+// capacity for the caller's next tick; nil allocates fresh buffers.
+// Buffer reuse is invisible to gen and apply — the apply sequence is
+// byte-for-byte the one a fresh allocation would produce.
+func RunInto[T any](p *Pool, b *Buffers[T], n int, gen func(shard int, emit func(T)), apply func(T)) {
 	if n <= 0 {
 		return
 	}
@@ -94,17 +136,41 @@ func Run[T any](p *Pool, n int, gen func(shard int, emit func(T)), apply func(T)
 	}
 	tr := p.Tracer()
 	tr.SectionStart()
-	bufs := make([][]T, n)
+	var bufs [][]T
+	var emits []func(T)
+	if b == nil {
+		bufs = make([][]T, n)
+	} else {
+		if cap(b.bufs) < n {
+			grown := make([][]T, n)
+			copy(grown, b.bufs)
+			b.bufs = grown
+		}
+		bufs = b.bufs[:n]
+		for i := range bufs {
+			bufs[i] = bufs[i][:0]
+		}
+		// Materialize any missing emit closures now, before workers
+		// start: b.emits is then read-only for the rest of the call.
+		b.emit(n - 1)
+		emits = b.emits
+	}
 	// runShard generates one shard, timing it when tracing is on. The
 	// timing wrapper is identical on the inline and pooled paths and
 	// only writes to telemetry atomics, so it cannot affect the bytes.
 	runShard := func(i int) {
+		var em func(T)
+		if emits != nil {
+			em = emits[i]
+		} else {
+			em = func(v T) { bufs[i] = append(bufs[i], v) }
+		}
 		if !tr.Enabled() {
-			gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+			gen(i, em)
 			return
 		}
 		start := time.Now()
-		gen(i, func(v T) { bufs[i] = append(bufs[i], v) })
+		gen(i, em)
 		tr.ShardPlanned(time.Since(start), len(bufs[i]))
 	}
 	if workers <= 1 {
@@ -158,13 +224,26 @@ func Chunks(count, chunk int) [][2]int {
 	if chunk <= 0 {
 		chunk = 1
 	}
-	out := make([][2]int, 0, (count+chunk-1)/chunk)
+	return ChunksInto(nil, count, chunk)
+}
+
+// ChunksInto is Chunks appending into dst (reusing its capacity), for
+// callers that recompute the same decomposition every tick. The bounds
+// depend only on (count, chunk), so reuse cannot change the merge order.
+func ChunksInto(dst [][2]int, count, chunk int) [][2]int {
+	if count <= 0 {
+		return dst[:0]
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	dst = dst[:0]
 	for lo := 0; lo < count; lo += chunk {
 		hi := lo + chunk
 		if hi > count {
 			hi = count
 		}
-		out = append(out, [2]int{lo, hi})
+		dst = append(dst, [2]int{lo, hi})
 	}
-	return out
+	return dst
 }

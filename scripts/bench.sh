@@ -1,26 +1,30 @@
 #!/bin/sh
 # Runs the parallel-stepping benchmarks — faults-off, the mixed
-# fault-injection scenario, and the shards × workers grid — and converts
-# the result lines into BENCH_PR4.json, a machine-readable record of
-# tick/event throughput per configuration (ticks/op, events/op, ns/tick,
-# events/sec). Comparing the ns/tick of ParallelStep vs
-# ParallelStepFaults bounds the injector overhead; the ShardedStep grid
-# (shards 1/4/16 at workers 1/4/8) isolates lock-striping gains, with
-# shards=1 reproducing the old single-global-lock layout. Every point in
-# the grid produces identical ticks/op and events/op — shard and worker
-# counts are concurrency knobs, never semantics.
+# fault-injection scenario, the shards × workers grid, and the
+# allocation benchmark — with -benchmem, and converts the result lines
+# into BENCH_PR5.json, a machine-readable record of tick/event
+# throughput and memory cost per configuration (ticks/op, events/op,
+# ns/tick, events/sec, B/op, allocs/op). Comparing the ns/tick of
+# ParallelStep vs ParallelStepFaults bounds the injector overhead; the
+# ShardedStep grid (shards 1/4/16 at workers 1/4/8) isolates
+# lock-striping gains, with shards=1 reproducing the old
+# single-global-lock layout; the AllocStep pooled/unpooled pair measures
+# what the tick-scratch pools save (see docs/PERFORMANCE.md). Every
+# point in the grid produces identical ticks/op and events/op — shard,
+# worker, and pooling knobs are concurrency/memory knobs, never
+# semantics.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep)$' -benchtime "${BENCHTIME:-1x}" .)"
+raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^Benchmark(ParallelStep(Faults)?|ShardedStep)\// {
+/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep)\// {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
