@@ -12,6 +12,7 @@
 package footsteps_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -788,4 +789,49 @@ func BenchmarkAllocStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshot prices the persistence layer on the same 10-day
+// world the step benchmarks use: encode measures a full FSNAP1 world
+// snapshot (reporting its size, since checkpoint cadence × size is the
+// disk budget), restore measures the whole resume path — reconstruct
+// the world from config, fast-forward the scheduler, and overlay the
+// snapshotted state. Restore is deliberately end-to-end: that is the
+// wall-clock cost a crashed run pays before it emits its first resumed
+// event.
+func BenchmarkSnapshot(b *testing.B) {
+	cfg := footsteps.TestConfig()
+	cfg.Days = 10
+	w := core.NewWorld(cfg)
+	w.RunAll()
+	if err := w.RunDays(cfg.Days); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("encode", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := w.Snapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "snap-bytes")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(buf.Len())*float64(b.N)/secs/1e6, "MB/sec")
+		}
+	})
+
+	var snap bytes.Buffer
+	if err := w.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("restore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RestoreWorld(cfg, bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(snap.Len()), "snap-bytes")
+	})
 }

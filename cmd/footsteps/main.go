@@ -148,7 +148,11 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for parallel stepping (0 = sequential; same output either way)")
 	shards := flag.Int("shards", 0, "lock-stripe count for platform state (0 = default; same output at any count)")
 	outDir := flag.String("o", "", "directory for machine-readable TSV exports (optional)")
-	record := flag.String("record", "", "write the full event stream to this FSEV1 capture file (business only)")
+	record := flag.String("record", "", "write the full event stream to this FSEV1 capture file (business, record, replay)")
+	checkpointDir := flag.String("checkpoint-dir", "", "write FSNAP1 world checkpoints into this directory (record only)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days, 0 = off (record only)")
+	fromSnap := flag.String("from", "", "FSNAP1 checkpoint to restore before replaying (replay only)")
+	against := flag.String("against", "", "FSEV1 capture to verify the replayed stream against (replay only)")
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
 	metricsPath := flag.String("metrics", "", "write per-day telemetry JSONL to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
@@ -210,6 +214,8 @@ func main() {
 		cfg.Shards = *shards
 		cfg.Telemetry = telReg
 		cfg.Faults = faultProfile
+		cfg.CheckpointDir = *checkpointDir
+		cfg.CheckpointEvery = *checkpointEvery
 		if *quick {
 			cfg.Scale = footsteps.TestConfig().Scale
 			cfg.Days = footsteps.TestConfig().Days
@@ -238,6 +244,10 @@ func main() {
 		err = runSweep(mkCfg(), *seeds)
 	case "faults":
 		err = runFaults(mkCfg())
+	case "record":
+		err = runRecord(mkCfg(), *record)
+	case "replay":
+		err = runReplay(mkCfg(), *fromSnap, *against, *record, 0)
 	case "check":
 		err = runCheck()
 	case "all":
@@ -266,6 +276,8 @@ commands:
   graphdetect    FRAUDAR-style graph baseline vs signal attribution
   faults         fault-injection demo: AAS resilience under infrastructure failure
   sweep          multi-seed replication of the Table 5 measurement
+  record         canonical run with -record/-checkpoint-* artifacts (FSEV1 + FSNAP1)
+  replay         restore a checkpoint (-from), re-drive, verify against a capture (-against)
   check          machine-checked calibration against the paper's bands
   all            everything, in paper order
 

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"footsteps"
+	"footsteps/internal/core"
+	"footsteps/internal/eventio"
+	"footsteps/internal/persistence"
+)
+
+// runRecord drives the canonical lifecycle (the one the determinism
+// harness pins) with checkpointing live: the full FSEV1 stream goes to
+// the -record file, and a snapshot lands in -checkpoint-dir every
+// -checkpoint-every days. The resulting artifacts are what replay
+// consumes.
+func runRecord(cfg footsteps.Config, record string) error {
+	w := core.NewWorld(cfg)
+	telemetryAttach(w)
+	h := sha256.New()
+	var out io.Writer = h
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(f, h)
+	}
+	wr, err := eventio.NewWriter(out)
+	if err != nil {
+		return err
+	}
+	wr.Attach(w.Plat.Log())
+	w.RunAll()
+	fmt.Printf("Recording %d days (seed %d)...\n", cfg.Days, cfg.Seed)
+	if err := w.RunDays(cfg.Days); err != nil {
+		return err
+	}
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("Stream: %d events, sha256 %x\n", wr.Count(), h.Sum(nil))
+	if record != "" {
+		fmt.Printf("FSEV1 capture written to %s\n", record)
+	}
+	return nil
+}
+
+// runReplay reconstructs simulation state and re-drives the timeline,
+// verifying it against a recorded FSEV1 log.
+//
+// With -from, the state comes out of an FSNAP1 checkpoint: the world is
+// rebuilt, fast-forwarded, and resumed for the remaining days (or -days
+// more). With -against, the resumed stream is byte-compared to the
+// corresponding suffix of the original log — the CLI face of the
+// resume-equivalence invariant (docs/PERSISTENCE.md). Without -from,
+// the whole run is re-driven from genesis and compared against the full
+// log. The flags must describe the same seed and semantic config as the
+// original run; mismatches fail with a typed error before any work.
+func runReplay(cfg footsteps.Config, from, against, record string, extraDays int) error {
+	var w *core.World
+	var cut time.Time
+	if from != "" {
+		snap, err := os.ReadFile(from)
+		if err != nil {
+			return err
+		}
+		h, _, err := persistence.DecodeBytes(snap)
+		if err != nil {
+			return err
+		}
+		w, err = core.RestoreWorld(cfg, bytes.NewReader(snap))
+		if err != nil {
+			return err
+		}
+		cut = h.Now
+		fmt.Printf("Restored %s: day %d of %d (seed %d, fingerprint %#x)\n",
+			from, h.Day, cfg.Days, h.Seed, h.Fingerprint)
+	} else {
+		w = core.NewWorld(cfg)
+		fmt.Printf("Re-driving from genesis: %d days (seed %d)\n", cfg.Days, cfg.Seed)
+	}
+
+	days := cfg.Days - w.DaysRun()
+	if extraDays > 0 {
+		days = extraDays
+	}
+
+	var buf bytes.Buffer
+	wr, err := eventio.NewWriter(&buf)
+	if err != nil {
+		return err
+	}
+	wr.Attach(w.Plat.Log())
+	if from == "" {
+		w.RunAll()
+	}
+	if err := w.RunDays(days); err != nil {
+		return err
+	}
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("Replayed %d days: %d events, stream sha256 %x\n",
+		days, wr.Count(), sha256.Sum256(buf.Bytes()))
+
+	if record != "" {
+		if err := os.WriteFile(record, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("Resumed FSEV1 capture written to %s\n", record)
+	}
+
+	if against == "" {
+		return nil
+	}
+	want, err := suffixOf(against, cut, w.SnapshotInstant())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		return fmt.Errorf("replay DIVERGED from %s: sha256 %x vs %x (%d vs %d bytes)",
+			against, sha256.Sum256(buf.Bytes()), sha256.Sum256(want), buf.Len(), len(want))
+	}
+	fmt.Printf("Replay matches %s byte-for-byte.\n", against)
+	return nil
+}
+
+// suffixOf re-encodes, with a fresh string table, the events of a
+// recorded log that fall after the cut and at or before the end instant
+// — exactly what a resumed recorder would have captured.
+func suffixOf(path string, cut, end time.Time) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := eventio.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var buf bytes.Buffer
+	wr, err := eventio.NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range evs {
+		if !ev.Time.After(cut) || ev.Time.After(end) {
+			continue
+		}
+		if err := wr.Write(ev); err != nil {
+			return nil, err
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

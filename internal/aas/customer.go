@@ -138,6 +138,17 @@ type pendingUnfollow struct {
 	due    time.Time
 }
 
+// pendingRetry is one scheduled-but-unfired backoff retry. Entries live
+// in base.retries so snapshots can serialize them; the scheduled callback
+// only points at the entry (see state.go).
+type pendingRetry struct {
+	c       *Customer
+	req     platform.Request
+	attempt int
+	due     time.Time
+	done    bool
+}
+
 // wants reports whether the customer requested offering o from a service
 // that sells it.
 func (c *Customer) wants(s *Spec, o Offering) bool {
@@ -273,6 +284,10 @@ type base struct {
 	// rp is the shared retry/breaker policy applied to every customer's
 	// automation traffic (see resilience.go).
 	rp RetryPolicy
+
+	// retries is the table of scheduled-but-unfired backoff retries.
+	// Mutated only on the (serial) scheduler/apply path.
+	retries []*pendingRetry
 
 	// telemetry counters for the service's automation outcomes; set by
 	// WireTelemetry, nil (inert) otherwise. Incremented only during the

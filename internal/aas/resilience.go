@@ -240,7 +240,25 @@ func (b *base) scheduleRetry(c *Customer, req platform.Request, attempt int) {
 	}
 	b.telRetrySched.Inc()
 	delay := b.backoff(c, attempt)
-	b.sched.After(delay, func() { b.retryOp(c, req, attempt+1) })
+	// The pending retry lives in a table entry rather than closure
+	// captures so snapshots can serialize it; the scheduled callback only
+	// points at the entry. Same instant, same draws, same behavior.
+	e := &pendingRetry{c: c, req: req, attempt: attempt + 1, due: b.plat.Now().Add(delay)}
+	b.retries = append(b.retries, e)
+	b.sched.After(delay, func() { b.fireRetry(e) })
+}
+
+// fireRetry executes one scheduled retry and retires its table entry.
+// Runs on the scheduler goroutine.
+func (b *base) fireRetry(e *pendingRetry) {
+	e.done = true
+	for i, pe := range b.retries {
+		if pe == e {
+			b.retries = append(b.retries[:i], b.retries[i+1:]...)
+			break
+		}
+	}
+	b.retryOp(e.c, e.req, e.attempt)
 }
 
 // backoff is the capped exponential delay before the given retry

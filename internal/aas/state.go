@@ -1,0 +1,344 @@
+package aas
+
+import (
+	"sort"
+	"time"
+
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+)
+
+// Snapshot/restore support (see internal/persistence). Customer order is
+// preserved verbatim — enrollment order drives Fork lineage and every
+// tick's iteration — while map-backed state (adaptation, totals,
+// delivered tallies) is serialized sorted so the encoded form is
+// canonical. Both operations run on the quiescent single timeline.
+
+// BaseState is the mutable state shared by both engine kinds.
+type BaseState struct {
+	RNG           rng.State
+	Customers     []CustomerState // enrollment order
+	Revenue       float64
+	AdImpressions int
+	Stopped       bool
+	// Retries are the scheduled-but-unfired backoff retries, in
+	// scheduling order.
+	Retries []RetryState
+}
+
+// CustomerState is one enrolled customer, flattened.
+type CustomerState struct {
+	Account              platform.AccountID
+	Username             string
+	Password             string
+	Country              string
+	Managed              bool
+	Wants                []Offering
+	Hashtags             []string
+	EnrolledAt           time.Time
+	LongTermIntent       bool
+	EngagedUntil         time.Time
+	Churned              bool
+	PaidThrough          time.Time
+	Payments             []Payment
+	FirstPaidBeforeStudy bool
+	Product              PaidProduct
+	Tier                 int
+	Session              platform.SessionState
+	OwnSession           platform.SessionState
+	Adapt                []AdaptState // sorted by action
+	RecentFollows        []UnfollowState
+	UnfollowAfter        bool
+	LastFreeRequest      time.Time
+	Totals               []ActionCount // sorted by action
+	RNG                  rng.State
+	RelRNG               rng.State
+	Breaker              BreakerState
+}
+
+// AdaptState is one action type's block-detection state.
+type AdaptState struct {
+	Action       platform.ActionType
+	LearnedCap   float64
+	TodayCount   int
+	TodayBlocked bool
+	BlockedUntil time.Time
+	ProbeWait    int
+}
+
+// UnfollowState is one queued auto-unfollow.
+type UnfollowState struct {
+	Target platform.AccountID
+	Due    time.Time
+}
+
+// ActionCount is one action-type tally.
+type ActionCount struct {
+	Action platform.ActionType
+	N      int
+}
+
+// BreakerState is a customer's circuit-breaker position.
+type BreakerState struct {
+	Fails     int
+	Tripped   bool
+	OpenUntil time.Time
+}
+
+// RetryState is one pending backoff retry.
+type RetryState struct {
+	Customer platform.AccountID
+	Action   platform.ActionType
+	Target   platform.AccountID
+	Post     platform.PostID
+	Text     string
+	Tags     []string
+	Attempt  int
+	Due      time.Time
+}
+
+// ReciprocityState is the complete mutable state of a ReciprocityService.
+type ReciprocityState struct {
+	Base         BaseState
+	Pool         []platform.AccountID
+	AdaptTypes   []platform.ActionType // sorted
+	NextAcct     int
+	AutomationOn bool
+}
+
+// CollusionState is the complete mutable state of a CollusionService.
+type CollusionState struct {
+	Base               BaseState
+	FreeRequestsPerDay float64
+	FirstLikeBlock     time.Time
+	LikeAdaptOn        bool
+	SalesStopped       bool
+	NextAcct           int
+	AutomationOn       bool
+	Delivered          []ActionCount // sorted by action
+}
+
+func snapshotCustomer(c *Customer) CustomerState {
+	cs := CustomerState{
+		Account:              c.Account,
+		Username:             c.Username,
+		Password:             c.Password,
+		Country:              c.Country,
+		Managed:              c.Managed,
+		Wants:                append([]Offering(nil), c.Wants...),
+		Hashtags:             append([]string(nil), c.Hashtags...),
+		EnrolledAt:           c.EnrolledAt,
+		LongTermIntent:       c.LongTermIntent,
+		EngagedUntil:         c.EngagedUntil,
+		Churned:              c.Churned,
+		PaidThrough:          c.PaidThrough,
+		Payments:             append([]Payment(nil), c.Payments...),
+		FirstPaidBeforeStudy: c.FirstPaidBeforeStudy,
+		Product:              c.Product,
+		Tier:                 c.Tier,
+		Session:              platform.CaptureSession(c.session),
+		OwnSession:           platform.CaptureSession(c.ownSession),
+		UnfollowAfter:        c.unfollowAfter,
+		LastFreeRequest:      c.lastFreeRequest,
+		RNG:                  c.rng.State(),
+		RelRNG:               c.relRNG.State(),
+		Breaker:              BreakerState{Fails: c.br.fails, Tripped: c.br.tripped, OpenUntil: c.br.openUntil},
+	}
+	for t, a := range c.adapt {
+		cs.Adapt = append(cs.Adapt, AdaptState{
+			Action: t, LearnedCap: a.learnedCap, TodayCount: a.todayCount,
+			TodayBlocked: a.todayBlocked, BlockedUntil: a.blockedUntil, ProbeWait: a.probeWait,
+		})
+	}
+	sort.Slice(cs.Adapt, func(i, j int) bool { return cs.Adapt[i].Action < cs.Adapt[j].Action })
+	for _, u := range c.recentFollows {
+		cs.RecentFollows = append(cs.RecentFollows, UnfollowState{Target: u.target, Due: u.due})
+	}
+	for t, n := range c.totals {
+		cs.Totals = append(cs.Totals, ActionCount{Action: t, N: n})
+	}
+	sort.Slice(cs.Totals, func(i, j int) bool { return cs.Totals[i].Action < cs.Totals[j].Action })
+	return cs
+}
+
+func restoreCustomer(p *platform.Platform, cs *CustomerState) *Customer {
+	c := &Customer{
+		Account:              cs.Account,
+		Username:             cs.Username,
+		Password:             cs.Password,
+		Country:              cs.Country,
+		Managed:              cs.Managed,
+		Wants:                append([]Offering(nil), cs.Wants...),
+		Hashtags:             append([]string(nil), cs.Hashtags...),
+		EnrolledAt:           cs.EnrolledAt,
+		LongTermIntent:       cs.LongTermIntent,
+		EngagedUntil:         cs.EngagedUntil,
+		Churned:              cs.Churned,
+		PaidThrough:          cs.PaidThrough,
+		Payments:             append([]Payment(nil), cs.Payments...),
+		FirstPaidBeforeStudy: cs.FirstPaidBeforeStudy,
+		Product:              cs.Product,
+		Tier:                 cs.Tier,
+		session:              p.RestoreSession(cs.Session),
+		ownSession:           p.RestoreSession(cs.OwnSession),
+		adapt:                make(map[platform.ActionType]*adaptiveRate, len(cs.Adapt)),
+		unfollowAfter:        cs.UnfollowAfter,
+		lastFreeRequest:      cs.LastFreeRequest,
+		rng:                  rng.FromState(cs.RNG),
+		relRNG:               rng.FromState(cs.RelRNG),
+		br:                   breaker{fails: cs.Breaker.Fails, tripped: cs.Breaker.Tripped, openUntil: cs.Breaker.OpenUntil},
+	}
+	for _, a := range cs.Adapt {
+		c.adapt[a.Action] = &adaptiveRate{
+			learnedCap: a.LearnedCap, todayCount: a.TodayCount,
+			todayBlocked: a.TodayBlocked, blockedUntil: a.BlockedUntil, probeWait: a.ProbeWait,
+		}
+	}
+	for _, u := range cs.RecentFollows {
+		c.recentFollows = append(c.recentFollows, pendingUnfollow{target: u.Target, due: u.Due})
+	}
+	if len(cs.Totals) > 0 {
+		c.totals = make(map[platform.ActionType]int, len(cs.Totals))
+		for _, ac := range cs.Totals {
+			c.totals[ac.Action] = ac.N
+		}
+	}
+	return c
+}
+
+func (b *base) snapshotBase() BaseState {
+	st := BaseState{
+		RNG:           b.rng.State(),
+		Revenue:       b.Revenue,
+		AdImpressions: b.AdImpressions,
+		Stopped:       b.stopped,
+	}
+	for _, c := range b.customers {
+		st.Customers = append(st.Customers, snapshotCustomer(c))
+	}
+	for _, e := range b.retries {
+		if e.done {
+			continue
+		}
+		st.Retries = append(st.Retries, RetryState{
+			Customer: e.c.Account, Action: e.req.Action, Target: e.req.Target,
+			Post: e.req.Post, Text: e.req.Text, Tags: append([]string(nil), e.req.Tags...),
+			Attempt: e.attempt, Due: e.due,
+		})
+	}
+	return st
+}
+
+// restoreBase overwrites the shared engine state. Pending retries are NOT
+// re-registered here — the caller does that via RestoreRetries once the
+// scheduler sits at the snapshot instant.
+func (b *base) restoreBase(st *BaseState) {
+	b.rng.SetState(st.RNG)
+	b.Revenue = st.Revenue
+	b.AdImpressions = st.AdImpressions
+	b.stopped = st.Stopped
+	b.customers = b.customers[:0]
+	clear(b.byID)
+	for i := range st.Customers {
+		c := restoreCustomer(b.plat, &st.Customers[i])
+		b.customers = append(b.customers, c)
+		b.byID[c.Account] = c
+	}
+}
+
+// RestoreRetries re-registers pending backoff retries from a snapshot, in
+// their original scheduling order. The customers must already be restored.
+func (b *base) RestoreRetries(sts []RetryState) {
+	b.retries = b.retries[:0]
+	now := b.plat.Now()
+	for _, rs := range sts {
+		c, ok := b.byID[rs.Customer]
+		if !ok {
+			continue
+		}
+		e := &pendingRetry{
+			c: c,
+			req: platform.Request{
+				Action: rs.Action, Target: rs.Target, Post: rs.Post,
+				Text: rs.Text, Tags: rs.Tags,
+			},
+			attempt: rs.Attempt,
+			due:     rs.Due,
+		}
+		b.retries = append(b.retries, e)
+		// After(due-now) is At(due); the Scheduler interface only has After.
+		b.sched.After(e.due.Sub(now), func() { b.fireRetry(e) })
+	}
+}
+
+// SnapshotState captures the service's complete mutable state.
+func (s *ReciprocityService) SnapshotState() *ReciprocityState {
+	st := &ReciprocityState{
+		Base:         s.snapshotBase(),
+		Pool:         append([]platform.AccountID(nil), s.pool...),
+		NextAcct:     s.nextAcct,
+		AutomationOn: s.automationOn,
+	}
+	for t, on := range s.adaptTypes {
+		if on {
+			st.AdaptTypes = append(st.AdaptTypes, t)
+		}
+	}
+	sort.Slice(st.AdaptTypes, func(i, j int) bool { return st.AdaptTypes[i] < st.AdaptTypes[j] })
+	return st
+}
+
+// RestoreState overwrites the service's mutable state with a snapshot.
+// Pending retries are re-registered separately via RestoreRetries.
+func (s *ReciprocityService) RestoreState(st *ReciprocityState) {
+	s.restoreBase(&st.Base)
+	s.pool = append(s.pool[:0], st.Pool...)
+	s.adaptTypes = make(map[platform.ActionType]bool, len(st.AdaptTypes))
+	for _, t := range st.AdaptTypes {
+		s.adaptTypes[t] = true
+	}
+	s.nextAcct = st.NextAcct
+	s.automationOn = st.AutomationOn
+	// The tick applier is per-tick scratch, fully reset at each tick's top.
+	s.applier = opApplier{}
+}
+
+// SnapshotState captures the service's complete mutable state.
+func (s *CollusionService) SnapshotState() *CollusionState {
+	st := &CollusionState{
+		Base:               s.snapshotBase(),
+		FreeRequestsPerDay: s.freeRequestsPerDay,
+		FirstLikeBlock:     s.firstLikeBlock,
+		LikeAdaptOn:        s.likeAdaptOn,
+		SalesStopped:       s.salesStopped,
+		NextAcct:           s.nextAcct,
+		AutomationOn:       s.automationOn,
+	}
+	for t, n := range s.Delivered {
+		st.Delivered = append(st.Delivered, ActionCount{Action: t, N: n})
+	}
+	sort.Slice(st.Delivered, func(i, j int) bool { return st.Delivered[i].Action < st.Delivered[j].Action })
+	return st
+}
+
+// RestoreState overwrites the service's mutable state with a snapshot.
+// Pending retries are re-registered separately via RestoreRetries.
+func (s *CollusionService) RestoreState(st *CollusionState) {
+	s.restoreBase(&st.Base)
+	s.freeRequestsPerDay = st.FreeRequestsPerDay
+	s.firstLikeBlock = st.FirstLikeBlock
+	s.likeAdaptOn = st.LikeAdaptOn
+	s.salesStopped = st.SalesStopped
+	s.nextAcct = st.NextAcct
+	s.automationOn = st.AutomationOn
+	clear(s.Delivered)
+	for _, ac := range st.Delivered {
+		s.Delivered[ac.Action] = ac.N
+	}
+	// The source cache and duplicate-filter marks are per-instant scratch;
+	// dropping them restores identical semantics (they rebuild on use).
+	s.sourceCache = nil
+	s.sourceCacheAt = time.Time{}
+	s.seenMark = nil
+	s.seenEpoch = 0
+}

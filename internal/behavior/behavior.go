@@ -147,6 +147,23 @@ type Population struct {
 	// Reacted counts reciprocal actions issued, by channel, for tests and
 	// diagnostics.
 	Reacted map[string]int
+
+	// reactions tracks scheduled-but-unfired reciprocal actions in
+	// scheduling order; the scheduler closures only point into it, so
+	// snapshots can serialize pending reactions. Touched only from the
+	// single-threaded event-subscriber/scheduler path.
+	reactions []*pendingReaction
+}
+
+// pendingReaction is one scheduled reciprocal action: member will react
+// to actor with action at due.
+type pendingReaction struct {
+	member  platform.AccountID
+	actor   platform.AccountID
+	action  platform.ActionType
+	channel string
+	due     time.Time
+	done    bool
 }
 
 type member struct {
@@ -378,27 +395,50 @@ func (p *Population) scheduleReaction(m *member, actor platform.AccountID, actio
 	if delay < time.Minute {
 		delay = time.Minute
 	}
-	p.sched.After(delay, func() {
-		sess := p.session(m)
-		if sess == nil {
+	// The reaction lives in a table entry rather than closure captures so
+	// snapshots can serialize it; the scheduled callback only points at
+	// the entry. Same instant, same draws, same event.
+	e := &pendingReaction{
+		member: m.profile.ID, actor: actor, action: action,
+		channel: channel, due: p.sched.Clock().Now().Add(delay),
+	}
+	p.reactions = append(p.reactions, e)
+	p.sched.After(delay, func() { p.fireReaction(e) })
+}
+
+// fireReaction executes one scheduled reciprocal action and retires its
+// table entry. Runs on the scheduler goroutine.
+func (p *Population) fireReaction(e *pendingReaction) {
+	e.done = true
+	for i, pe := range p.reactions {
+		if pe == e {
+			p.reactions = append(p.reactions[:i], p.reactions[i+1:]...)
+			break
+		}
+	}
+	m, ok := p.members[e.member]
+	if !ok {
+		return
+	}
+	sess := p.session(m)
+	if sess == nil {
+		return
+	}
+	switch e.action {
+	case platform.ActionLike:
+		pid, ok := p.plat.LatestPost(e.actor)
+		if !ok {
 			return
 		}
-		switch action {
-		case platform.ActionLike:
-			pid, ok := p.plat.LatestPost(actor)
-			if !ok {
-				return
-			}
-			if resp := sess.Do(platform.Request{Action: platform.ActionLike, Post: pid}); resp.Err != nil {
-				return
-			}
-		case platform.ActionFollow:
-			if resp := sess.Do(platform.Request{Action: platform.ActionFollow, Target: actor}); resp.Err != nil {
-				return
-			}
+		if resp := sess.Do(platform.Request{Action: platform.ActionLike, Post: pid}); resp.Err != nil {
+			return
 		}
-		p.Reacted[channel]++
-	})
+	case platform.ActionFollow:
+		if resp := sess.Do(platform.Request{Action: platform.ActionFollow, Target: e.actor}); resp.Err != nil {
+			return
+		}
+	}
+	p.Reacted[e.channel]++
 }
 
 // session lazily logs the member in from a home-country residential IP.

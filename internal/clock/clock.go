@@ -123,6 +123,26 @@ func (s *Scheduler) EveryDay(offset time.Duration, days int, fn func(day int)) {
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// FastForward discards every queued event scheduled at or before t and
+// sets the clock to t without running anything. It is the restore path's
+// counterpart to RunUntil: when a world is rebuilt from a snapshot taken
+// at instant t, construction re-registers the full schedule from Epoch,
+// and FastForward drops the portion that had already fired before the
+// snapshot. It panics if t is before the current clock — fast-forward
+// never rewinds.
+func (s *Scheduler) FastForward(t time.Time) int {
+	if t.Before(s.clock.now) {
+		panic(fmt.Sprintf("clock: FastForward to %v which is before now %v", t, s.clock.now))
+	}
+	dropped := 0
+	for len(s.queue) > 0 && !s.queue[0].at.After(t) {
+		heap.Pop(&s.queue)
+		dropped++
+	}
+	s.clock.now = t
+	return dropped
+}
+
 // RunUntil executes events in order until the queue is exhausted or the next
 // event is after deadline, then sets the clock to deadline. It returns the
 // number of events executed.

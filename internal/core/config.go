@@ -5,6 +5,10 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
 	"footsteps/internal/faults"
 	"footsteps/internal/telemetry"
 )
@@ -92,6 +96,41 @@ type Config struct {
 	// the fault layer, and any faulted run is byte-identical across
 	// worker counts.
 	Faults *faults.Profile
+
+	// CheckpointEvery makes World.RunDays write a snapshot after every
+	// N completed days (see docs/PERSISTENCE.md). 0 disables. Like
+	// Workers and Shards it never changes the event stream, only what
+	// gets written to disk alongside it.
+	CheckpointEvery int
+
+	// CheckpointDir is where periodic checkpoints land. Empty disables
+	// checkpointing even when CheckpointEvery is set.
+	CheckpointDir string
+}
+
+// Fingerprint hashes every semantic config field — the knobs that shape
+// the simulated timeline. Pure performance and observability knobs
+// (Workers, Shards, Telemetry, DisableScratchReuse, the checkpoint
+// settings) are excluded, so a snapshot taken at one worker or shard
+// count restores at any other. Seed is also excluded: it travels in the
+// snapshot header as its own field with its own mismatch diagnostic.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale=%g days=%d pop=%d pool=%d vpn=%d graph=%t fgratis=%t ipbudget=%d",
+		c.Scale, c.Days, c.OrganicPopulation, c.PoolSize, c.VPNUsers,
+		c.GraphWrites, c.IncludeFollowersgratis, c.IPDailyBudget)
+	names := make([]string, 0, len(c.ScaleOverride))
+	for name := range c.ScaleOverride {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, " so:%s=%g", name, c.ScaleOverride[name])
+	}
+	if c.Faults != nil {
+		fmt.Fprintf(h, " faults=%+v", *c.Faults)
+	}
+	return h.Sum64()
 }
 
 // scaleFor returns the effective customer-dynamics scale for a service.

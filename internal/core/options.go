@@ -85,3 +85,14 @@ func WithFaults(name string) Option {
 func WithFaultProfile(p *faults.Profile) Option {
 	return func(c *Config) { c.Faults = p }
 }
+
+// WithCheckpointEvery makes RunDays write a snapshot after every n
+// completed days (0 disables; see docs/PERSISTENCE.md).
+func WithCheckpointEvery(n int) Option {
+	return func(c *Config) { c.CheckpointEvery = n }
+}
+
+// WithCheckpointDir sets where periodic checkpoints are written.
+func WithCheckpointDir(dir string) Option {
+	return func(c *Config) { c.CheckpointDir = dir }
+}

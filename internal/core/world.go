@@ -50,6 +50,24 @@ type World struct {
 
 	vpnSessions []*platform.Session
 	celebIDs    []platform.AccountID
+
+	// graph is the social graph behind Plat, kept for snapshot/restore.
+	graph *socialgraph.Graph
+
+	// vpnRNGs/crossRNG/crossSeen are the mutable state of the VPN-user
+	// and cross-enrollment daily passes. They live on the World rather
+	// than in scheduler closures so snapshots can serialize them (see
+	// internal/persistence).
+	vpnRNGs   []*rng.RNG
+	crossRNG  *rng.RNG
+	crossSeen map[string]int
+
+	// Checkpointing knobs (see RunDays): every checkpointEvery completed
+	// days, RunDays writes a snapshot into checkpointDir. Zero/empty
+	// disables. daysRun counts completed days for the snapshot cursor.
+	checkpointEvery int
+	checkpointDir   string
+	daysRun         int
 }
 
 // LabelFor maps a service name to the label the platform can attribute:
@@ -92,6 +110,10 @@ func NewWorld(cfg Config) *World {
 		Recip:     make(map[string]*aas.ReciprocityService),
 		Coll:      make(map[string]*aas.CollusionService),
 		ProxyASNs: proxyASNs,
+		graph:     graph,
+
+		checkpointEvery: cfg.CheckpointEvery,
+		checkpointDir:   cfg.CheckpointDir,
 	}
 	// Fault injection wires in before any traffic exists, so the first
 	// login is already subject to the schedule. The injector's seed comes
@@ -216,9 +238,9 @@ func (w *World) setupVPNUsers() {
 	// Each VPN user draws daily activity from a private forked stream so
 	// the plan phase can shard them across workers without changing what
 	// any user does.
-	userRNG := make([]*rng.RNG, len(w.vpnSessions))
-	for i := range userRNG {
-		userRNG[i] = r.Fork(uint64(i))
+	w.vpnRNGs = make([]*rng.RNG, len(w.vpnSessions))
+	for i := range w.vpnRNGs {
+		w.vpnRNGs[i] = r.Fork(uint64(i))
 	}
 	type vpnOp struct {
 		sess   *platform.Session
@@ -237,7 +259,7 @@ func (w *World) setupVPNUsers() {
 			bufs = nil
 		}
 		step.RunInto(w.Steps, bufs, len(w.vpnSessions), func(i int, emit func(vpnOp)) {
-			ur := userRNG[i]
+			ur := w.vpnRNGs[i]
 			n := 2 + ur.Intn(25)
 			for k := 0; k < n; k++ {
 				target := members[ur.Intn(len(members))]
@@ -300,8 +322,9 @@ const (
 // service's newest customers and enrolls a small fraction with a sibling
 // service, producing the §5.1 account-overlap population.
 func (w *World) startCrossEnrollment(days int) {
-	r := w.RNG.Split("cross-enroll")
-	seen := make(map[string]int) // per service: customers already considered
+	w.crossRNG = w.RNG.Split("cross-enroll")
+	r := w.crossRNG // stable pointer: restore overwrites in place via SetState
+	w.crossSeen = make(map[string]int) // per service: customers already considered
 	recipNames := make([]string, 0, len(w.Recip))
 	for _, name := range w.ServiceNames() {
 		if _, ok := w.Recip[name]; ok {
@@ -314,7 +337,7 @@ func (w *World) startCrossEnrollment(days int) {
 		for i, name := range recipNames {
 			svc := w.Recip[name]
 			customers := svc.Customers()
-			for _, c := range customers[seen[name]:] {
+			for _, c := range customers[w.crossSeen[name]:] {
 				if !c.Managed {
 					continue
 				}
@@ -328,7 +351,7 @@ func (w *World) startCrossEnrollment(days int) {
 					}
 				}
 			}
-			seen[name] = len(customers)
+			w.crossSeen[name] = len(customers)
 		}
 	})
 }

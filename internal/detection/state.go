@@ -1,0 +1,55 @@
+package detection
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Snapshot/restore support (see internal/persistence). The guard's
+// per-IP sliding windows and throttle tallies are serialized sorted so
+// the encoded form is canonical.
+
+// IPVolumeGuardState is the complete mutable state of an IPVolumeGuard.
+type IPVolumeGuardState struct {
+	Windows   []IPWindowState // sorted by address
+	Throttled []ClientCount   // sorted by fingerprint
+}
+
+// IPWindowState is one address's daily budget window.
+type IPWindowState struct {
+	IP  netip.Addr
+	Day int64
+	N   int
+}
+
+// ClientCount is one fingerprint's throttle tally.
+type ClientCount struct {
+	Client string
+	N      int
+}
+
+// SnapshotState captures the guard's complete mutable state.
+func (g *IPVolumeGuard) SnapshotState() *IPVolumeGuardState {
+	st := &IPVolumeGuardState{}
+	for ip, w := range g.counts {
+		st.Windows = append(st.Windows, IPWindowState{IP: ip, Day: w.day, N: w.n})
+	}
+	sort.Slice(st.Windows, func(i, j int) bool { return st.Windows[i].IP.Compare(st.Windows[j].IP) < 0 })
+	for c, n := range g.Throttled {
+		st.Throttled = append(st.Throttled, ClientCount{Client: c, N: n})
+	}
+	sort.Slice(st.Throttled, func(i, j int) bool { return st.Throttled[i].Client < st.Throttled[j].Client })
+	return st
+}
+
+// RestoreState overwrites the guard's mutable state with a snapshot.
+func (g *IPVolumeGuard) RestoreState(st *IPVolumeGuardState) {
+	clear(g.counts)
+	for _, w := range st.Windows {
+		g.counts[w.IP] = &ipWindow{day: w.Day, n: w.N}
+	}
+	clear(g.Throttled)
+	for _, cc := range st.Throttled {
+		g.Throttled[cc.Client] = cc.N
+	}
+}

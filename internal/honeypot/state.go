@@ -1,0 +1,133 @@
+package honeypot
+
+import (
+	"sort"
+	"time"
+
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+)
+
+// Snapshot/restore support (see internal/persistence). Account order is
+// preserved verbatim — creation order drives reporting — while the
+// map-backed monitoring counters are serialized sorted so the encoded
+// form is canonical.
+
+// State is the complete mutable state of a Framework.
+type State struct {
+	RNG         rng.State
+	NextID      int
+	HighProfile []platform.AccountID
+	Accounts    []AccountState // creation order
+}
+
+// AccountState is one honeypot, flattened.
+type AccountState struct {
+	ID           platform.AccountID
+	Username     string
+	Password     string
+	Kind         Kind
+	Created      time.Time
+	EnrolledWith string
+	Inbound      []TypeCount // sorted by type
+	Outbound     []TypeCount // sorted by type
+	InboundDedup []ActorCounts
+	Enforcements int
+	Duplicates   int
+	Deleted      bool
+}
+
+// TypeCount is one action-type tally.
+type TypeCount struct {
+	Type platform.ActionType
+	N    int
+}
+
+// ActorCounts is one distinct actor's inbound tallies.
+type ActorCounts struct {
+	Actor  platform.AccountID
+	Counts []TypeCount // sorted by type
+}
+
+func flattenCounts(c Counts) []TypeCount {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make([]TypeCount, 0, len(c))
+	for t, n := range c {
+		out = append(out, TypeCount{Type: t, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+func unflattenCounts(tcs []TypeCount) Counts {
+	c := make(Counts, len(tcs))
+	for _, tc := range tcs {
+		c[tc.Type] = tc.N
+	}
+	return c
+}
+
+// SnapshotState captures the framework's complete mutable state.
+func (f *Framework) SnapshotState() *State {
+	st := &State{
+		RNG:         f.rng.State(),
+		NextID:      f.nextID,
+		HighProfile: append([]platform.AccountID(nil), f.highProfile...),
+	}
+	for _, a := range f.ordered {
+		as := AccountState{
+			ID:           a.ID,
+			Username:     a.Username,
+			Password:     a.Password,
+			Kind:         a.Kind,
+			Created:      a.Created,
+			EnrolledWith: a.EnrolledWith,
+			Inbound:      flattenCounts(a.Inbound),
+			Outbound:     flattenCounts(a.Outbound),
+			Enforcements: a.Enforcements,
+			Duplicates:   a.Duplicates,
+			Deleted:      a.deleted,
+		}
+		for actor, counts := range a.InboundDedup {
+			as.InboundDedup = append(as.InboundDedup, ActorCounts{Actor: actor, Counts: flattenCounts(counts)})
+		}
+		sort.Slice(as.InboundDedup, func(i, j int) bool { return as.InboundDedup[i].Actor < as.InboundDedup[j].Actor })
+		st.Accounts = append(st.Accounts, as)
+	}
+	return st
+}
+
+// RestoreState overwrites the framework's mutable state with a snapshot.
+// The wired subscription is left alone — Wire runs at construction and the
+// subscription closure reads the maps rebuilt here.
+func (f *Framework) RestoreState(st *State) {
+	f.rng.SetState(st.RNG)
+	f.nextID = st.NextID
+	f.highProfile = append(f.highProfile[:0], st.HighProfile...)
+	clear(f.accounts)
+	f.ordered = f.ordered[:0]
+	for i := range st.Accounts {
+		as := &st.Accounts[i]
+		a := &Account{
+			ID:           as.ID,
+			Username:     as.Username,
+			Password:     as.Password,
+			Kind:         as.Kind,
+			Created:      as.Created,
+			EnrolledWith: as.EnrolledWith,
+			Inbound:      unflattenCounts(as.Inbound),
+			Outbound:     unflattenCounts(as.Outbound),
+			InboundDedup: make(map[platform.AccountID]Counts, len(as.InboundDedup)),
+			Enforcements: as.Enforcements,
+			Duplicates:   as.Duplicates,
+			deleted:      as.Deleted,
+		}
+		for _, ac := range as.InboundDedup {
+			a.InboundDedup[ac.Actor] = unflattenCounts(ac.Counts)
+		}
+		f.accounts[a.ID] = a
+		f.ordered = append(f.ordered, a)
+	}
+}

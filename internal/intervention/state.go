@@ -1,0 +1,90 @@
+package intervention
+
+import (
+	"sort"
+
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+)
+
+// Snapshot/restore support (see internal/persistence). The controller's
+// per-account daily counters and metrics cells are serialized sorted so
+// the encoded form is canonical. Static wiring (thresholds, policy,
+// classify, start, removeLag) is reconstruction state, not snapshot
+// state — a restored controller must be built with the same arguments.
+
+// ControllerState is the complete mutable state of a Controller.
+type ControllerState struct {
+	Counters []CounterState // sorted by (account, asn, type)
+	Stats    []CellState    // sorted by (day, label, type, assignment)
+}
+
+// CounterState is one (account, ASN, type) daily counter.
+type CounterState struct {
+	Account platform.AccountID
+	ASN     netsim.ASN
+	Type    platform.ActionType
+	Day     int
+	N       int
+}
+
+// CellState is one metrics cell.
+type CellState struct {
+	Day    int
+	Label  string
+	Type   platform.ActionType
+	Assign Assignment
+	Stats  BinStats
+}
+
+// SnapshotState captures the controller's complete mutable state.
+func (c *Controller) SnapshotState() *ControllerState {
+	st := &ControllerState{}
+	for k, v := range c.counters {
+		st.Counters = append(st.Counters, CounterState{
+			Account: k.acct, ASN: k.asn, Type: k.typ, Day: v.day, N: v.n,
+		})
+	}
+	sort.Slice(st.Counters, func(i, j int) bool {
+		a, b := st.Counters[i], st.Counters[j]
+		if a.Account != b.Account {
+			return a.Account < b.Account
+		}
+		if a.ASN != b.ASN {
+			return a.ASN < b.ASN
+		}
+		return a.Type < b.Type
+	})
+	for k, v := range c.stats {
+		st.Stats = append(st.Stats, CellState{
+			Day: k.day, Label: k.label, Type: k.typ, Assign: k.assig, Stats: *v,
+		})
+	}
+	sort.Slice(st.Stats, func(i, j int) bool {
+		a, b := st.Stats[i], st.Stats[j]
+		if a.Day != b.Day {
+			return a.Day < b.Day
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Assign < b.Assign
+	})
+	return st
+}
+
+// RestoreState overwrites the controller's mutable state with a snapshot.
+func (c *Controller) RestoreState(st *ControllerState) {
+	clear(c.counters)
+	for _, cs := range st.Counters {
+		c.counters[counterKey{acct: cs.Account, asn: cs.ASN, typ: cs.Type}] = &dayCount{day: cs.Day, n: cs.N}
+	}
+	clear(c.stats)
+	for _, cs := range st.Stats {
+		s := cs.Stats
+		c.stats[statsKey{day: cs.Day, label: cs.Label, typ: cs.Type, assig: cs.Assign}] = &s
+	}
+}

@@ -178,6 +178,38 @@ func (r *Registry) Allocate(asn ASN) netip.Addr {
 	return addrFor(asn, host)
 }
 
+// AllocState is one ASN's allocation cursor — the only mutable state a
+// Registry accumulates after construction. Snapshots carry these so a
+// restored world hands out the same future addresses the original would.
+type AllocState struct {
+	ASN  ASN
+	Next uint32
+}
+
+// SnapshotAlloc returns the allocation cursors of every ASN that has
+// handed out at least one address, sorted by ASN.
+func (r *Registry) SnapshotAlloc() []AllocState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]AllocState, 0, len(r.next))
+	for asn, n := range r.next {
+		out = append(out, AllocState{ASN: asn, Next: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// RestoreAlloc overwrites the allocation cursors with a snapshot taken by
+// SnapshotAlloc. ASNs absent from st reset to an untouched block.
+func (r *Registry) RestoreAlloc(st []AllocState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.next)
+	for _, a := range st {
+		r.next[a.ASN] = a.Next
+	}
+}
+
 func addrFor(asn ASN, host uint32) netip.Addr {
 	v := uint32(asn)<<hostBits | host
 	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
@@ -244,6 +276,13 @@ func (p *ProxyPool) PickFrom(r *rng.RNG) netip.Addr {
 
 // Size returns the number of proxies in the pool.
 func (p *ProxyPool) Size() int { return len(p.addrs) }
+
+// RNGState snapshots the pool's own pick stream (used by Pick, not
+// PickFrom) so restores resume the same pick sequence.
+func (p *ProxyPool) RNGState() rng.State { return p.rng.State() }
+
+// SetRNGState overwrites the pool's pick stream state.
+func (p *ProxyPool) SetRNGState(st rng.State) { p.rng.SetState(st) }
 
 // DistinctASNs reports how many distinct ASNs the pool spans — the paper's
 // measure of post-block IP diversity.

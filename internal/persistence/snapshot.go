@@ -1,0 +1,774 @@
+package persistence
+
+import (
+	"io"
+	"time"
+
+	"footsteps/internal/aas"
+	"footsteps/internal/behavior"
+	"footsteps/internal/detection"
+	"footsteps/internal/honeypot"
+	"footsteps/internal/netsim"
+	"footsteps/internal/platform"
+	"footsteps/internal/rng"
+	"footsteps/internal/socialgraph"
+)
+
+// Header identifies a snapshot: the format version, the seed and config
+// fingerprint of the world that wrote it, and the day/instant cursor at
+// which it was taken. Restore refuses a header whose version, seed, or
+// fingerprint does not match the target config (MismatchError).
+type Header struct {
+	Version     uint64
+	Seed        uint64
+	Fingerprint uint64
+	Day         int
+	Now         time.Time
+}
+
+// WorldState aggregates the per-component snapshot states that together
+// cover everything the step path touches. Service states are keyed by
+// name so restore can route each to the right engine regardless of
+// registration order.
+type WorldState struct {
+	Root      rng.State
+	NetAlloc  []netsim.AllocState
+	Platform  *platform.State
+	Graph     *socialgraph.State
+	Behavior  *behavior.State
+	Honeypots *honeypot.State
+	Guard     *detection.IPVolumeGuardState // nil when no guard is installed
+	Recip     []NamedRecip
+	Coll      []NamedColl
+	VPNRNGs   []rng.State
+	CrossRNG  rng.State
+	CrossSeen []ServiceCount // sorted by name
+}
+
+// NamedRecip is one reciprocity service's state, keyed by service name.
+type NamedRecip struct {
+	Name  string
+	State *aas.ReciprocityState
+}
+
+// NamedColl is one collusion service's state, keyed by service name.
+type NamedColl struct {
+	Name  string
+	State *aas.CollusionState
+}
+
+// ServiceCount is one cross-enrollment cursor.
+type ServiceCount struct {
+	Name string
+	N    int
+}
+
+// Encode writes the magic, header, and world state to w as one FSNAP1
+// stream. The caller stamps h.Version (normally the Version constant).
+func Encode(w io.Writer, h Header, st *WorldState) error {
+	_, err := w.Write(EncodeBytes(h, st))
+	return err
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(h Header, st *WorldState) []byte {
+	var e Encoder
+	e.Raw(magic)
+	e.U64(h.Version)
+	e.U64(h.Seed)
+	e.U64(h.Fingerprint)
+	e.Int(h.Day)
+	e.Time(h.Now)
+	encWorld(&e, st)
+	return e.Bytes()
+}
+
+// Decode reads a full FSNAP1 stream from r.
+func Decode(r io.Reader) (Header, *WorldState, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes decodes a full FSNAP1 stream. It rejects bad magic
+// (ErrBadMagic), a format version other than Version (MismatchError),
+// and truncated or trailing input (TruncatedError with the offending
+// byte offset). It never panics, whatever the input.
+func DecodeBytes(data []byte) (Header, *WorldState, error) {
+	d := NewDecoder(data)
+	d.Magic()
+	var h Header
+	h.Version = d.U64()
+	h.Seed = d.U64()
+	h.Fingerprint = d.U64()
+	h.Day = d.Int()
+	h.Now = d.Time()
+	if err := d.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	if h.Version != Version {
+		return h, nil, &MismatchError{Field: "format version", Got: h.Version, Want: Version}
+	}
+	st := decWorld(d)
+	if err := d.Done(); err != nil {
+		return h, nil, err
+	}
+	return h, st, nil
+}
+
+// --- generic slice helpers ---
+
+func encSlice[T any](e *Encoder, xs []T, enc func(*Encoder, *T)) {
+	e.U64(uint64(len(xs)))
+	for i := range xs {
+		enc(e, &xs[i])
+	}
+}
+
+func decSlice[T any](d *Decoder, dec func(*Decoder, *T)) []T {
+	n := d.Count()
+	var xs []T
+	for i := 0; i < n && d.err == nil; i++ {
+		var x T
+		dec(d, &x)
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+func encU64s[T ~uint64](e *Encoder, xs []T) {
+	e.U64(uint64(len(xs)))
+	for _, x := range xs {
+		e.U64(uint64(x))
+	}
+}
+
+func decU64s[T ~uint64](d *Decoder) []T {
+	n := d.Count()
+	var xs []T
+	for i := 0; i < n && d.err == nil; i++ {
+		xs = append(xs, T(d.U64()))
+	}
+	return xs
+}
+
+func encInts[T ~int](e *Encoder, xs []T) {
+	e.U64(uint64(len(xs)))
+	for _, x := range xs {
+		e.Int(int(x))
+	}
+}
+
+func decInts[T ~int](d *Decoder) []T {
+	n := d.Count()
+	var xs []T
+	for i := 0; i < n && d.err == nil; i++ {
+		xs = append(xs, T(d.Int()))
+	}
+	return xs
+}
+
+func encStrs(e *Encoder, xs []string) {
+	e.U64(uint64(len(xs)))
+	for _, s := range xs {
+		e.Str(s)
+	}
+}
+
+func decStrs(d *Decoder) []string {
+	n := d.Count()
+	var xs []string
+	for i := 0; i < n && d.err == nil; i++ {
+		xs = append(xs, d.Str())
+	}
+	return xs
+}
+
+func encRNGs(e *Encoder, xs []rng.State) {
+	e.U64(uint64(len(xs)))
+	for _, st := range xs {
+		e.RNG(st)
+	}
+}
+
+func decRNGs(d *Decoder) []rng.State {
+	n := d.Count()
+	var xs []rng.State
+	for i := 0; i < n && d.err == nil; i++ {
+		xs = append(xs, d.RNG())
+	}
+	return xs
+}
+
+// --- world ---
+
+func encWorld(e *Encoder, st *WorldState) {
+	e.RNG(st.Root)
+	encSlice(e, st.NetAlloc, encAlloc)
+	encPlatform(e, st.Platform)
+	encGraph(e, st.Graph)
+	encBehavior(e, st.Behavior)
+	encHoneypots(e, st.Honeypots)
+	e.Bool(st.Guard != nil)
+	if st.Guard != nil {
+		encGuard(e, st.Guard)
+	}
+	encSlice(e, st.Recip, func(e *Encoder, nr *NamedRecip) {
+		e.Str(nr.Name)
+		encRecip(e, nr.State)
+	})
+	encSlice(e, st.Coll, func(e *Encoder, nc *NamedColl) {
+		e.Str(nc.Name)
+		encColl(e, nc.State)
+	})
+	encRNGs(e, st.VPNRNGs)
+	e.RNG(st.CrossRNG)
+	encSlice(e, st.CrossSeen, func(e *Encoder, sc *ServiceCount) {
+		e.Str(sc.Name)
+		e.Int(sc.N)
+	})
+}
+
+func decWorld(d *Decoder) *WorldState {
+	st := &WorldState{}
+	st.Root = d.RNG()
+	st.NetAlloc = decSlice(d, decAlloc)
+	st.Platform = decPlatform(d)
+	st.Graph = decGraph(d)
+	st.Behavior = decBehavior(d)
+	st.Honeypots = decHoneypots(d)
+	if d.Bool() {
+		st.Guard = decGuard(d)
+	}
+	st.Recip = decSlice(d, func(d *Decoder, nr *NamedRecip) {
+		nr.Name = d.Str()
+		nr.State = decRecip(d)
+	})
+	st.Coll = decSlice(d, func(d *Decoder, nc *NamedColl) {
+		nc.Name = d.Str()
+		nc.State = decColl(d)
+	})
+	st.VPNRNGs = decRNGs(d)
+	st.CrossRNG = d.RNG()
+	st.CrossSeen = decSlice(d, func(d *Decoder, sc *ServiceCount) {
+		sc.Name = d.Str()
+		sc.N = d.Int()
+	})
+	return st
+}
+
+// --- netsim ---
+
+func encAlloc(e *Encoder, a *netsim.AllocState) {
+	e.U64(uint64(a.ASN))
+	e.U64(uint64(a.Next))
+}
+
+func decAlloc(d *Decoder, a *netsim.AllocState) {
+	a.ASN = netsim.ASN(d.U64())
+	a.Next = uint32(d.U64())
+}
+
+// --- platform ---
+
+func encSession(e *Encoder, s *platform.SessionState) {
+	e.Bool(s.Present)
+	if !s.Present {
+		return
+	}
+	e.U64(uint64(s.ID))
+	e.U64(s.Epoch)
+	e.Addr(s.IP)
+	e.Str(s.Fingerprint)
+	e.Int(int(s.API))
+}
+
+func decSession(d *Decoder, s *platform.SessionState) {
+	s.Present = d.Bool()
+	if !s.Present {
+		return
+	}
+	s.ID = platform.AccountID(d.U64())
+	s.Epoch = d.U64()
+	s.IP = d.Addr()
+	s.Fingerprint = d.Str()
+	s.API = platform.APIKind(d.Int())
+}
+
+func encPlatform(e *Encoder, st *platform.State) {
+	e.U64(st.NextPost)
+	e.U64(st.LogSeq)
+	encSlice(e, st.Accounts, func(e *Encoder, a *platform.AccountState) {
+		e.U64(uint64(a.ID))
+		e.Str(a.Username)
+		e.Str(a.Password)
+		e.Int(a.Profile.PhotoCount)
+		e.Bool(a.Profile.HasProfilePic)
+		e.Bool(a.Profile.HasBio)
+		e.Bool(a.Profile.HasName)
+		e.Str(a.HomeCountry)
+		e.Time(a.Created)
+		e.Bool(a.Deleted)
+		e.U64(a.SessionEpoch)
+		encSlice(e, a.LoginCountries, func(e *Encoder, cc *platform.CountryCount) {
+			e.Str(cc.Country)
+			e.Int(cc.N)
+		})
+		encU64s(e, a.Posts)
+		encSlice(e, a.LikeCounts, func(e *Encoder, pc *platform.PostCount) {
+			e.U64(uint64(pc.Post))
+			e.Int(pc.N)
+		})
+	})
+	encSlice(e, st.Limiters, func(e *Encoder, l *platform.LimiterState) {
+		e.U64(uint64(l.ID))
+		e.I64(l.Hour)
+		e.Int(l.Count)
+	})
+	encSlice(e, st.Tags, func(e *Encoder, t *platform.TagState) {
+		e.Str(t.Tag)
+		encU64s(e, t.Posts)
+	})
+	encSlice(e, st.Enforcements, func(e *Encoder, en *platform.EnforcementState) {
+		e.U64(uint64(en.From))
+		e.U64(uint64(en.To))
+		e.Time(en.Due)
+	})
+}
+
+func decPlatform(d *Decoder) *platform.State {
+	st := &platform.State{}
+	st.NextPost = d.U64()
+	st.LogSeq = d.U64()
+	st.Accounts = decSlice(d, func(d *Decoder, a *platform.AccountState) {
+		a.ID = platform.AccountID(d.U64())
+		a.Username = d.Str()
+		a.Password = d.Str()
+		a.Profile.PhotoCount = d.Int()
+		a.Profile.HasProfilePic = d.Bool()
+		a.Profile.HasBio = d.Bool()
+		a.Profile.HasName = d.Bool()
+		a.HomeCountry = d.Str()
+		a.Created = d.Time()
+		a.Deleted = d.Bool()
+		a.SessionEpoch = d.U64()
+		a.LoginCountries = decSlice(d, func(d *Decoder, cc *platform.CountryCount) {
+			cc.Country = d.Str()
+			cc.N = d.Int()
+		})
+		a.Posts = decU64s[platform.PostID](d)
+		a.LikeCounts = decSlice(d, func(d *Decoder, pc *platform.PostCount) {
+			pc.Post = platform.PostID(d.U64())
+			pc.N = d.Int()
+		})
+	})
+	st.Limiters = decSlice(d, func(d *Decoder, l *platform.LimiterState) {
+		l.ID = platform.AccountID(d.U64())
+		l.Hour = d.I64()
+		l.Count = d.Int()
+	})
+	st.Tags = decSlice(d, func(d *Decoder, t *platform.TagState) {
+		t.Tag = d.Str()
+		t.Posts = decU64s[platform.PostID](d)
+	})
+	st.Enforcements = decSlice(d, func(d *Decoder, en *platform.EnforcementState) {
+		en.From = platform.AccountID(d.U64())
+		en.To = platform.AccountID(d.U64())
+		en.Due = d.Time()
+	})
+	return st
+}
+
+// --- socialgraph ---
+
+func encGraph(e *Encoder, st *socialgraph.State) {
+	e.U64(uint64(st.NextAcct))
+	e.U64(uint64(st.NextPost))
+	encSlice(e, st.Accounts, func(e *Encoder, a *socialgraph.AccountState) {
+		e.U64(uint64(a.ID))
+		e.Time(a.Created)
+		encU64s(e, a.Followees)
+		encU64s(e, a.Posts)
+	})
+	encSlice(e, st.Posts, func(e *Encoder, p *socialgraph.PostState) {
+		e.U64(uint64(p.ID))
+		e.U64(uint64(p.Author))
+		e.Time(p.Created)
+		encU64s(e, p.Likes)
+		encSlice(e, p.Comments, func(e *Encoder, c *socialgraph.Comment) {
+			e.U64(uint64(c.Author))
+			e.Str(c.Text)
+			e.Time(c.At)
+		})
+	})
+}
+
+func decGraph(d *Decoder) *socialgraph.State {
+	st := &socialgraph.State{}
+	st.NextAcct = socialgraph.AccountID(d.U64())
+	st.NextPost = socialgraph.PostID(d.U64())
+	st.Accounts = decSlice(d, func(d *Decoder, a *socialgraph.AccountState) {
+		a.ID = socialgraph.AccountID(d.U64())
+		a.Created = d.Time()
+		a.Followees = decU64s[socialgraph.AccountID](d)
+		a.Posts = decU64s[socialgraph.PostID](d)
+	})
+	st.Posts = decSlice(d, func(d *Decoder, p *socialgraph.PostState) {
+		p.ID = socialgraph.PostID(d.U64())
+		p.Author = socialgraph.AccountID(d.U64())
+		p.Created = d.Time()
+		p.Likes = decU64s[socialgraph.AccountID](d)
+		p.Comments = decSlice(d, func(d *Decoder, c *socialgraph.Comment) {
+			c.Author = socialgraph.AccountID(d.U64())
+			c.Text = d.Str()
+			c.At = d.Time()
+		})
+	})
+	return st
+}
+
+// --- behavior ---
+
+func encBehavior(e *Encoder, st *behavior.State) {
+	e.RNG(st.RNG)
+	e.Int(st.NextName)
+	encSlice(e, st.Members, func(e *Encoder, m *behavior.MemberState) {
+		e.U64(uint64(m.Profile.ID))
+		e.Str(m.Profile.Country)
+		e.Int(m.Profile.OutDeg)
+		e.Int(m.Profile.InDeg)
+		e.F64(m.Profile.LikeToLike)
+		e.F64(m.Profile.LikeToFollow)
+		e.F64(m.Profile.FollowToFollow)
+		e.Str(m.Tag)
+		encSession(e, &m.Session)
+		e.RNG(m.RNG)
+	})
+	encU64s(e, st.General)
+	encSlice(e, st.Pools, func(e *Encoder, p *behavior.PoolState) {
+		e.Str(p.Label)
+		encU64s(e, p.IDs)
+	})
+	encSlice(e, st.Reacted, func(e *Encoder, cc *behavior.ChannelCount) {
+		e.Str(cc.Channel)
+		e.Int(cc.N)
+	})
+	encSlice(e, st.Reactions, func(e *Encoder, r *behavior.ReactionState) {
+		e.U64(uint64(r.Member))
+		e.U64(uint64(r.Actor))
+		e.Int(int(r.Action))
+		e.Str(r.Channel)
+		e.Time(r.Due)
+	})
+}
+
+func decBehavior(d *Decoder) *behavior.State {
+	st := &behavior.State{}
+	st.RNG = d.RNG()
+	st.NextName = d.Int()
+	st.Members = decSlice(d, func(d *Decoder, m *behavior.MemberState) {
+		m.Profile.ID = platform.AccountID(d.U64())
+		m.Profile.Country = d.Str()
+		m.Profile.OutDeg = d.Int()
+		m.Profile.InDeg = d.Int()
+		m.Profile.LikeToLike = d.F64()
+		m.Profile.LikeToFollow = d.F64()
+		m.Profile.FollowToFollow = d.F64()
+		m.Tag = d.Str()
+		decSession(d, &m.Session)
+		m.RNG = d.RNG()
+	})
+	st.General = decU64s[platform.AccountID](d)
+	st.Pools = decSlice(d, func(d *Decoder, p *behavior.PoolState) {
+		p.Label = d.Str()
+		p.IDs = decU64s[platform.AccountID](d)
+	})
+	st.Reacted = decSlice(d, func(d *Decoder, cc *behavior.ChannelCount) {
+		cc.Channel = d.Str()
+		cc.N = d.Int()
+	})
+	st.Reactions = decSlice(d, func(d *Decoder, r *behavior.ReactionState) {
+		r.Member = platform.AccountID(d.U64())
+		r.Actor = platform.AccountID(d.U64())
+		r.Action = platform.ActionType(d.Int())
+		r.Channel = d.Str()
+		r.Due = d.Time()
+	})
+	return st
+}
+
+// --- honeypot ---
+
+func encTypeCounts(e *Encoder, xs []honeypot.TypeCount) {
+	encSlice(e, xs, func(e *Encoder, tc *honeypot.TypeCount) {
+		e.Int(int(tc.Type))
+		e.Int(tc.N)
+	})
+}
+
+func decTypeCounts(d *Decoder) []honeypot.TypeCount {
+	return decSlice(d, func(d *Decoder, tc *honeypot.TypeCount) {
+		tc.Type = platform.ActionType(d.Int())
+		tc.N = d.Int()
+	})
+}
+
+func encHoneypots(e *Encoder, st *honeypot.State) {
+	e.RNG(st.RNG)
+	e.Int(st.NextID)
+	encU64s(e, st.HighProfile)
+	encSlice(e, st.Accounts, func(e *Encoder, a *honeypot.AccountState) {
+		e.U64(uint64(a.ID))
+		e.Str(a.Username)
+		e.Str(a.Password)
+		e.Int(int(a.Kind))
+		e.Time(a.Created)
+		e.Str(a.EnrolledWith)
+		encTypeCounts(e, a.Inbound)
+		encTypeCounts(e, a.Outbound)
+		encSlice(e, a.InboundDedup, func(e *Encoder, ac *honeypot.ActorCounts) {
+			e.U64(uint64(ac.Actor))
+			encTypeCounts(e, ac.Counts)
+		})
+		e.Int(a.Enforcements)
+		e.Int(a.Duplicates)
+		e.Bool(a.Deleted)
+	})
+}
+
+func decHoneypots(d *Decoder) *honeypot.State {
+	st := &honeypot.State{}
+	st.RNG = d.RNG()
+	st.NextID = d.Int()
+	st.HighProfile = decU64s[platform.AccountID](d)
+	st.Accounts = decSlice(d, func(d *Decoder, a *honeypot.AccountState) {
+		a.ID = platform.AccountID(d.U64())
+		a.Username = d.Str()
+		a.Password = d.Str()
+		a.Kind = honeypot.Kind(d.Int())
+		a.Created = d.Time()
+		a.EnrolledWith = d.Str()
+		a.Inbound = decTypeCounts(d)
+		a.Outbound = decTypeCounts(d)
+		a.InboundDedup = decSlice(d, func(d *Decoder, ac *honeypot.ActorCounts) {
+			ac.Actor = platform.AccountID(d.U64())
+			ac.Counts = decTypeCounts(d)
+		})
+		a.Enforcements = d.Int()
+		a.Duplicates = d.Int()
+		a.Deleted = d.Bool()
+	})
+	return st
+}
+
+// --- detection ---
+
+func encGuard(e *Encoder, st *detection.IPVolumeGuardState) {
+	encSlice(e, st.Windows, func(e *Encoder, w *detection.IPWindowState) {
+		e.Addr(w.IP)
+		e.I64(w.Day)
+		e.Int(w.N)
+	})
+	encSlice(e, st.Throttled, func(e *Encoder, cc *detection.ClientCount) {
+		e.Str(cc.Client)
+		e.Int(cc.N)
+	})
+}
+
+func decGuard(d *Decoder) *detection.IPVolumeGuardState {
+	st := &detection.IPVolumeGuardState{}
+	st.Windows = decSlice(d, func(d *Decoder, w *detection.IPWindowState) {
+		w.IP = d.Addr()
+		w.Day = d.I64()
+		w.N = d.Int()
+	})
+	st.Throttled = decSlice(d, func(d *Decoder, cc *detection.ClientCount) {
+		cc.Client = d.Str()
+		cc.N = d.Int()
+	})
+	return st
+}
+
+// --- aas ---
+
+func encActionCounts(e *Encoder, xs []aas.ActionCount) {
+	encSlice(e, xs, func(e *Encoder, ac *aas.ActionCount) {
+		e.Int(int(ac.Action))
+		e.Int(ac.N)
+	})
+}
+
+func decActionCounts(d *Decoder) []aas.ActionCount {
+	return decSlice(d, func(d *Decoder, ac *aas.ActionCount) {
+		ac.Action = platform.ActionType(d.Int())
+		ac.N = d.Int()
+	})
+}
+
+func encCustomer(e *Encoder, c *aas.CustomerState) {
+	e.U64(uint64(c.Account))
+	e.Str(c.Username)
+	e.Str(c.Password)
+	e.Str(c.Country)
+	e.Bool(c.Managed)
+	encInts(e, c.Wants)
+	encStrs(e, c.Hashtags)
+	e.Time(c.EnrolledAt)
+	e.Bool(c.LongTermIntent)
+	e.Time(c.EngagedUntil)
+	e.Bool(c.Churned)
+	e.Time(c.PaidThrough)
+	encSlice(e, c.Payments, func(e *Encoder, p *aas.Payment) {
+		e.Time(p.At)
+		e.F64(p.Amount)
+	})
+	e.Bool(c.FirstPaidBeforeStudy)
+	e.Int(int(c.Product))
+	e.Int(c.Tier)
+	encSession(e, &c.Session)
+	encSession(e, &c.OwnSession)
+	encSlice(e, c.Adapt, func(e *Encoder, a *aas.AdaptState) {
+		e.Int(int(a.Action))
+		e.F64(a.LearnedCap)
+		e.Int(a.TodayCount)
+		e.Bool(a.TodayBlocked)
+		e.Time(a.BlockedUntil)
+		e.Int(a.ProbeWait)
+	})
+	encSlice(e, c.RecentFollows, func(e *Encoder, u *aas.UnfollowState) {
+		e.U64(uint64(u.Target))
+		e.Time(u.Due)
+	})
+	e.Bool(c.UnfollowAfter)
+	e.Time(c.LastFreeRequest)
+	encActionCounts(e, c.Totals)
+	e.RNG(c.RNG)
+	e.RNG(c.RelRNG)
+	e.Int(c.Breaker.Fails)
+	e.Bool(c.Breaker.Tripped)
+	e.Time(c.Breaker.OpenUntil)
+}
+
+func decCustomer(d *Decoder, c *aas.CustomerState) {
+	c.Account = platform.AccountID(d.U64())
+	c.Username = d.Str()
+	c.Password = d.Str()
+	c.Country = d.Str()
+	c.Managed = d.Bool()
+	c.Wants = decInts[aas.Offering](d)
+	c.Hashtags = decStrs(d)
+	c.EnrolledAt = d.Time()
+	c.LongTermIntent = d.Bool()
+	c.EngagedUntil = d.Time()
+	c.Churned = d.Bool()
+	c.PaidThrough = d.Time()
+	c.Payments = decSlice(d, func(d *Decoder, p *aas.Payment) {
+		p.At = d.Time()
+		p.Amount = d.F64()
+	})
+	c.FirstPaidBeforeStudy = d.Bool()
+	c.Product = aas.PaidProduct(d.Int())
+	c.Tier = d.Int()
+	decSession(d, &c.Session)
+	decSession(d, &c.OwnSession)
+	c.Adapt = decSlice(d, func(d *Decoder, a *aas.AdaptState) {
+		a.Action = platform.ActionType(d.Int())
+		a.LearnedCap = d.F64()
+		a.TodayCount = d.Int()
+		a.TodayBlocked = d.Bool()
+		a.BlockedUntil = d.Time()
+		a.ProbeWait = d.Int()
+	})
+	c.RecentFollows = decSlice(d, func(d *Decoder, u *aas.UnfollowState) {
+		u.Target = platform.AccountID(d.U64())
+		u.Due = d.Time()
+	})
+	c.UnfollowAfter = d.Bool()
+	c.LastFreeRequest = d.Time()
+	c.Totals = decActionCounts(d)
+	c.RNG = d.RNG()
+	c.RelRNG = d.RNG()
+	c.Breaker.Fails = d.Int()
+	c.Breaker.Tripped = d.Bool()
+	c.Breaker.OpenUntil = d.Time()
+}
+
+func encBase(e *Encoder, b *aas.BaseState) {
+	e.RNG(b.RNG)
+	encSlice(e, b.Customers, encCustomer)
+	e.F64(b.Revenue)
+	e.Int(b.AdImpressions)
+	e.Bool(b.Stopped)
+	encSlice(e, b.Retries, func(e *Encoder, r *aas.RetryState) {
+		e.U64(uint64(r.Customer))
+		e.Int(int(r.Action))
+		e.U64(uint64(r.Target))
+		e.U64(uint64(r.Post))
+		e.Str(r.Text)
+		encStrs(e, r.Tags)
+		e.Int(r.Attempt)
+		e.Time(r.Due)
+	})
+}
+
+func decBase(d *Decoder, b *aas.BaseState) {
+	b.RNG = d.RNG()
+	b.Customers = decSlice(d, decCustomer)
+	b.Revenue = d.F64()
+	b.AdImpressions = d.Int()
+	b.Stopped = d.Bool()
+	b.Retries = decSlice(d, func(d *Decoder, r *aas.RetryState) {
+		r.Customer = platform.AccountID(d.U64())
+		r.Action = platform.ActionType(d.Int())
+		r.Target = platform.AccountID(d.U64())
+		r.Post = platform.PostID(d.U64())
+		r.Text = d.Str()
+		r.Tags = decStrs(d)
+		r.Attempt = d.Int()
+		r.Due = d.Time()
+	})
+}
+
+func encRecip(e *Encoder, st *aas.ReciprocityState) {
+	encBase(e, &st.Base)
+	encU64s(e, st.Pool)
+	encInts(e, st.AdaptTypes)
+	e.Int(st.NextAcct)
+	e.Bool(st.AutomationOn)
+}
+
+func decRecip(d *Decoder) *aas.ReciprocityState {
+	st := &aas.ReciprocityState{}
+	decBase(d, &st.Base)
+	st.Pool = decU64s[platform.AccountID](d)
+	st.AdaptTypes = decInts[platform.ActionType](d)
+	st.NextAcct = d.Int()
+	st.AutomationOn = d.Bool()
+	return st
+}
+
+func encColl(e *Encoder, st *aas.CollusionState) {
+	encBase(e, &st.Base)
+	e.F64(st.FreeRequestsPerDay)
+	e.Time(st.FirstLikeBlock)
+	e.Bool(st.LikeAdaptOn)
+	e.Bool(st.SalesStopped)
+	e.Int(st.NextAcct)
+	e.Bool(st.AutomationOn)
+	encActionCounts(e, st.Delivered)
+}
+
+func decColl(d *Decoder) *aas.CollusionState {
+	st := &aas.CollusionState{}
+	decBase(d, &st.Base)
+	st.FreeRequestsPerDay = d.F64()
+	st.FirstLikeBlock = d.Time()
+	st.LikeAdaptOn = d.Bool()
+	st.SalesStopped = d.Bool()
+	st.NextAcct = d.Int()
+	st.AutomationOn = d.Bool()
+	st.Delivered = decActionCounts(d)
+	return st
+}

@@ -150,6 +150,12 @@ func (l *EventLog) Emit(ev Event) {
 // Seq returns the number of events emitted so far.
 func (l *EventLog) Seq() uint64 { return l.seq.Load() }
 
+// RestoreSeq sets the sequence counter so the next emitted event gets
+// sequence n+1. The snapshot/restore path uses it to keep event numbering
+// continuous across a resume: a restored world's first event must carry
+// the sequence the straight-through run would have assigned.
+func (l *EventLog) RestoreSeq(n uint64) { l.seq.Store(n) }
+
 // Collector is a convenience subscriber that retains matching events.
 // Filter may be nil to keep everything. Use only where volume is bounded
 // (honeypot studies, tests); the 90-day business simulations aggregate

@@ -195,9 +195,24 @@ type Platform struct {
 
 	log EventLog
 
+	// enforce tracks the delayed-removal actions scheduled by
+	// VerdictDelayRemove that have not fired yet, in scheduling order.
+	// Keeping them in a table (the scheduler closure only points into it)
+	// is what lets snapshots serialize pending enforcement work. Touched
+	// only from the single-threaded apply/scheduler path.
+	enforce []*pendingEnforcement
+
 	// tel holds pre-created instruments (nil = telemetry off). Set once
 	// during world construction, before any traffic; see WireTelemetry.
 	tel *platformMetrics
+}
+
+// pendingEnforcement is one scheduled delayed-removal (§6.1): the follow
+// from→to will be undone at due.
+type pendingEnforcement struct {
+	from, to AccountID
+	due      time.Time
+	done     bool
 }
 
 // platformMetrics caches one counter per hot-path cell so emission costs

@@ -217,28 +217,43 @@ func (p *Platform) Do(req Request) Response {
 	}
 
 	if verdict.Kind == VerdictDelayRemove && ev.Type == ActionFollow {
-		from, to := ev.Actor, ev.Target
 		delay := verdict.RemoveAfter
 		if delay <= 0 {
 			delay = 24 * time.Hour
 		}
-		p.sched.After(delay, func() {
-			if p.cfg.GraphWrites {
-				// Either endpoint may be gone by now; removal is then moot.
-				if !p.graph.Exists(from) || !p.graph.Exists(to) {
-					return
-				}
-				if removed, _ := p.graph.Unfollow(from, to); !removed {
-					return
-				}
-			}
-			p.emit(Event{
-				Time: p.clk.Now(), Type: ActionUnfollow, Actor: from,
-				Target: to, Outcome: OutcomeAllowed, Enforcement: true,
-			})
-		})
+		// The pending removal lives in a table entry rather than closure
+		// captures so snapshots can serialize it; the scheduled callback
+		// only points at the entry. Same instant, same draws, same event.
+		e := &pendingEnforcement{from: ev.Actor, to: ev.Target, due: ev.Time.Add(delay)}
+		p.enforce = append(p.enforce, e)
+		p.sched.After(delay, func() { p.fireEnforcement(e) })
 	}
 	return resp
+}
+
+// fireEnforcement executes one scheduled delayed-removal and retires its
+// table entry. Runs on the scheduler goroutine.
+func (p *Platform) fireEnforcement(e *pendingEnforcement) {
+	e.done = true
+	for i, pe := range p.enforce {
+		if pe == e {
+			p.enforce = append(p.enforce[:i], p.enforce[i+1:]...)
+			break
+		}
+	}
+	if p.cfg.GraphWrites {
+		// Either endpoint may be gone by now; removal is then moot.
+		if !p.graph.Exists(e.from) || !p.graph.Exists(e.to) {
+			return
+		}
+		if removed, _ := p.graph.Unfollow(e.from, e.to); !removed {
+			return
+		}
+	}
+	p.emit(Event{
+		Time: p.clk.Now(), Type: ActionUnfollow, Actor: e.from,
+		Target: e.to, Outcome: OutcomeAllowed, Enforcement: true,
+	})
 }
 
 // applyAction performs the state mutation for an already-vetted request.

@@ -1,0 +1,284 @@
+package platform
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// This file is the platform's half of the snapshot/restore contract (see
+// internal/persistence and docs/PERSISTENCE.md). SnapshotState enumerates
+// every piece of mutable platform state the request pipeline can touch;
+// RestoreState overwrites a freshly constructed platform with it. Both
+// run only at day boundaries on the single simulation timeline, with no
+// concurrent traffic.
+//
+// The representation is deliberately shard-independent: accounts, limiter
+// windows, and the post index are flattened and sorted by ID, so a
+// snapshot taken at one stripe count restores into any other — shard
+// count stays a pure performance knob even across a checkpoint.
+
+// State is the complete mutable state of a Platform.
+type State struct {
+	NextPost uint64
+	LogSeq   uint64
+	Accounts []AccountState
+	Limiters []LimiterState
+	Tags     []TagState
+	// Enforcements are the delayed-removal actions scheduled by
+	// VerdictDelayRemove that have not fired yet, in scheduling order.
+	Enforcements []EnforcementState
+}
+
+// AccountState is one account record, flattened for serialization.
+type AccountState struct {
+	ID             AccountID
+	Username       string
+	Password       string
+	Profile        Profile
+	HomeCountry    string
+	Created        time.Time
+	Deleted        bool
+	SessionEpoch   uint64
+	LoginCountries []CountryCount // sorted by country
+	Posts          []PostID       // creation order
+	LikeCounts     []PostCount    // sorted by post ID
+}
+
+// CountryCount is one login-geolocation tally.
+type CountryCount struct {
+	Country string
+	N       int
+}
+
+// PostCount is one per-post like tally (stateless-graph mode).
+type PostCount struct {
+	Post PostID
+	N    int
+}
+
+// LimiterState is one hourly rate-limit window.
+type LimiterState struct {
+	ID    AccountID
+	Hour  int64
+	Count int
+}
+
+// TagState is one hashtag ring, serialized in logical order (oldest
+// first) so the representation is independent of the ring's rotation.
+type TagState struct {
+	Tag   string
+	Posts []PostID
+}
+
+// EnforcementState is one pending delayed-removal.
+type EnforcementState struct {
+	From AccountID
+	To   AccountID
+	Due  time.Time
+}
+
+// SessionState is a serializable session handle. Other components embed
+// it to persist the sessions they hold.
+type SessionState struct {
+	Present     bool
+	ID          AccountID
+	Epoch       uint64
+	IP          netip.Addr
+	Fingerprint string
+	API         APIKind
+}
+
+// CaptureSession flattens a session (nil allowed) into a SessionState.
+func CaptureSession(s *Session) SessionState {
+	if s == nil {
+		return SessionState{}
+	}
+	return SessionState{
+		Present:     true,
+		ID:          s.id,
+		Epoch:       s.epoch,
+		IP:          s.client.IP,
+		Fingerprint: s.client.Fingerprint,
+		API:         s.client.API,
+	}
+}
+
+// RestoreSession rebuilds a session handle from a snapshot without going
+// through Login: no event is emitted, no geolocation tally moves, and no
+// address is allocated. A not-present state restores to nil. The epoch is
+// restored verbatim, so a session that was already revoked at snapshot
+// time is still revoked after restore.
+func (p *Platform) RestoreSession(st SessionState) *Session {
+	if !st.Present {
+		return nil
+	}
+	return &Session{
+		p: p, id: st.ID, epoch: st.Epoch,
+		client: ClientInfo{IP: st.IP, Fingerprint: st.Fingerprint, API: st.API},
+	}
+}
+
+// SnapshotState captures the platform's complete mutable state.
+func (p *Platform) SnapshotState() *State {
+	st := &State{
+		NextPost: p.nextPost.Load(),
+		LogSeq:   p.log.Seq(),
+	}
+	for _, sh := range p.shards {
+		sh.rlock()
+		for _, a := range sh.accounts {
+			as := AccountState{
+				ID:           a.id,
+				Username:     a.username,
+				Password:     a.password,
+				Profile:      a.profile,
+				HomeCountry:  a.homeCountry,
+				Created:      a.created,
+				Deleted:      a.deleted,
+				SessionEpoch: a.sessionEpoch,
+				Posts:        append([]PostID(nil), a.posts...),
+			}
+			for c, n := range a.loginCountries {
+				as.LoginCountries = append(as.LoginCountries, CountryCount{Country: c, N: n})
+			}
+			sort.Slice(as.LoginCountries, func(i, j int) bool {
+				return as.LoginCountries[i].Country < as.LoginCountries[j].Country
+			})
+			for pid, n := range a.likeCounts {
+				as.LikeCounts = append(as.LikeCounts, PostCount{Post: pid, N: n})
+			}
+			sort.Slice(as.LikeCounts, func(i, j int) bool {
+				return as.LikeCounts[i].Post < as.LikeCounts[j].Post
+			})
+			st.Accounts = append(st.Accounts, as)
+		}
+		for id, w := range sh.limiter.counts {
+			st.Limiters = append(st.Limiters, LimiterState{ID: id, Hour: w.hour, Count: w.count})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(st.Accounts, func(i, j int) bool { return st.Accounts[i].ID < st.Accounts[j].ID })
+	sort.Slice(st.Limiters, func(i, j int) bool { return st.Limiters[i].ID < st.Limiters[j].ID })
+
+	p.tags.mu.RLock()
+	for tag, r := range p.tags.byTag {
+		ts := TagState{Tag: tag}
+		n := r.next
+		if r.full {
+			n = len(r.posts)
+		}
+		// Oldest first: for a full ring that is posts[next:], posts[:next];
+		// for a partial one, posts[:next].
+		if r.full {
+			ts.Posts = append(ts.Posts, r.posts[r.next:]...)
+			ts.Posts = append(ts.Posts, r.posts[:r.next]...)
+		} else {
+			ts.Posts = append(ts.Posts, r.posts[:n]...)
+		}
+		st.Tags = append(st.Tags, ts)
+	}
+	p.tags.mu.RUnlock()
+	sort.Slice(st.Tags, func(i, j int) bool { return st.Tags[i].Tag < st.Tags[j].Tag })
+
+	for _, e := range p.enforce {
+		if e.done {
+			continue
+		}
+		st.Enforcements = append(st.Enforcements, EnforcementState{From: e.from, To: e.to, Due: e.due})
+	}
+	return st
+}
+
+// RestoreState overwrites the platform's mutable state with a snapshot.
+// The caller is responsible for re-registering the pending enforcements'
+// scheduler events via RestoreEnforcements (after the scheduler has been
+// fast-forwarded to the snapshot instant).
+func (p *Platform) RestoreState(st *State) {
+	p.nextPost.Store(st.NextPost)
+	p.log.RestoreSeq(st.LogSeq)
+
+	p.nameMu.Lock()
+	clear(p.byUsername)
+	p.nameMu.Unlock()
+	for _, sh := range p.shards {
+		sh.lock()
+		clear(sh.accounts)
+		clear(sh.limiter.counts)
+		sh.mu.Unlock()
+	}
+	for _, ps := range p.postIdx {
+		ps.lock()
+		clear(ps.author)
+		ps.mu.Unlock()
+	}
+
+	for i := range st.Accounts {
+		as := &st.Accounts[i]
+		a := &account{
+			id:             as.ID,
+			username:       as.Username,
+			password:       as.Password,
+			profile:        as.Profile,
+			homeCountry:    as.HomeCountry,
+			created:        as.Created,
+			deleted:        as.Deleted,
+			sessionEpoch:   as.SessionEpoch,
+			loginCountries: make(map[string]int, len(as.LoginCountries)),
+			posts:          append([]PostID(nil), as.Posts...),
+			likeCounts:     make(map[PostID]int, len(as.LikeCounts)),
+		}
+		for _, cc := range as.LoginCountries {
+			a.loginCountries[cc.Country] = cc.N
+		}
+		for _, lc := range as.LikeCounts {
+			a.likeCounts[lc.Post] = lc.N
+		}
+		sh := p.shardFor(a.id)
+		sh.lock()
+		sh.accounts[a.id] = a
+		sh.mu.Unlock()
+		if !a.deleted {
+			p.nameMu.Lock()
+			p.byUsername[a.username] = a.id
+			p.nameMu.Unlock()
+			for _, pid := range a.posts {
+				ps := p.postStripeFor(pid)
+				ps.lock()
+				ps.author[pid] = a.id
+				ps.mu.Unlock()
+			}
+		}
+	}
+
+	for _, ls := range st.Limiters {
+		sh := p.shardFor(ls.ID)
+		sh.lock()
+		sh.limiter.counts[ls.ID] = &window{hour: ls.Hour, count: ls.Count}
+		sh.mu.Unlock()
+	}
+
+	p.tags.mu.Lock()
+	clear(p.tags.byTag)
+	for _, ts := range st.Tags {
+		r := &tagRing{posts: make([]PostID, p.tags.keepup)}
+		k := copy(r.posts, ts.Posts)
+		r.next = k % len(r.posts)
+		r.full = k == len(r.posts)
+		p.tags.byTag[ts.Tag] = r
+	}
+	p.tags.mu.Unlock()
+}
+
+// RestoreEnforcements re-registers the pending delayed-removals from a
+// snapshot, in their original scheduling order. Call after the scheduler
+// has been fast-forwarded to the snapshot instant so the At targets are
+// in the future.
+func (p *Platform) RestoreEnforcements(sts []EnforcementState) {
+	p.enforce = p.enforce[:0]
+	for _, es := range sts {
+		e := &pendingEnforcement{from: es.From, to: es.To, due: es.Due}
+		p.enforce = append(p.enforce, e)
+		p.sched.At(e.due, func() { p.fireEnforcement(e) })
+	}
+}

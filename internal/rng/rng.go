@@ -74,6 +74,28 @@ func (r *RNG) Fork(id uint64) *RNG {
 	return New(z ^ (r.lineage * 0xd1342543de82ef95))
 }
 
+// State is the complete serializable state of a stream: the xoshiro256**
+// state words plus the lineage that Split and Fork derive children from.
+// Capturing State and later applying it with SetState resumes the stream
+// exactly — the restored RNG produces the same future draws and the same
+// children as the original would have.
+type State struct {
+	S       [4]uint64
+	Lineage uint64
+}
+
+// State returns a snapshot of the stream's current state.
+func (r *RNG) State() State { return State{S: r.s, Lineage: r.lineage} }
+
+// FromState builds a stream positioned exactly at a captured state.
+func FromState(st State) *RNG { return &RNG{s: st.S, lineage: st.Lineage} }
+
+// SetState overwrites the stream with a previously captured snapshot.
+func (r *RNG) SetState(st State) {
+	r.s = st.S
+	r.lineage = st.Lineage
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

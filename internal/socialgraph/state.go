@@ -1,0 +1,165 @@
+package socialgraph
+
+import (
+	"sort"
+	"time"
+)
+
+// Snapshot/restore support (see internal/persistence). The serialized
+// form is shard-independent — accounts and posts are flattened and
+// sorted by ID — and stores only one side of each symmetric relation:
+// follower sets, per-account like sets, and per-account comment counts
+// are derived on restore from followee sets, post like sets, and post
+// comment lists respectively. Both operations run on the quiescent
+// single timeline (day boundaries), never under concurrent mutation.
+
+// State is the complete mutable state of a Graph.
+type State struct {
+	NextAcct AccountID
+	NextPost PostID
+	Accounts []AccountState
+	Posts    []PostState
+}
+
+// AccountState is one account, flattened.
+type AccountState struct {
+	ID        AccountID
+	Created   time.Time
+	Followees []AccountID // sorted
+	Posts     []PostID    // creation order
+}
+
+// PostState is one post, flattened.
+type PostState struct {
+	ID       PostID
+	Author   AccountID
+	Created  time.Time
+	Likes    []AccountID // sorted
+	Comments []Comment   // posting order
+}
+
+// SnapshotState captures the graph's complete mutable state.
+func (g *Graph) SnapshotState() *State {
+	g.idMu.Lock()
+	st := &State{NextAcct: g.nextAcct, NextPost: g.nextPost}
+	g.idMu.Unlock()
+	for _, s := range g.ashards {
+		s.rlock()
+		for id, a := range s.accounts {
+			as := AccountState{
+				ID:      id,
+				Created: a.created,
+				Posts:   append([]PostID(nil), a.posts...),
+			}
+			for f := range a.followees {
+				as.Followees = append(as.Followees, f)
+			}
+			sort.Slice(as.Followees, func(i, j int) bool { return as.Followees[i] < as.Followees[j] })
+			st.Accounts = append(st.Accounts, as)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(st.Accounts, func(i, j int) bool { return st.Accounts[i].ID < st.Accounts[j].ID })
+	for _, s := range g.pshards {
+		s.rlock()
+		for id, p := range s.posts {
+			ps := PostState{
+				ID:       id,
+				Author:   p.author,
+				Created:  p.created,
+				Comments: append([]Comment(nil), p.comments...),
+			}
+			for who := range p.likes {
+				ps.Likes = append(ps.Likes, who)
+			}
+			sort.Slice(ps.Likes, func(i, j int) bool { return ps.Likes[i] < ps.Likes[j] })
+			st.Posts = append(st.Posts, ps)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(st.Posts, func(i, j int) bool { return st.Posts[i].ID < st.Posts[j].ID })
+	return st
+}
+
+// RestoreState overwrites the graph's state with a snapshot, rebuilding
+// the derived sides of each symmetric relation.
+func (g *Graph) RestoreState(st *State) {
+	g.idMu.Lock()
+	g.nextAcct = st.NextAcct
+	g.nextPost = st.NextPost
+	g.idMu.Unlock()
+	for _, s := range g.ashards {
+		s.lock()
+		clear(s.accounts)
+		s.mu.Unlock()
+	}
+	for _, s := range g.pshards {
+		s.lock()
+		clear(s.posts)
+		s.mu.Unlock()
+	}
+	for i := range st.Accounts {
+		as := &st.Accounts[i]
+		a := &account{
+			followers: make(map[AccountID]struct{}),
+			followees: make(map[AccountID]struct{}, len(as.Followees)),
+			posts:     append([]PostID(nil), as.Posts...),
+			likes:     make(map[PostID]struct{}),
+			commented: make(map[PostID]int),
+			created:   as.Created,
+		}
+		for _, f := range as.Followees {
+			a.followees[f] = struct{}{}
+		}
+		s := g.ashard(as.ID)
+		s.lock()
+		s.accounts[as.ID] = a
+		s.mu.Unlock()
+	}
+	// Derive follower sets now that every account exists.
+	for i := range st.Accounts {
+		as := &st.Accounts[i]
+		for _, f := range as.Followees {
+			s := g.ashard(f)
+			s.lock()
+			if ta, ok := s.accounts[f]; ok {
+				ta.followers[as.ID] = struct{}{}
+			}
+			s.mu.Unlock()
+		}
+	}
+	for i := range st.Posts {
+		ps := &st.Posts[i]
+		p := &post{
+			id:       ps.ID,
+			author:   ps.Author,
+			created:  ps.Created,
+			likes:    make(map[AccountID]struct{}, len(ps.Likes)),
+			comments: append([]Comment(nil), ps.Comments...),
+		}
+		for _, who := range ps.Likes {
+			p.likes[who] = struct{}{}
+		}
+		s := g.pshard(ps.ID)
+		s.lock()
+		s.posts[ps.ID] = p
+		s.mu.Unlock()
+		// Derive the per-account like sets and comment counts.
+		for _, who := range ps.Likes {
+			as := g.ashard(who)
+			as.lock()
+			if a, ok := as.accounts[who]; ok {
+				a.likes[ps.ID] = struct{}{}
+			}
+			as.mu.Unlock()
+		}
+		for _, c := range ps.Comments {
+			as := g.ashard(c.Author)
+			as.lock()
+			if a, ok := as.accounts[c.Author]; ok {
+				a.commented[ps.ID]++
+			}
+			as.mu.Unlock()
+		}
+	}
+}

@@ -1,15 +1,19 @@
 #!/bin/sh
 # Runs the parallel-stepping benchmarks — faults-off, the mixed
-# fault-injection scenario, the shards × workers grid, and the
-# allocation benchmark — with -benchmem, and converts the result lines
-# into BENCH_PR5.json, a machine-readable record of tick/event
-# throughput and memory cost per configuration (ticks/op, events/op,
+# fault-injection scenario, the shards × workers grid, the allocation
+# benchmark, and the snapshot/restore pair — with -benchmem, and
+# converts the result lines into BENCH_PR6.json, a machine-readable
+# record of tick/event throughput and memory cost per configuration
+# (ticks/op, events/op,
 # ns/tick, events/sec, B/op, allocs/op). Comparing the ns/tick of
 # ParallelStep vs ParallelStepFaults bounds the injector overhead; the
 # ShardedStep grid (shards 1/4/16 at workers 1/4/8) isolates
 # lock-striping gains, with shards=1 reproducing the old
 # single-global-lock layout; the AllocStep pooled/unpooled pair measures
-# what the tick-scratch pools save (see docs/PERFORMANCE.md). Every
+# what the tick-scratch pools save (see docs/PERFORMANCE.md); the
+# Snapshot pair records FSNAP1 checkpoint cost — encode wall time and
+# snapshot bytes on the 10-day world, plus the end-to-end restore time a
+# resumed run pays (see docs/PERSISTENCE.md). Every
 # point in the grid produces identical ticks/op and events/op — shard,
 # worker, and pooling knobs are concurrency/memory knobs, never
 # semantics.
@@ -17,14 +21,14 @@
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
+raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep)\// {
+/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot)\// {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
