@@ -14,6 +14,7 @@ package footsteps_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"footsteps/internal/faults"
 	"footsteps/internal/intervention"
 	"footsteps/internal/platform"
+	"footsteps/internal/trace"
 )
 
 // benchBusinessCfg runs the §5 window at 1/500 of paper scale.
@@ -834,4 +836,72 @@ func BenchmarkSnapshot(b *testing.B) {
 		}
 		b.ReportMetric(float64(snap.Len()), "snap-bytes")
 	})
+}
+
+// BenchmarkTraceStep measures the cost of FTRC1 span tracing on the
+// 10-day tick loop across sample rates: off (nil tracer — the shipping
+// default, which must stay within the PR 5 alloc budgets), a sparse
+// 1/1024 production rate, a dense 1/16 rate, and the full 1/1 firehose.
+// Trace bytes go to io.Discard so the numbers isolate span assembly and
+// encoding, not disk. The tracing-off row is the regression guard: a
+// disabled tracer costs one nil check per request, so its ns/tick must
+// match BenchmarkParallelStep within noise; the 1/1024 row bounds the
+// recommended always-on overhead (target ≤5% over off).
+func BenchmarkTraceStep(b *testing.B) {
+	for _, sampleN := range []uint64{0, 1024, 16, 1} {
+		name := "off"
+		if sampleN > 0 {
+			name = fmt.Sprintf("sample=1_%d", sampleN)
+		}
+		b.Run(name, func(b *testing.B) {
+			totalTicks, totalEvents := 0, 0
+			var totalSpans uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := footsteps.TestConfig()
+				cfg.Days = 10
+				cfg.Workers = 4
+				var tr *trace.Tracer
+				if sampleN > 0 {
+					var err error
+					tr, err = trace.New(io.Discard, cfg.Seed, sampleN)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.Trace = tr
+				}
+				w := core.NewWorld(cfg)
+				w.RunAll()
+				deadline := w.Plat.Now().Add(time.Duration(cfg.Days) * clock.Day)
+				events := 0
+				w.Plat.Log().Subscribe(func(platform.Event) { events++ })
+				b.StartTimer()
+				for {
+					at, ran := w.Sched.StepTick()
+					if ran == 0 || at.After(deadline) {
+						break
+					}
+					totalTicks++
+				}
+				b.StopTimer()
+				if tr != nil {
+					if err := tr.Close(); err != nil {
+						b.Fatal(err)
+					}
+					totalSpans += tr.Spans()
+				}
+				b.StartTimer()
+				totalEvents += events
+			}
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/op")
+			b.ReportMetric(float64(totalEvents)/float64(b.N), "events/op")
+			b.ReportMetric(float64(totalSpans)/float64(b.N), "spans/op")
+			if totalTicks > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalTicks), "ns/tick")
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(totalEvents)/secs, "events/sec")
+			}
+		})
+	}
 }

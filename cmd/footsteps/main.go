@@ -14,6 +14,7 @@
 //	broad          Figure 7  (§6.4 broad intervention)
 //	adaptation     §6.4 epilogue (proxy evasion, endgame)
 //	faults         fault-injection demo (resilience under infrastructure failure)
+//	trace          inspect an FTRC1 span trace (-stats, -grep, -export chrome)
 //	all            everything above, in paper order
 //
 // Flags:
@@ -25,9 +26,14 @@
 //	-faults P        fault profile: built-in scenario name or JSON path
 //	-metrics FILE    write per-day telemetry JSONL next to the report
 //	-debug-addr H:P  serve live expvar snapshots and pprof while running
+//	-trace FILE      write a deterministic FTRC1 span trace of the run
+//	-trace-sample R  span sampling rate, 1/N or N (default 1 = every span)
+//	-cpuprofile F    write a pprof CPU profile of the run
+//	-memprofile F    write a pprof heap profile at exit
 //
-// Telemetry is a pure observer: enabling -metrics or -debug-addr changes
-// neither the event stream nor any table (see docs/OBSERVABILITY.md).
+// Telemetry and tracing are pure observers: enabling -metrics,
+// -debug-addr, or -trace changes neither the event stream nor any table
+// (see docs/OBSERVABILITY.md).
 // SIGINT/SIGTERM trigger a graceful shutdown: the -metrics sink is synced
 // and the debug server drains before exit, so interrupted runs never
 // leave torn metric files.
@@ -39,7 +45,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,6 +60,7 @@ import (
 	"footsteps/internal/eventio"
 	"footsteps/internal/faults"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // Run-wide telemetry sinks, set once in main before any study runs.
@@ -58,6 +68,10 @@ var (
 	telReg        *telemetry.Registry
 	telMetricsOut *os.File
 	telDebugSrv   *telemetry.DebugServer
+
+	traceTracer *trace.Tracer
+	traceOut    *os.File
+	tracePath   string
 )
 
 // telemetryAttach wires the per-day JSONL sink to a freshly built world.
@@ -69,13 +83,51 @@ func telemetryAttach(w *core.World) {
 
 // telemetryReport prints the end-of-run summary tables, if enabled: the
 // fault/retry/breaker section (faulted runs only), then the full metric
-// dump.
+// dump. It also finalizes the daily JSONL stream, surfacing write errors
+// that the per-day flushes deliberately swallowed.
 func telemetryReport(w *core.World) {
 	if s := w.FaultSummary(); s != "" {
 		fmt.Println(s)
 	}
 	if s := w.TelemetrySummary(); s != "" {
 		fmt.Println(s)
+	}
+	if err := w.FinalizeTelemetry(); err != nil {
+		fmt.Fprintf(os.Stderr, "footsteps: telemetry stream incomplete: %v\n", err)
+	}
+}
+
+// parseSampleRate parses the -trace-sample argument: "1/N" or a bare
+// "N", both meaning one of every N candidate spans.
+func parseSampleRate(arg string) (uint64, error) {
+	s := strings.TrimSpace(arg)
+	if rest, ok := strings.CutPrefix(s, "1/"); ok {
+		s = rest
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("footsteps: bad -trace-sample %q (want 1/N or N)", arg)
+	}
+	return n, nil
+}
+
+// finishTrace flushes and closes the -trace stream, reporting what was
+// captured. Safe to call more than once; a nil tracer is a no-op.
+func finishTrace() {
+	if traceTracer == nil {
+		return
+	}
+	tr := traceTracer
+	traceTracer = nil
+	if err := tr.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "footsteps: trace stream: %v\n", err)
+	} else {
+		fmt.Printf("Trace: %d spans written to %s (sample 1/%d)\n", tr.Spans(), tracePath, tr.SampleN())
+	}
+	if traceOut != nil {
+		traceOut.Sync()
+		traceOut.Close()
+		traceOut = nil
 	}
 }
 
@@ -98,6 +150,7 @@ func shutdownOnSignal() {
 	go func() {
 		sig := <-sigc
 		fmt.Fprintf(os.Stderr, "\nfootsteps: %v: flushing telemetry sinks\n", sig)
+		finishTrace()
 		if telMetricsOut != nil {
 			telMetricsOut.Sync()
 			telMetricsOut.Close()
@@ -156,10 +209,24 @@ func main() {
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
 	metricsPath := flag.String("metrics", "", "write per-day telemetry JSONL to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
+	traceFile := flag.String("trace", "", "write an FTRC1 span trace to this file (inspect with `footsteps trace`)")
+	traceSample := flag.String("trace-sample", "1", "span sampling rate, 1/N or N (deterministic; 1 = every span)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	faultsFlag := flag.String("faults", "",
 		"fault profile: built-in scenario ("+strings.Join(faults.Scenarios(), ", ")+") or a JSON profile path")
 	flag.Usage = usage
 	flag.Parse()
+
+	// The trace inspector takes its own flags and a file operand, so it
+	// dispatches before the single-command arity check.
+	if flag.Arg(0) == "trace" {
+		if err := runTrace(flag.Args()[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		usage()
@@ -200,6 +267,37 @@ func main() {
 		telDebugSrv = srv
 		fmt.Printf("Debug server on http://%s (/debug/vars, /metrics.json, /debug/pprof/)\n", srv.Addr())
 	}
+	if *traceFile != "" {
+		sampleN, err := parseSampleRate(*traceSample)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		tr, err := trace.New(f, *seed, sampleN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		traceTracer, traceOut, tracePath = tr, f, *traceFile
+	}
+	var cpuProfileOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", err)
+			os.Exit(1)
+		}
+		cpuProfileOut = f
+	}
 	shutdownOnSignal()
 
 	mkCfg := func() footsteps.Config {
@@ -213,6 +311,7 @@ func main() {
 		cfg.Workers = *workers
 		cfg.Shards = *shards
 		cfg.Telemetry = telReg
+		cfg.Trace = traceTracer
 		cfg.Faults = faultProfile
 		cfg.CheckpointDir = *checkpointDir
 		cfg.CheckpointEvery = *checkpointEvery
@@ -257,10 +356,35 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	finishTrace()
+	if cpuProfileOut != nil {
+		pprof.StopCPUProfile()
+		cpuProfileOut.Close()
+		fmt.Printf("CPU profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		if perr := writeMemProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "footsteps:", perr)
+		} else {
+			fmt.Printf("Heap profile written to %s\n", *memProfile)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "footsteps:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile captures an end-of-run heap profile after a final GC,
+// so the numbers reflect retained memory, not transient garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func usage() {
@@ -278,6 +402,7 @@ commands:
   sweep          multi-seed replication of the Table 5 measurement
   record         canonical run with -record/-checkpoint-* artifacts (FSEV1 + FSNAP1)
   replay         restore a checkpoint (-from), re-drive, verify against a capture (-against)
+  trace          inspect an FTRC1 span trace: -stats, -grep spec, -export chrome
   check          machine-checked calibration against the paper's bands
   all            everything, in paper order
 

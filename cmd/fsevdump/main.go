@@ -28,11 +28,20 @@ import (
 	"footsteps/internal/telemetry"
 )
 
+// options are the dump's filter and mode switches, one per flag.
+type options struct {
+	typeFilter  string
+	blockedOnly bool
+	limit       int
+	stats       bool
+}
+
 func main() {
-	typeFilter := flag.String("type", "", "keep only this action type (like, follow, unfollow, comment, post, login)")
-	blockedOnly := flag.Bool("blocked", false, "keep only blocked actions")
-	limit := flag.Int("n", 0, "stop after N matching events (0 = all)")
-	stats := flag.Bool("stats", false, "print per-event-type counts and per-day rates instead of JSONL")
+	var opt options
+	flag.StringVar(&opt.typeFilter, "type", "", "keep only this action type (like, follow, unfollow, comment, post, login)")
+	flag.BoolVar(&opt.blockedOnly, "blocked", false, "keep only blocked actions")
+	flag.IntVar(&opt.limit, "n", 0, "stop after N matching events (0 = all)")
+	flag.BoolVar(&opt.stats, "stats", false, "print per-event-type counts and per-day rates instead of JSONL")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -46,10 +55,22 @@ func main() {
 	}
 	defer f.Close()
 
-	r, err := eventio.NewReader(f)
+	matched, err := dump(f, opt, os.Stdout, os.Stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsevdump:", err)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fsevdump: %d events\n", matched)
+}
+
+// dump decodes an FSEV1 stream from src, applying opt's filters, and
+// writes JSONL (or, with opt.stats, the summary tables) to out.
+// Diagnostics go to errw. On a damaged stream the decoded prefix is
+// flushed before the error returns, so partial captures stay useful.
+func dump(src io.Reader, opt options, out, errw io.Writer) (int, error) {
+	r, err := eventio.NewReader(src)
+	if err != nil {
+		fmt.Fprintln(errw, "fsevdump:", err)
+		return 0, err
 	}
 
 	// -stats reuses the telemetry registry and table formatting, so the
@@ -59,15 +80,16 @@ func main() {
 
 	matched := 0
 	batch := make([]platform.Event, 0, 512)
-	flush := func() {
+	flush := func() error {
 		if len(batch) == 0 {
-			return
+			return nil
 		}
-		if err := eventio.WriteJSONL(os.Stdout, batch); err != nil {
-			fmt.Fprintln(os.Stderr, "fsevdump:", err)
-			os.Exit(1)
+		if err := eventio.WriteJSONL(out, batch); err != nil {
+			fmt.Fprintln(errw, "fsevdump:", err)
+			return err
 		}
 		batch = batch[:0]
+		return nil
 	}
 	for {
 		ev, err := r.Next()
@@ -76,50 +98,56 @@ func main() {
 		}
 		if err != nil {
 			// Flush the decoded prefix first — everything before the
-			// damage is intact and already on stdout.
-			flush()
-			if *stats {
-				printStats(reg, perDay)
+			// damage is intact and already on out.
+			if ferr := flush(); ferr != nil {
+				return matched, ferr
+			}
+			if opt.stats {
+				printStats(out, reg, perDay)
 			}
 			var trunc *eventio.TruncatedError
 			if errors.As(err, &trunc) {
-				fmt.Fprintln(os.Stderr, "fsevdump:", trunc)
-				fmt.Fprintf(os.Stderr, "fsevdump: the capture ends mid-record (interrupted or still-running producer?); the %d events decoded before the cut are intact\n", trunc.Events)
+				fmt.Fprintln(errw, "fsevdump:", trunc)
+				fmt.Fprintf(errw, "fsevdump: the capture ends mid-record (interrupted or still-running producer?); the %d events decoded before the cut are intact\n", trunc.Events)
 			} else {
-				fmt.Fprintln(os.Stderr, "fsevdump: stream error:", err)
+				fmt.Fprintln(errw, "fsevdump: stream error:", err)
 			}
-			os.Exit(1)
+			return matched, err
 		}
-		if *typeFilter != "" && ev.Type.String() != *typeFilter {
+		if opt.typeFilter != "" && ev.Type.String() != opt.typeFilter {
 			continue
 		}
-		if *blockedOnly && ev.Outcome != platform.OutcomeBlocked {
+		if opt.blockedOnly && ev.Outcome != platform.OutcomeBlocked {
 			continue
 		}
 		matched++
-		if *stats {
+		if opt.stats {
 			reg.Counter("events." + ev.Type.String() + "." + ev.Outcome.String()).Inc()
 			perDay[int(ev.Time.Sub(clock.Epoch)/clock.Day)]++
 		} else {
 			batch = append(batch, ev)
 			if len(batch) == cap(batch) {
-				flush()
+				if err := flush(); err != nil {
+					return matched, err
+				}
 			}
 		}
-		if *limit > 0 && matched >= *limit {
+		if opt.limit > 0 && matched >= opt.limit {
 			break
 		}
 	}
-	flush()
-	if *stats {
-		printStats(reg, perDay)
+	if err := flush(); err != nil {
+		return matched, err
 	}
-	fmt.Fprintf(os.Stderr, "fsevdump: %d events\n", matched)
+	if opt.stats {
+		printStats(out, reg, perDay)
+	}
+	return matched, nil
 }
 
 // printStats renders the aggregate counters and a per-day rates table.
-func printStats(reg *telemetry.Registry, perDay map[int]int64) {
-	fmt.Print(reg.Snapshot().Format())
+func printStats(out io.Writer, reg *telemetry.Registry, perDay map[int]int64) {
+	fmt.Fprint(out, reg.Snapshot().Format())
 	if len(perDay) == 0 {
 		return
 	}
@@ -138,6 +166,6 @@ func printStats(reg *telemetry.Registry, perDay map[int]int64) {
 			fmt.Sprintf("%.1f", float64(n)/24),
 		})
 	}
-	fmt.Println()
-	fmt.Print(telemetry.Table([]string{"day", "date", "events", "events/hour"}, rows))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, telemetry.Table([]string{"day", "date", "events", "events/hour"}, rows))
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"footsteps/internal/clock"
+	"footsteps/internal/core"
+	"footsteps/internal/eventio"
+	"footsteps/internal/faults"
+)
+
+// faultedCapture runs a small world under the rate-limit storm scenario
+// and returns its FSEV1 stream: a capture guaranteed to carry
+// storm-attributed denials for the -stats path to summarize.
+func faultedCapture(t *testing.T) []byte {
+	t.Helper()
+	cfg := core.TestConfig()
+	cfg.Days = 6
+	cfg.OrganicPopulation = 300
+	cfg.PoolSize = 200
+	cfg.VPNUsers = 20
+	cfg.Faults = faults.MustScenario("storm")
+
+	var buf bytes.Buffer
+	wr, err := eventio.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.NewWorld(cfg)
+	wr.Attach(w.Plat.Log())
+	w.RunAll()
+	w.Sched.RunFor(time.Duration(cfg.Days) * clock.Day)
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDumpStatsFaulted drives the -stats path against a faulted capture:
+// the summary must carry rate-limited outcome rows (the storm's denials,
+// which only exist because the fault layer tightened the limiter) next
+// to the allowed baseline, plus the per-day rates table.
+func TestDumpStatsFaulted(t *testing.T) {
+	capture := faultedCapture(t)
+
+	var out, errw bytes.Buffer
+	matched, err := dump(bytes.NewReader(capture), options{stats: true}, &out, &errw)
+	if err != nil {
+		t.Fatalf("dump: %v (stderr: %s)", err, errw.String())
+	}
+	if matched < 1000 {
+		t.Fatalf("only %d events matched; storm capture suspiciously small", matched)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"events.like.allowed",
+		"events.like.rate-limited", // the storm's signature
+		"events/hour",              // per-day rates table header
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-stats output missing %q\noutput:\n%s", want, got)
+		}
+	}
+	// JSONL mode must be off: -stats summarizes instead of printing.
+	if strings.Contains(got, "\"actor\"") {
+		t.Error("-stats output contains raw JSONL events")
+	}
+}
+
+// TestDumpStatsFilterComposition checks -stats composes with -type: a
+// follow-only summary must not count like events.
+func TestDumpStatsFilterComposition(t *testing.T) {
+	capture := faultedCapture(t)
+
+	var out, errw bytes.Buffer
+	if _, err := dump(bytes.NewReader(capture), options{stats: true, typeFilter: "follow"}, &out, &errw); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "events.follow.") {
+		t.Errorf("filtered summary has no follow rows:\n%s", got)
+	}
+	if strings.Contains(got, "events.like.") {
+		t.Errorf("-type follow summary still counts likes:\n%s", got)
+	}
+}
+
+// TestDumpTruncatedCapture cuts the capture mid-record and asserts the
+// dump fails with the truncation diagnostic while still reporting the
+// intact prefix — the contract that makes partial captures from crashed
+// runs inspectable.
+func TestDumpTruncatedCapture(t *testing.T) {
+	capture := faultedCapture(t)
+	cut := capture[:len(capture)-7]
+
+	var out, errw bytes.Buffer
+	matched, err := dump(bytes.NewReader(cut), options{}, &out, &errw)
+	if err == nil {
+		t.Fatal("dump of truncated capture succeeded")
+	}
+	var trunc *eventio.TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("error is %T (%v), want *eventio.TruncatedError", err, err)
+	}
+	if matched == 0 {
+		t.Error("no events decoded before the cut; prefix flush untested")
+	}
+	if !strings.Contains(errw.String(), "intact") {
+		t.Errorf("stderr lacks the intact-prefix diagnostic:\n%s", errw.String())
+	}
+	if out.Len() == 0 {
+		t.Error("decoded prefix was not flushed to stdout")
+	}
+}

@@ -71,6 +71,7 @@ var (
 	WithIPDailyBudget     = core.WithIPDailyBudget
 	WithScratchReuse      = core.WithScratchReuse
 	WithTelemetry         = core.WithTelemetry
+	WithTrace             = core.WithTrace
 	WithFaults            = core.WithFaults
 	WithFaultProfile      = core.WithFaultProfile
 )

@@ -11,6 +11,7 @@ import (
 	"footsteps/internal/rng"
 	"footsteps/internal/step"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // PaidProduct identifies what a collusion-network customer bought.
@@ -306,6 +307,11 @@ type base struct {
 	telBreakerClose  *telemetry.Counter
 	telShed          [int(platform.ActionLogin) + 1]*telemetry.Counter
 
+	// tracer records retry/breaker transition spans (nil = tracing off);
+	// set by WireTrace during world construction. Pure observer, touched
+	// only on the serial apply/scheduler path.
+	tracer *trace.Tracer
+
 	stopped bool
 }
 
@@ -412,6 +418,11 @@ func (b *base) WireTelemetry(reg *telemetry.Registry) {
 		b.telShed[t] = reg.Counter("aas." + b.spec.Name + ".shed." + t.String())
 	}
 }
+
+// WireTrace installs the span tracer: retry schedulings and breaker
+// transitions then emit instant spans parented (when possible) onto the
+// platform request that provoked them. Nil leaves tracing off.
+func (b *base) WireTrace(tr *trace.Tracer) { b.tracer = tr }
 
 // countOutcome tallies one applied automation action into telemetry:
 // every call is an attempt, err == nil a success.

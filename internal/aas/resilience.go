@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"footsteps/internal/platform"
+	"footsteps/internal/trace"
 )
 
 // This file is the engines' shared resilience policy layer — how a
@@ -169,6 +170,7 @@ func (b *base) countShed(t platform.ActionType) {
 func (b *base) breakerSuccess(c *Customer) {
 	if c.br.onSuccess(b.plat.Now()) {
 		b.telBreakerClose.Inc()
+		b.traceBreaker(c, trace.BreakerClosed)
 	}
 }
 
@@ -177,8 +179,20 @@ func (b *base) breakerFailure(c *Customer) {
 	switch c.br.onHardFailure(b.plat.Now(), b.rp) {
 	case brOpened:
 		b.telBreakerOpen.Inc()
+		b.traceBreaker(c, trace.BreakerOpened)
 	case brReopened:
 		b.telBreakerReopen.Inc()
+		b.traceBreaker(c, trace.BreakerReopened)
+	}
+}
+
+// traceBreaker emits a breaker-transition instant span, parented onto
+// the request whose outcome tripped the transition when that request
+// was itself sampled. Value carries the hold-open window.
+func (b *base) traceBreaker(c *Customer, transition uint8) {
+	if tr := b.tracer; tr != nil {
+		tr.Instant(trace.KindBreaker, uint64(c.Account), 0, transition,
+			tr.LastRequest(), int64(b.rp.BreakerOpenFor))
 	}
 }
 
@@ -240,6 +254,12 @@ func (b *base) scheduleRetry(c *Customer, req platform.Request, attempt int) {
 	}
 	b.telRetrySched.Inc()
 	delay := b.backoff(c, attempt)
+	if tr := b.tracer; tr != nil {
+		// Code carries the attempt number, Value the backoff delay; the
+		// parent is the failed request's span when it was sampled.
+		tr.Instant(trace.KindRetry, uint64(c.Account), uint8(req.Action),
+			uint8(attempt), tr.LastRequest(), int64(delay))
+	}
 	// The pending retry lives in a table entry rather than closure
 	// captures so snapshots can serialize it; the scheduled callback only
 	// points at the entry. Same instant, same draws, same behavior.

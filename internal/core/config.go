@@ -11,6 +11,7 @@ import (
 
 	"footsteps/internal/faults"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // Config sizes a study world. The zero value is unusable; start from
@@ -97,6 +98,16 @@ type Config struct {
 	// worker counts.
 	Faults *faults.Profile
 
+	// Trace, when non-nil, streams deterministic span records from every
+	// layer of the world — request pipeline stages, tick sections, AAS
+	// retries and breaker transitions, enforcement decisions — to the
+	// tracer's FTRC1 sink. Like Telemetry it is a pure observer: span
+	// identity derives from (tick, seq), the sampler is a pure function
+	// of (seed, identity), and nothing feeds back, so the event stream
+	// and report are byte-identical with tracing on or off at any sample
+	// rate (see docs/OBSERVABILITY.md). nil disables tracing.
+	Trace *trace.Tracer
+
 	// CheckpointEvery makes World.RunDays write a snapshot after every
 	// N completed days (see docs/PERSISTENCE.md). 0 disables. Like
 	// Workers and Shards it never changes the event stream, only what
@@ -110,7 +121,7 @@ type Config struct {
 
 // Fingerprint hashes every semantic config field — the knobs that shape
 // the simulated timeline. Pure performance and observability knobs
-// (Workers, Shards, Telemetry, DisableScratchReuse, the checkpoint
+// (Workers, Shards, Telemetry, Trace, DisableScratchReuse, the checkpoint
 // settings) are excluded, so a snapshot taken at one worker or shard
 // count restores at any other. Seed is also excluded: it travels in the
 // snapshot header as its own field with its own mismatch diagnostic.

@@ -137,6 +137,7 @@ func (w *World) runIntervention(calibDays, expDays int, policy intervention.Poli
 	expStart := w.Plat.Now()
 	ctl := intervention.New(thresholds, classifier.Classify, policy, expStart, 24*time.Hour)
 	ctl.WireTelemetry(w.Cfg.Telemetry)
+	ctl.WireTrace(w.Cfg.Trace)
 	w.SetExperimentGatekeeper(ctl)
 	w.Sched.RunFor(time.Duration(expDays) * clock.Day)
 	w.SetExperimentGatekeeper(nil)

@@ -3,6 +3,7 @@ package core
 import (
 	"footsteps/internal/faults"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // Option mutates a Config during construction. Options compose left to
@@ -72,6 +73,13 @@ func WithScratchReuse(on bool) Option {
 // WithTelemetry attaches a telemetry registry (nil disables).
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *Config) { c.Telemetry = reg }
+}
+
+// WithTrace attaches a span tracer (nil disables). Tracing is a pure
+// observer; the event stream is byte-identical with it on or off at any
+// sample rate — see docs/OBSERVABILITY.md.
+func WithTrace(tr *trace.Tracer) Option {
+	return func(c *Config) { c.Trace = tr }
 }
 
 // WithFaults enables the named built-in fault scenario (blip, flap,

@@ -24,13 +24,33 @@ func (w *World) StreamTelemetryDaily(out io.Writer) {
 		return
 	}
 	dw := telemetry.NewDayWriter(out, reg)
+	w.telemetryDays = dw
 	w.Sched.EveryDay(23*time.Hour+59*time.Minute, w.Cfg.Days+5, func(int) {
 		clk := w.Sched.Clock()
 		w.updateGauges()
-		// Errors are swallowed: a broken metrics sink must never abort a
-		// simulation run.
+		// Errors are swallowed here: a broken metrics sink must never
+		// abort a simulation run. The writer counts each failed line
+		// (telemetry.jsonl.write_errors) and FinalizeTelemetry surfaces
+		// the first error at teardown.
 		_ = dw.WriteDay(clk.Day(), clk.Now())
 	})
+}
+
+// FinalizeTelemetry closes out the daily metrics stream at the end of a
+// run: it refreshes the gauges, writes one final JSONL line (so shutdown
+// state — final goroutine count, heap size, scheduler drain — is in the
+// series even when the run stopped between daily flushes), and returns
+// the first write error the stream hit, if any. A no-op returning nil
+// when StreamTelemetryDaily was never armed.
+func (w *World) FinalizeTelemetry() error {
+	dw := w.telemetryDays
+	if dw == nil {
+		return nil
+	}
+	clk := w.Sched.Clock()
+	w.updateGauges()
+	_ = dw.WriteDay(clk.Day(), clk.Now())
+	return dw.Close()
 }
 
 // TelemetrySummary renders the end-of-run metrics table for the study
@@ -61,4 +81,8 @@ func (w *World) updateGauges() {
 	reg.Gauge("runtime.heap_alloc").Set(int64(ms.HeapAlloc))
 	reg.Gauge("runtime.gc_cycles").Set(int64(ms.NumGC))
 	reg.Gauge("runtime.pause_total_ns").Set(int64(ms.PauseTotalNs))
+	// Goroutine count sits next to the MemStats gauges: at one sample per
+	// simulated day it is diagnostic (a leaking worker pool shows as a
+	// climbing line), not a perturbation.
+	reg.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
 }

@@ -62,6 +62,10 @@ type World struct {
 	crossRNG  *rng.RNG
 	crossSeen map[string]int
 
+	// telemetryDays is the daily JSONL metric stream armed by
+	// StreamTelemetryDaily; FinalizeTelemetry flushes and closes it.
+	telemetryDays *telemetry.DayWriter
+
 	// Checkpointing knobs (see RunDays): every checkpointEvery completed
 	// days, RunDays writes a snapshot into checkpointDir. Zero/empty
 	// disables. daysRun counts completed days for the snapshot cursor.
@@ -100,6 +104,14 @@ func NewWorld(cfg Config) *World {
 	graph.WireTelemetry(cfg.Telemetry)
 	plat := platform.New(pcfg, graph, reg, sched)
 	plat.WireTelemetry(cfg.Telemetry)
+	// Span tracing wires in before any traffic, like telemetry: the first
+	// login is already spanned. BindClock gives the tracer the simulated
+	// clock so span identity derives from ticks, never wall time.
+	if cfg.Trace != nil {
+		cfg.Trace.BindClock(func() int64 { return sched.Clock().Now().UnixNano() })
+		cfg.Trace.WireTelemetry(cfg.Telemetry)
+		plat.SetTracer(cfg.Trace)
+	}
 
 	w := &World{
 		Cfg:       cfg,
@@ -129,12 +141,14 @@ func NewWorld(cfg Config) *World {
 		plat.SetFaultInjector(w.Faults)
 	}
 
-	// With telemetry on, even a sequential run gets a (1-worker) pool so
-	// the tick tracer sees plan/apply phases; Run with workers <= 1 is the
-	// identical inline path, so this changes timing visibility, not bytes.
-	if cfg.Workers > 1 || cfg.Telemetry != nil {
+	// With telemetry or tracing on, even a sequential run gets a
+	// (1-worker) pool so the tick tracer sees plan/apply phases; Run with
+	// workers <= 1 is the identical inline path, so this changes timing
+	// visibility, not bytes.
+	if cfg.Workers > 1 || cfg.Telemetry != nil || cfg.Trace != nil {
 		w.Steps = step.NewPool(cfg.Workers)
 		w.Steps.SetTracer(telemetry.NewTickTracer(cfg.Telemetry))
+		w.Steps.SetTrace(cfg.Trace)
 	}
 
 	// Organic population: honeypot monitoring must observe reciprocation,
@@ -170,6 +184,7 @@ func NewWorld(cfg Config) *World {
 			svc.SetStepPool(w.Steps)
 			svc.SetScratchReuse(!cfg.DisableScratchReuse)
 			svc.WireTelemetry(cfg.Telemetry)
+			svc.WireTrace(cfg.Trace)
 			pool := w.Pop.AddCuratedPool(spec.Name, spec.TargetPool, cfg.PoolSize)
 			svc.SetTargetPool(pool)
 			w.Recip[spec.Name] = svc
@@ -182,6 +197,7 @@ func NewWorld(cfg Config) *World {
 			svc.SetStepPool(w.Steps)
 			svc.SetScratchReuse(!cfg.DisableScratchReuse)
 			svc.WireTelemetry(cfg.Telemetry)
+			svc.WireTrace(cfg.Trace)
 			w.Coll[spec.Name] = svc
 		}
 	}
@@ -323,7 +339,7 @@ const (
 // service, producing the §5.1 account-overlap population.
 func (w *World) startCrossEnrollment(days int) {
 	w.crossRNG = w.RNG.Split("cross-enroll")
-	r := w.crossRNG // stable pointer: restore overwrites in place via SetState
+	r := w.crossRNG                    // stable pointer: restore overwrites in place via SetState
 	w.crossSeen = make(map[string]int) // per service: customers already considered
 	recipNames := make([]string, 0, len(w.Recip))
 	for _, name := range w.ServiceNames() {

@@ -20,6 +20,7 @@ import (
 	"footsteps/internal/netsim"
 	"footsteps/internal/platform"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // NumBins is the fixed experiment partition width (§6.3).
@@ -123,6 +124,11 @@ type Controller struct {
 	telEligible *telemetry.Counter
 	telBlocked  *telemetry.Counter
 	telDelayed  *telemetry.Counter
+
+	// tracer records enforcement-decision instant spans (nil = tracing
+	// off). Check runs inside platform.Do's gatekeep stage on the serial
+	// apply path, so decision spans parent onto the in-flight request.
+	tracer *trace.Tracer
 }
 
 type counterKey struct {
@@ -166,6 +172,21 @@ func (c *Controller) WireTelemetry(reg *telemetry.Registry) {
 	c.telEligible = reg.Counter("intervention.eligible")
 	c.telBlocked = reg.Counter("intervention.blocked")
 	c.telDelayed = reg.Counter("intervention.delayed")
+}
+
+// WireTrace installs the span tracer: over-threshold decisions then emit
+// instant spans parented onto the request being gatekept. Nil leaves
+// tracing off. Pure observer, like WireTelemetry.
+func (c *Controller) WireTrace(tr *trace.Tracer) { c.tracer = tr }
+
+// traceDecision emits one enforcement-decision instant span. Value
+// carries the account's same-day action count that crossed the
+// threshold.
+func (c *Controller) traceDecision(req platform.Event, code uint8, count int) {
+	if tr := c.tracer; tr != nil {
+		tr.Instant(trace.KindEnforcement, uint64(req.Actor), uint8(req.Type),
+			code, tr.CurrentRequest(), int64(count))
+	}
 }
 
 // Day returns the experiment day index for an instant.
@@ -217,15 +238,19 @@ func (c *Controller) Check(req platform.Event) platform.Verdict {
 	case AssignBlock:
 		st.Blocked++
 		c.telBlocked.Inc()
+		c.traceDecision(req, trace.VerdictBlocked, cnt.n)
 		return platform.Verdict{Kind: platform.VerdictBlock}
 	case AssignDelay:
 		if req.Type == platform.ActionFollow {
 			st.Delayed++
 			c.telDelayed.Inc()
+			c.traceDecision(req, trace.VerdictDelayed, cnt.n)
 			return platform.Verdict{Kind: platform.VerdictDelayRemove, RemoveAfter: c.removeLag}
 		}
+		c.traceDecision(req, trace.VerdictEligible, cnt.n)
 		return platform.Allow // no deferred removal exists for likes (§6.1)
 	default:
+		c.traceDecision(req, trace.VerdictEligible, cnt.n)
 		return platform.Allow
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"footsteps/internal/netsim"
 	"footsteps/internal/socialgraph"
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // AccountID aliases the graph's account identifier; the two packages share
@@ -205,6 +206,13 @@ type Platform struct {
 	// tel holds pre-created instruments (nil = telemetry off). Set once
 	// during world construction, before any traffic; see WireTelemetry.
 	tel *platformMetrics
+
+	// tracer records per-request spans (nil = tracing off, the cost of
+	// one pointer check per request). Set once during world construction,
+	// before any traffic; see SetTracer. Like the event stream itself,
+	// span emission assumes requests run on the serial apply/scheduler
+	// goroutine.
+	tracer *trace.Tracer
 }
 
 // pendingEnforcement is one scheduled delayed-removal (§6.1): the follow
@@ -268,6 +276,18 @@ func (p *Platform) WireTelemetry(reg *telemetry.Registry) {
 		ps.contention = reg.Counter(fmt.Sprintf("platform.postshard.%02d.contention", i))
 	}
 	p.tel = m
+}
+
+// SetTracer installs the span tracer. Call during construction, before
+// traffic; nil leaves tracing off. The tracer is a pure observer: it
+// never feeds back into request handling, so tracing on/off cannot
+// change any event (enforced in internal/simtest).
+func (p *Platform) SetTracer(tr *trace.Tracer) { p.tracer = tr }
+
+// shardIndexOf reports the index of the stripe owning id, for span
+// attribution.
+func (p *Platform) shardIndexOf(id AccountID) uint32 {
+	return uint32(shardHash(uint64(id)) % uint64(len(p.shards)))
 }
 
 // New assembles a platform over the given substrates.
@@ -561,23 +581,33 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	if !ok {
 		return nil, ErrBadCredentials
 	}
+	var sp *trace.Active
+	if tr := p.tracer; tr != nil {
+		sp = tr.StartRequest(trace.KindLogin, uint64(id), p.shardIndexOf(id), uint8(ActionLogin))
+	}
 	_, faults := p.hooks()
 	sh := p.shardFor(id)
 	sh.lock()
 	a, ok := sh.accounts[id]
 	if !ok || a.deleted || a.password != password {
 		sh.mu.Unlock()
+		sp.Stage(trace.StageSession, trace.VerdictFail)
+		sp.End(uint8(OutcomeFailed), 0, 0, 0)
 		return nil, ErrBadCredentials
 	}
+	sp.Stage(trace.StageSession, trace.VerdictOK)
 	if faults != nil {
 		asn, _ := p.net.Lookup(ci.IP)
 		if d := faults.Decide(p.clk.Now(), id, ActionLogin, asn, 0); d.Unavailable {
 			// The auth frontend is down: no session, no event, and no
 			// geolocation update — the request never reached the app tier.
 			sh.mu.Unlock()
+			sp.Stage(trace.StageFaults, trace.VerdictUnavailable)
+			sp.End(uint8(OutcomeUnavailable), 0, 0, uint32(asn))
 			return nil, ErrUnavailable
 		}
 	}
+	sp.Stage(trace.StageFaults, trace.VerdictOK)
 	country := p.net.Country(ci.IP)
 	if country != "" {
 		a.loginCountries[country]++
@@ -586,16 +616,23 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	now := p.clk.Now()
 	sh.mu.Unlock()
 
-	p.emit(Event{
+	ev := p.emitSpan(Event{
 		Time: now, Type: ActionLogin, Actor: id, IP: ci.IP,
 		Client: ci.Fingerprint, API: ci.API, Outcome: OutcomeAllowed,
-	})
+	}, sp)
+	endSpan(sp, ev)
 	return &Session{p: p, id: id, epoch: epoch, client: ci}, nil
 }
 
 // emit resolves the ASN and delivers the event. Callers must NOT hold any
 // shard or stripe lock: subscribers may call back into the platform.
-func (p *Platform) emit(ev Event) {
+func (p *Platform) emit(ev Event) { p.emitSpan(ev, nil) }
+
+// emitSpan is emit with stage marks on an in-flight span: the telemetry
+// stage covers ASN resolution plus counter increments, the emit stage
+// covers the subscriber fan-out. It returns the event with its ASN
+// resolved so the caller can close the span with attribution fields.
+func (p *Platform) emitSpan(ev Event, sp *trace.Active) Event {
 	if asn, ok := p.net.Lookup(ev.IP); ok {
 		ev.ASN = asn
 	}
@@ -613,5 +650,14 @@ func (p *Platform) emit(ev Event) {
 			m.logins.Inc()
 		}
 	}
+	sp.Stage(trace.StageTelemetry, trace.VerdictOK)
 	p.log.Emit(ev)
+	sp.Stage(trace.StageEmit, trace.VerdictOK)
+	return ev
+}
+
+// endSpan closes a request span with the emitted event's terminal
+// attribution fields.
+func endSpan(sp *trace.Active, ev Event) {
+	sp.End(uint8(ev.Outcome), uint64(ev.Target), uint64(ev.Post), uint32(ev.ASN))
 }

@@ -3,6 +3,8 @@ package platform
 import (
 	"fmt"
 	"time"
+
+	"footsteps/internal/trace"
 )
 
 // Request is the unified action envelope: one typed value carrying the
@@ -80,6 +82,14 @@ func (p *Platform) Do(req Request) Response {
 		return Response{Outcome: OutcomeFailed, Err: ErrNoSession}
 	}
 
+	// Span starts before preflight so even structural 404s get latency
+	// attribution. A nil sp (tracing off, or this request unsampled)
+	// makes every mark below a no-op.
+	var sp *trace.Active
+	if tr := p.tracer; tr != nil {
+		sp = tr.StartRequest(trace.KindRequest, uint64(s.id), p.shardIndexOf(s.id), uint8(req.Action))
+	}
+
 	ev := Event{
 		Type:   req.Action,
 		Actor:  s.id,
@@ -97,19 +107,24 @@ func (p *Platform) Do(req Request) Response {
 	case ActionLike, ActionComment:
 		author, ok := p.PostAuthor(req.Post)
 		if !ok {
-			return p.failReq(Event{Type: req.Action, Post: req.Post}, s)
+			sp.Stage(trace.StagePreflight, trace.VerdictFail)
+			return p.failReq(Event{Type: req.Action, Post: req.Post}, s, sp)
 		}
 		ev.Target, ev.Post = author, req.Post
 	case ActionFollow, ActionUnfollow:
 		if !p.Exists(req.Target) {
-			return p.failReq(Event{Type: req.Action, Target: req.Target}, s)
+			sp.Stage(trace.StagePreflight, trace.VerdictFail)
+			return p.failReq(Event{Type: req.Action, Target: req.Target}, s, sp)
 		}
 		ev.Target = req.Target
 	case ActionPost:
 	default:
+		sp.Stage(trace.StagePreflight, trace.VerdictFail)
+		sp.End(uint8(OutcomeFailed), 0, 0, 0)
 		return Response{Outcome: OutcomeFailed,
 			Err: fmt.Errorf("platform: action %v cannot be requested", req.Action)}
 	}
+	sp.Stage(trace.StagePreflight, trace.VerdictOK)
 
 	gate, faults := p.hooks()
 	sh := p.shardFor(s.id)
@@ -117,8 +132,11 @@ func (p *Platform) Do(req Request) Response {
 	a, ok := sh.accounts[s.id]
 	if !ok || a.deleted || a.sessionEpoch != s.epoch {
 		sh.mu.Unlock()
+		sp.Stage(trace.StageSession, trace.VerdictRevoked)
+		sp.End(uint8(OutcomeFailed), uint64(ev.Target), uint64(ev.Post), 0)
 		return Response{Outcome: OutcomeFailed, Err: ErrSessionRevoked}
 	}
+	sp.Stage(trace.StageSession, trace.VerdictOK)
 	var fd FaultDecision
 	if faults != nil {
 		asn, _ := p.net.Lookup(ev.IP)
@@ -129,6 +147,8 @@ func (p *Platform) Do(req Request) Response {
 		// exactly like an organic revocation — no event is emitted.
 		a.sessionEpoch++
 		sh.mu.Unlock()
+		sp.Stage(trace.StageFaults, trace.VerdictRevoked)
+		sp.End(uint8(OutcomeFailed), uint64(ev.Target), uint64(ev.Post), 0)
 		return Response{Outcome: OutcomeFailed, Err: ErrSessionRevoked}
 	}
 	if fd.Unavailable {
@@ -136,10 +156,13 @@ func (p *Platform) Do(req Request) Response {
 		// request consumes no budget, so a client retry cannot
 		// double-count against the limiter.
 		sh.mu.Unlock()
+		sp.Stage(trace.StageFaults, trace.VerdictUnavailable)
 		ev.Outcome = OutcomeUnavailable
-		p.emit(ev)
+		ev = p.emitSpan(ev, sp)
+		endSpan(sp, ev)
 		return Response{Outcome: OutcomeUnavailable, Err: ErrUnavailable}
 	}
+	sp.Stage(trace.StageFaults, trace.VerdictOK)
 	limit := p.cfg.PrivateHourlyLimit
 	if s.client.API == APIOAuth {
 		limit = p.cfg.OAuthHourlyLimit
@@ -159,6 +182,11 @@ func (p *Platform) Do(req Request) Response {
 		// below the level the ordinary limit would have tolerated.
 		storm := effLimit < limit && sh.limiter.peek(s.id, ev.Time) < limit
 		sh.mu.Unlock()
+		if storm {
+			sp.Stage(trace.StageRateLimit, trace.VerdictStorm)
+		} else {
+			sp.Stage(trace.StageRateLimit, trace.VerdictDenied)
+		}
 		if m := p.tel; m != nil {
 			m.rateLimited.Inc()
 			if storm {
@@ -166,10 +194,12 @@ func (p *Platform) Do(req Request) Response {
 			}
 		}
 		ev.Outcome = OutcomeRateLimited
-		p.emit(ev)
+		ev = p.emitSpan(ev, sp)
+		endSpan(sp, ev)
 		return Response{Outcome: OutcomeRateLimited, Err: ErrRateLimited}
 	}
 	sh.mu.Unlock()
+	sp.Stage(trace.StageRateLimit, trace.VerdictOK)
 
 	verdict := Allow
 	if gate != nil {
@@ -190,21 +220,34 @@ func (p *Platform) Do(req Request) Response {
 			}
 		}
 	}
+	switch verdict.Kind {
+	case VerdictBlock:
+		sp.Stage(trace.StageGatekeep, trace.VerdictBlocked)
+	case VerdictDelayRemove:
+		sp.Stage(trace.StageGatekeep, trace.VerdictDelayed)
+	default:
+		sp.Stage(trace.StageGatekeep, trace.VerdictOK)
+	}
 	if verdict.Kind == VerdictBlock {
 		ev.Outcome = OutcomeBlocked
-		p.emit(ev)
+		ev = p.emitSpan(ev, sp)
+		endSpan(sp, ev)
 		return Response{Outcome: OutcomeBlocked, Err: ErrBlocked}
 	}
 
 	applied, err := p.applyAction(req, &resp, ev.Target)
 	if err != nil {
+		sp.Stage(trace.StageApply, trace.VerdictFail)
 		ev.Outcome = OutcomeFailed
-		p.emit(ev)
+		ev = p.emitSpan(ev, sp)
+		endSpan(sp, ev)
 		return Response{Outcome: OutcomeFailed, Err: err}
 	}
+	sp.Stage(trace.StageApply, trace.VerdictOK)
 	ev.Outcome = OutcomeAllowed
 	ev.Duplicate = !applied
-	p.emit(ev)
+	ev = p.emitSpan(ev, sp)
+	endSpan(sp, ev)
 	resp.Outcome = OutcomeAllowed
 	resp.Applied = applied
 
@@ -244,12 +287,15 @@ func (p *Platform) fireEnforcement(e *pendingEnforcement) {
 	if p.cfg.GraphWrites {
 		// Either endpoint may be gone by now; removal is then moot.
 		if !p.graph.Exists(e.from) || !p.graph.Exists(e.to) {
+			p.tracer.Instant(trace.KindEnforcement, uint64(e.from), uint8(ActionUnfollow), trace.VerdictMoot, 0, 0)
 			return
 		}
 		if removed, _ := p.graph.Unfollow(e.from, e.to); !removed {
+			p.tracer.Instant(trace.KindEnforcement, uint64(e.from), uint8(ActionUnfollow), trace.VerdictMoot, 0, 0)
 			return
 		}
 	}
+	p.tracer.Instant(trace.KindEnforcement, uint64(e.from), uint8(ActionUnfollow), trace.VerdictOK, 0, 0)
 	p.emit(Event{
 		Time: p.clk.Now(), Type: ActionUnfollow, Actor: e.from,
 		Target: e.to, Outcome: OutcomeAllowed, Enforcement: true,
@@ -310,14 +356,15 @@ func (p *Platform) applyAction(req Request, resp *Response, target AccountID) (b
 // does not exist) and returns the failure. The event deliberately skips
 // session, limiter, and gatekeeper checks: a 404 from a stateless
 // frontend, not a policy decision.
-func (p *Platform) failReq(ev Event, s *Session) Response {
+func (p *Platform) failReq(ev Event, s *Session, sp *trace.Active) Response {
 	ev.Actor = s.id
 	ev.Time = p.clk.Now()
 	ev.IP = s.client.IP
 	ev.Client = s.client.Fingerprint
 	ev.API = s.client.API
 	ev.Outcome = OutcomeFailed
-	p.emit(ev)
+	ev = p.emitSpan(ev, sp)
+	endSpan(sp, ev)
 	return Response{Outcome: OutcomeFailed,
 		Err: fmt.Errorf("platform: %s target does not exist", ev.Type)}
 }

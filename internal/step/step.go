@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"footsteps/internal/telemetry"
+	"footsteps/internal/trace"
 )
 
 // Pool is a bounded worker pool for shard generation. The zero/nil Pool is
@@ -33,6 +34,7 @@ import (
 type Pool struct {
 	workers int
 	tracer  *telemetry.TickTracer
+	trace   *trace.Tracer
 }
 
 // NewPool returns a pool running shard generation on up to workers
@@ -70,6 +72,25 @@ func (p *Pool) Tracer() *telemetry.TickTracer {
 		return nil
 	}
 	return p.tracer
+}
+
+// SetTrace installs a span tracer on the pool: each RunInto section then
+// emits a section span with per-shard plan children (subject to the
+// tracer's sampler). Like the telemetry tracer it is a pure observer —
+// nothing it records feeds back into Run's control flow.
+func (p *Pool) SetTrace(tr *trace.Tracer) {
+	if p == nil {
+		return
+	}
+	p.trace = tr
+}
+
+// Trace returns the pool's span tracer (nil for a nil pool or none set).
+func (p *Pool) Trace() *trace.Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.trace
 }
 
 // Buffers is reusable per-shard intent scratch for RunInto. A caller
@@ -136,6 +157,11 @@ func RunInto[T any](p *Pool, b *Buffers[T], n int, gen func(shard int, emit func
 	}
 	tr := p.Tracer()
 	tr.SectionStart()
+	// The span section must be opened on the calling (serial) goroutine:
+	// StartSection allocates this section's deterministic sequence range.
+	// ShardDone writes only disjoint per-shard slots, so workers may call
+	// it concurrently; emission happens in sec.End, after the barrier.
+	sec := p.Trace().StartSection(n)
 	var bufs [][]T
 	var emits []func(T)
 	if b == nil {
@@ -165,13 +191,17 @@ func RunInto[T any](p *Pool, b *Buffers[T], n int, gen func(shard int, emit func
 		} else {
 			em = func(v T) { bufs[i] = append(bufs[i], v) }
 		}
-		if !tr.Enabled() {
+		if !tr.Enabled() && sec == nil {
 			gen(i, em)
 			return
 		}
 		start := time.Now()
 		gen(i, em)
-		tr.ShardPlanned(time.Since(start), len(bufs[i]))
+		d := time.Since(start)
+		if tr.Enabled() {
+			tr.ShardPlanned(d, len(bufs[i]))
+		}
+		sec.ShardDone(i, d, len(bufs[i]))
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -196,7 +226,7 @@ func RunInto[T any](p *Pool, b *Buffers[T], n int, gen func(shard int, emit func
 		wg.Wait()
 	}
 	var applyStart time.Time
-	if tr.Enabled() {
+	if tr.Enabled() || sec != nil {
 		applyStart = time.Now()
 	}
 	applied := 0
@@ -206,8 +236,12 @@ func RunInto[T any](p *Pool, b *Buffers[T], n int, gen func(shard int, emit func
 			apply(v)
 		}
 	}
-	if tr.Enabled() {
-		tr.Applied(time.Since(applyStart), applied)
+	if tr.Enabled() || sec != nil {
+		applyDur := time.Since(applyStart)
+		if tr.Enabled() {
+			tr.Applied(applyDur, applied)
+		}
+		sec.End(applyDur, applied)
 	}
 }
 

@@ -22,15 +22,24 @@ type DayRecord struct {
 // snapshot so each line carries per-day counter deltas alongside the
 // running totals. It is driven from scheduler callbacks (serial), so it
 // needs no locking of its own.
+//
+// Sink failures must never abort a simulation run, so WriteDay's callers
+// routinely discard its error — but a silently broken metrics pipe is an
+// observability trap. The writer therefore keeps the first write error
+// and counts every failed line on the registry itself
+// (telemetry.jsonl.write_errors), so the end-of-run summary shows the
+// loss, and Close returns the first error for callers that do care.
 type DayWriter struct {
-	enc  *json.Encoder
-	reg  *Registry
-	prev Snapshot
+	enc      *json.Encoder
+	reg      *Registry
+	prev     Snapshot
+	errs     *Counter
+	firstErr error
 }
 
 // NewDayWriter builds a writer streaming to out from reg.
 func NewDayWriter(out io.Writer, reg *Registry) *DayWriter {
-	return &DayWriter{enc: json.NewEncoder(out), reg: reg}
+	return &DayWriter{enc: json.NewEncoder(out), reg: reg, errs: reg.Counter("telemetry.jsonl.write_errors")}
 }
 
 // WriteDay snapshots the registry and writes one JSONL line for the
@@ -45,5 +54,20 @@ func (d *DayWriter) WriteDay(day int, simTime time.Time) error {
 		Gauges:   snap.Gauges,
 	}
 	d.prev = snap
-	return d.enc.Encode(rec)
+	err := d.enc.Encode(rec)
+	if err != nil {
+		d.errs.Inc()
+		if d.firstErr == nil {
+			d.firstErr = err
+		}
+	}
+	return err
 }
+
+// Err returns the first write error seen, or nil.
+func (d *DayWriter) Err() error { return d.firstErr }
+
+// Close reports the first write error the stream hit (nil if every line
+// landed). The writer holds no resources; Close exists so run teardown
+// has one place to learn whether the metrics series is complete.
+func (d *DayWriter) Close() error { return d.firstErr }

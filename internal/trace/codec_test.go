@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// sampleStream writes a small known trace and returns its bytes.
+func sampleStream(t *testing.T, nspans int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nspans; i++ {
+		sp := Span{
+			Tick: int64(i) * 1e9, Shard: uint32(i % 4), Seq: uint32(i),
+			Parent: uint64(i), Kind: KindRequest, Action: uint8(i % 6),
+			Code: uint8(i % 5), Actor: uint64(100 + i), Target: uint64(200 + i),
+			Post: uint64(i), ASN: uint32(64000 + i), Value: int64(i) - 2,
+			Start: int64(i) * 10, Wall: int64(i) * 3,
+			Stages: []StageRec{
+				{Stage: StagePreflight, Verdict: VerdictOK, Ns: 5},
+				{Stage: StageApply, Verdict: uint8(i % 3), Ns: int64(i)},
+			},
+		}
+		if err := w.WriteSpan(&sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	stream := sampleStream(t, 20)
+	r, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed() != 7 || r.SampleN() != 1 {
+		t.Fatalf("header wrong: seed=%d sampleN=%d", r.Seed(), r.SampleN())
+	}
+	for i := 0; i < 20; i++ {
+		sp, err := r.Next()
+		if err != nil {
+			t.Fatalf("span %d: %v", i, err)
+		}
+		if sp.Tick != int64(i)*1e9 || sp.Seq != uint32(i) || sp.Actor != uint64(100+i) {
+			t.Fatalf("span %d identity wrong: %+v", i, sp)
+		}
+		if sp.Value != int64(i)-2 {
+			t.Fatalf("span %d zigzag value wrong: %d", i, sp.Value)
+		}
+		if len(sp.Stages) != 2 || sp.Stages[1].Ns != int64(i) {
+			t.Fatalf("span %d stages wrong: %+v", i, sp.Stages)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	if r.Spans() != 20 {
+		t.Fatalf("Spans() = %d", r.Spans())
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("FSEV1\nnot a trace")); !errors.Is(err, ErrBadTraceMagic) {
+		t.Fatalf("want ErrBadTraceMagic, got %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("FT")); !errors.Is(err, ErrBadTraceMagic) {
+		t.Fatalf("short header: want ErrBadTraceMagic, got %v", err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	// Magic only — seed/sampleN uvarints missing.
+	if _, err := NewReader(bytes.NewReader(ftrcMagic)); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// TestReaderTruncation cuts a valid stream at every byte boundary
+// inside the record region and checks each cut yields either clean
+// spans + io.EOF (cut at a record boundary) or a *TraceTruncatedError
+// with a plausible offset — never a panic or a silent success.
+func TestReaderTruncation(t *testing.T) {
+	stream := sampleStream(t, 5)
+	// Find where records begin: magic + 2 header uvarints.
+	hdr := len(ftrcMagic)
+	_, n := binary.Uvarint(stream[hdr:])
+	hdr += n
+	_, n = binary.Uvarint(stream[hdr:])
+	hdr += n
+
+	for cut := hdr; cut < len(stream); cut++ {
+		r, err := NewReader(bytes.NewReader(stream[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		spans := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var te *TraceTruncatedError
+				if !errors.As(err, &te) {
+					t.Fatalf("cut %d: want TraceTruncatedError, got %T %v", cut, err, err)
+				}
+				if te.Offset < int64(hdr) || te.Offset > int64(cut) {
+					t.Fatalf("cut %d: implausible offset %d", cut, te.Offset)
+				}
+				if !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("cut %d: truncation should unwrap to ErrUnexpectedEOF, got %v", cut, te.Err)
+				}
+				// Sticky: the same error again.
+				if _, err2 := r.Next(); err2 != err {
+					t.Fatalf("cut %d: reader not sticky: %v then %v", cut, err, err2)
+				}
+				break
+			}
+			spans++
+		}
+		if spans > 5 {
+			t.Fatalf("cut %d: decoded %d spans from a 5-span prefix", cut, spans)
+		}
+	}
+}
+
+func TestReaderCorruption(t *testing.T) {
+	t.Run("unknown opcode", func(t *testing.T) {
+		stream := sampleStream(t, 1)
+		// First record byte after the header is the opcode.
+		hdr := len(ftrcMagic)
+		_, n := binary.Uvarint(stream[hdr:])
+		hdr += n
+		_, n = binary.Uvarint(stream[hdr:])
+		hdr += n
+		stream[hdr] = 0xEE
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+			t.Fatalf("want unknown-opcode error, got %v", err)
+		}
+	})
+
+	t.Run("implausible length", func(t *testing.T) {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte(opSpan)
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], maxSpanPayload+1)
+		buf.Write(lenBuf[:n])
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "implausible span length") {
+			t.Fatalf("want implausible-length error, got %v", err)
+		}
+	})
+
+	t.Run("implausible stage count", func(t *testing.T) {
+		// A payload claiming maxSpanStages+1 stages.
+		payload := make([]byte, 0, 64)
+		for i := 0; i < 14; i++ { // tick..wall: 14 numeric fields
+			payload = binary.AppendUvarint(payload, 0)
+		}
+		payload = binary.AppendUvarint(payload, maxSpanStages+1)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte(opSpan)
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+		buf.Write(lenBuf[:n])
+		buf.Write(payload)
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "implausible stage count") {
+			t.Fatalf("want implausible-stage-count error, got %v", err)
+		}
+	})
+
+	t.Run("trailing payload bytes", func(t *testing.T) {
+		payload := make([]byte, 0, 64)
+		for i := 0; i < 14; i++ {
+			payload = binary.AppendUvarint(payload, 0)
+		}
+		payload = binary.AppendUvarint(payload, 0) // nstages = 0
+		payload = append(payload, 0xAB)            // junk
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte(opSpan)
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+		buf.Write(lenBuf[:n])
+		buf.Write(payload)
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+			t.Fatalf("want trailing-bytes error, got %v", err)
+		}
+	})
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w, err := NewWriter(&failAfter{n: 1}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Span{Stages: []StageRec{{Stage: StageApply}}}
+	for i := 0; i < 20000 && w.Err() == nil; i++ {
+		_ = w.WriteSpan(&sp)
+	}
+	if w.Err() == nil {
+		t.Fatal("writer never surfaced the sink failure")
+	}
+	first := w.Err()
+	if err := w.WriteSpan(&sp); err != first {
+		t.Fatalf("WriteSpan after failure: got %v, want sticky %v", err, first)
+	}
+	if err := w.Close(); err != first {
+		t.Fatalf("Close: got %v, want sticky %v", err, first)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary byte streams to the FTRC1 reader. The
+// contract under fuzz: never panic, never allocate more than the decode
+// caps allow, and classify every stream as clean-EOF, truncated, or
+// corrupt. Seed corpus covers a valid stream, a truncated one, and a
+// few corruption shapes (see also the explicit cases in codec_test.go).
+func FuzzReader(f *testing.F) {
+	// A small valid stream.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 7, 16)
+	for i := 0; i < 3; i++ {
+		sp := Span{
+			Tick: int64(i) * 1e9, Seq: uint32(i), Kind: KindRequest,
+			Actor: uint64(i), Wall: int64(i) * 100,
+			Stages: []StageRec{{Stage: StageApply, Verdict: VerdictOK, Ns: 42}},
+		}
+		_ = w.WriteSpan(&sp)
+	}
+	_ = w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // cut inside the last record
+	f.Add(valid[:len(ftrcMagic)+2])
+
+	// Corrupt opcode.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(ftrcMagic)+2] = 0xEE
+	f.Add(corrupt)
+
+	// Header claiming a giant span.
+	var giant bytes.Buffer
+	gw, _ := NewWriter(&giant, 0, 1)
+	_ = gw.Flush()
+	giant.WriteByte(opSpan)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], maxSpanPayload+100)
+	giant.Write(lenBuf[:n])
+	f.Add(giant.Bytes())
+
+	f.Add([]byte("FTRC1\n"))
+	f.Add([]byte("FSEV1\nwrong format"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad header is a valid rejection
+		}
+		spans := 0
+		for spans < 1<<16 {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Sticky: the reader must keep failing identically.
+				if _, err2 := r.Next(); err2 != err {
+					t.Fatalf("reader not sticky after %v (then %v)", err, err2)
+				}
+				break
+			}
+			spans++
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any span assembled from fuzzed fields
+// survives an encode/decode cycle bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1e9), uint32(3), uint32(7), uint64(99), uint8(1), uint8(2), uint64(42), int64(-5), int64(123456))
+	f.Add(int64(-1), uint32(0), uint32(0), uint64(0), uint8(255), uint8(255), uint64(1)<<63, int64(1)<<62, int64(0))
+	f.Fuzz(func(t *testing.T, tick int64, shard, seq uint32, parent uint64, action, code uint8, actor uint64, value, wall int64) {
+		in := Span{
+			Tick: tick, Shard: shard, Seq: seq, Parent: parent,
+			Kind: KindRequest, Action: action, Code: code,
+			Actor: actor, Value: value, Wall: wall,
+			Stages: []StageRec{{Stage: Stage(action % uint8(stageCount)), Verdict: code, Ns: wall}},
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteSpan(&in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Next()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Tick != in.Tick || out.Shard != in.Shard || out.Seq != in.Seq ||
+			out.Parent != in.Parent || out.Action != in.Action || out.Code != in.Code ||
+			out.Actor != in.Actor || out.Value != in.Value || out.Wall != in.Wall {
+			t.Fatalf("round trip drifted:\n in=%+v\nout=%+v", in, out)
+		}
+		if len(out.Stages) != 1 || out.Stages[0] != in.Stages[0] {
+			t.Fatalf("stages drifted: %+v vs %+v", out.Stages, in.Stages)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"footsteps/internal/telemetry"
+)
+
+// ActionName renders a platform.ActionType code without importing
+// platform (the dependency points the other way). Kept in lockstep with
+// the platform enum by TestActionOutcomeNamesMatchPlatform.
+func ActionName(a uint8) string {
+	switch a {
+	case 0:
+		return "like"
+	case 1:
+		return "follow"
+	case 2:
+		return "unfollow"
+	case 3:
+		return "comment"
+	case 4:
+		return "post"
+	case 5:
+		return "login"
+	default:
+		return fmt.Sprintf("action(%d)", a)
+	}
+}
+
+// OutcomeName renders a platform.Outcome code (request spans' terminal
+// Code field).
+func OutcomeName(o uint8) string {
+	switch o {
+	case 0:
+		return "allowed"
+	case 1:
+		return "blocked"
+	case 2:
+		return "ratelimited"
+	case 3:
+		return "failed"
+	case 4:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("outcome(%d)", o)
+	}
+}
+
+// Filter selects spans for grep/stats. Negative numeric fields mean
+// "any"; Kind/Action/Outcome match the span's enum codes, Day the
+// simulated day index.
+type Filter struct {
+	Actor   int64
+	Action  int
+	Outcome int
+	Day     int
+	Kind    int
+}
+
+// MatchAll is the identity filter.
+var MatchAll = Filter{Actor: -1, Action: -1, Outcome: -1, Day: -1, Kind: -1}
+
+// Match reports whether sp passes the filter.
+func (f Filter) Match(sp *Span) bool {
+	if f.Actor >= 0 && sp.Actor != uint64(f.Actor) {
+		return false
+	}
+	if f.Action >= 0 && sp.Action != uint8(f.Action) {
+		return false
+	}
+	if f.Outcome >= 0 && sp.Code != uint8(f.Outcome) {
+		return false
+	}
+	if f.Day >= 0 && sp.Day() != int64(f.Day) {
+		return false
+	}
+	if f.Kind >= 0 && sp.Kind != Kind(f.Kind) {
+		return false
+	}
+	return true
+}
+
+// stageAgg accumulates one pipeline stage's latency samples and verdict
+// counts across all observed request spans.
+type stageAgg struct {
+	ns       []int64
+	verdicts map[uint8]uint64
+}
+
+// Stats aggregates a trace stream: per-stage latency distributions,
+// outcome breakdowns by action and ASN, terminal-stage attribution
+// ("which stage decided this request's fate"), and instant-span counts.
+type Stats struct {
+	Total    uint64
+	ByKind   map[Kind]uint64
+	stages   [stageCount]stageAgg
+	wall     []int64
+	outcomes map[uint8]uint64
+	byAction map[[2]uint8]uint64 // (action, outcome) → count
+	byASN    map[uint32]map[uint8]uint64
+	terminal map[[2]uint8]uint64 // (stage, verdict) that ended a denied request
+	byActor  map[uint64]uint64
+	instants map[[2]uint8]uint64 // (kind, code) for retry/breaker/enforcement
+}
+
+// NewStats returns an empty aggregator.
+func NewStats() *Stats {
+	return &Stats{
+		ByKind:   make(map[Kind]uint64),
+		outcomes: make(map[uint8]uint64),
+		byAction: make(map[[2]uint8]uint64),
+		byASN:    make(map[uint32]map[uint8]uint64),
+		terminal: make(map[[2]uint8]uint64),
+		byActor:  make(map[uint64]uint64),
+		instants: make(map[[2]uint8]uint64),
+	}
+}
+
+// Observe folds one span in.
+func (s *Stats) Observe(sp *Span) {
+	s.Total++
+	s.ByKind[sp.Kind]++
+	switch sp.Kind {
+	case KindRequest, KindLogin:
+		s.wall = append(s.wall, sp.Wall)
+		s.outcomes[sp.Code]++
+		s.byAction[[2]uint8{sp.Action, sp.Code}]++
+		s.byActor[sp.Actor]++
+		asn := s.byASN[sp.ASN]
+		if asn == nil {
+			asn = make(map[uint8]uint64)
+			s.byASN[sp.ASN] = asn
+		}
+		asn[sp.Code]++
+		for _, st := range sp.Stages {
+			agg := &s.stages[st.Stage%stageCount]
+			agg.ns = append(agg.ns, st.Ns)
+			if agg.verdicts == nil {
+				agg.verdicts = make(map[uint8]uint64)
+			}
+			agg.verdicts[st.Verdict]++
+		}
+		// Attribute denied requests to the stage that decided them: the
+		// last stage record carrying a non-OK verdict.
+		if sp.Code != 0 {
+			for i := len(sp.Stages) - 1; i >= 0; i-- {
+				if st := sp.Stages[i]; st.Verdict != VerdictOK {
+					s.terminal[[2]uint8{uint8(st.Stage), st.Verdict}]++
+					break
+				}
+			}
+		}
+	case KindRetry, KindBreaker, KindEnforcement:
+		s.instants[[2]uint8{uint8(sp.Kind), sp.Code}]++
+	}
+}
+
+// ObserveAll drains a reader into the aggregator, returning the first
+// read error (io.EOF excluded).
+func (s *Stats) ObserveAll(r *Reader) error {
+	for {
+		sp, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Observe(sp)
+	}
+}
+
+// quantile returns the q-quantile of ns by nearest-rank on a sorted
+// copy-free slice (the caller sorts once).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Format renders the aggregate as aligned text tables: span kinds,
+// per-stage latency percentiles with verdict mixes, outcome breakdowns
+// by action, terminal-stage attribution, top ASNs, top actors, and
+// instant-span counts.
+func (s *Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d\n\n", s.Total)
+
+	{
+		rows := make([][]string, 0, len(s.ByKind))
+		for k := Kind(0); k < kindCount; k++ {
+			if n := s.ByKind[k]; n > 0 {
+				rows = append(rows, []string{k.String(), fmt.Sprintf("%d", n)})
+			}
+		}
+		b.WriteString(telemetry.Table([]string{"kind", "spans"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.wall) > 0 {
+		sort.Slice(s.wall, func(i, j int) bool { return s.wall[i] < s.wall[j] })
+		rows := [][]string{{
+			"total", fmt.Sprintf("%d", len(s.wall)),
+			fmtNs(quantile(s.wall, 0.50)), fmtNs(quantile(s.wall, 0.90)), fmtNs(quantile(s.wall, 0.99)),
+			"",
+		}}
+		for st := Stage(0); st < stageCount; st++ {
+			agg := &s.stages[st]
+			if len(agg.ns) == 0 {
+				continue
+			}
+			sort.Slice(agg.ns, func(i, j int) bool { return agg.ns[i] < agg.ns[j] })
+			var verdicts []string
+			for _, v := range sortedVerdicts(agg.verdicts) {
+				if v != VerdictOK || len(agg.verdicts) > 1 {
+					verdicts = append(verdicts, fmt.Sprintf("%s=%d", VerdictName(v), agg.verdicts[v]))
+				}
+			}
+			rows = append(rows, []string{
+				st.String(), fmt.Sprintf("%d", len(agg.ns)),
+				fmtNs(quantile(agg.ns, 0.50)), fmtNs(quantile(agg.ns, 0.90)), fmtNs(quantile(agg.ns, 0.99)),
+				strings.Join(verdicts, " "),
+			})
+		}
+		b.WriteString(telemetry.Table([]string{"stage", "samples", "p50", "p90", "p99", "verdicts"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.byAction) > 0 {
+		keys := make([][2]uint8, 0, len(s.byAction))
+		for k := range s.byAction {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, []string{ActionName(k[0]), OutcomeName(k[1]), fmt.Sprintf("%d", s.byAction[k])})
+		}
+		b.WriteString(telemetry.Table([]string{"action", "outcome", "requests"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.terminal) > 0 {
+		keys := make([][2]uint8, 0, len(s.terminal))
+		for k := range s.terminal {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, []string{Stage(k[0]).String(), VerdictName(k[1]), fmt.Sprintf("%d", s.terminal[k])})
+		}
+		b.WriteString(telemetry.Table([]string{"decided-by", "verdict", "denials"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.byASN) > 0 {
+		type asnRow struct {
+			asn   uint32
+			total uint64
+			m     map[uint8]uint64
+		}
+		all := make([]asnRow, 0, len(s.byASN))
+		for asn, m := range s.byASN {
+			var tot uint64
+			for _, n := range m {
+				tot += n
+			}
+			all = append(all, asnRow{asn, tot, m})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].total != all[j].total {
+				return all[i].total > all[j].total
+			}
+			return all[i].asn < all[j].asn
+		})
+		if len(all) > 10 {
+			all = all[:10]
+		}
+		rows := make([][]string, 0, len(all))
+		for _, r := range all {
+			var mix []string
+			for _, o := range sortedVerdicts(r.m) {
+				mix = append(mix, fmt.Sprintf("%s=%d", OutcomeName(o), r.m[o]))
+			}
+			rows = append(rows, []string{fmt.Sprintf("%d", r.asn), fmt.Sprintf("%d", r.total), strings.Join(mix, " ")})
+		}
+		b.WriteString(telemetry.Table([]string{"asn", "requests", "outcomes"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.byActor) > 0 {
+		type actorRow struct {
+			actor uint64
+			n     uint64
+		}
+		all := make([]actorRow, 0, len(s.byActor))
+		for a, n := range s.byActor {
+			all = append(all, actorRow{a, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].actor < all[j].actor
+		})
+		if len(all) > 10 {
+			all = all[:10]
+		}
+		rows := make([][]string, 0, len(all))
+		for _, r := range all {
+			rows = append(rows, []string{fmt.Sprintf("%d", r.actor), fmt.Sprintf("%d", r.n)})
+		}
+		b.WriteString(telemetry.Table([]string{"actor", "requests"}, rows))
+		b.WriteString("\n")
+	}
+
+	if len(s.instants) > 0 {
+		keys := make([][2]uint8, 0, len(s.instants))
+		for k := range s.instants {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, []string{Kind(k[0]).String(), VerdictName(k[1]), fmt.Sprintf("%d", s.instants[k])})
+		}
+		b.WriteString(telemetry.Table([]string{"instant", "code", "count"}, rows))
+	}
+
+	return b.String()
+}
+
+func sortedVerdicts(m map[uint8]uint64) []uint8 {
+	out := make([]uint8, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

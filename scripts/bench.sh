@@ -13,7 +13,11 @@
 # what the tick-scratch pools save (see docs/PERFORMANCE.md); the
 # Snapshot pair records FSNAP1 checkpoint cost — encode wall time and
 # snapshot bytes on the 10-day world, plus the end-to-end restore time a
-# resumed run pays (see docs/PERSISTENCE.md). Every
+# resumed run pays (see docs/PERSISTENCE.md); the TraceStep sweep
+# records FTRC1 span-tracing overhead at sample rates off, 1/1024,
+# 1/16, and 1/1 — tracing-off must match ParallelStep within noise and
+# the 1/1024 production rate stays within ~5% ns/tick (see
+# docs/OBSERVABILITY.md). Every
 # point in the grid produces identical ticks/op and events/op — shard,
 # worker, and pooling knobs are concurrency/memory knobs, never
 # semantics.
@@ -21,14 +25,14 @@
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
+raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot)\// {
+/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep)\// {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
