@@ -14,6 +14,7 @@
 //	broad          Figure 7  (§6.4 broad intervention)
 //	adaptation     §6.4 epilogue (proxy evasion, endgame)
 //	faults         fault-injection demo (resilience under infrastructure failure)
+//	run            crash-tolerant run (durable segment log, atomic checkpoints, -resume)
 //	trace          inspect an FTRC1 span trace (-stats, -grep, -export chrome)
 //	all            everything above, in paper order
 //
@@ -205,6 +206,10 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "write FSNAP1 world checkpoints into this directory (record only)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in days, 0 = off (record only)")
 	fromSnap := flag.String("from", "", "FSNAP1 checkpoint to restore before replaying (replay only)")
+	durableDir := flag.String("durable", "", "durable log directory: checksummed segments + atomic checkpoints (run only)")
+	resumeFlag := flag.Bool("resume", false, "recover the -durable log after a crash and finish the run (run only)")
+	crashAfterOp := flag.Uint64("crash-after-op", 0, "kill the process at this durable filesystem op, for crash-injection testing (run only)")
+	fsyncEvery := flag.Bool("fsync-every", false, "fsync the durable log after every frame, not only at checkpoints (run only)")
 	against := flag.String("against", "", "FSEV1 capture to verify the replayed stream against (replay only)")
 	seeds := flag.Int("seeds", 5, "number of independent seeds for the sweep command")
 	metricsPath := flag.String("metrics", "", "write per-day telemetry JSONL to this file")
@@ -345,6 +350,8 @@ func main() {
 		err = runFaults(mkCfg())
 	case "record":
 		err = runRecord(mkCfg(), *record)
+	case "run":
+		err = runDurable(mkCfg(), *durableDir, *resumeFlag, *crashAfterOp, *fsyncEvery)
 	case "replay":
 		err = runReplay(mkCfg(), *fromSnap, *against, *record, 0)
 	case "check":
@@ -401,6 +408,7 @@ commands:
   faults         fault-injection demo: AAS resilience under infrastructure failure
   sweep          multi-seed replication of the Table 5 measurement
   record         canonical run with -record/-checkpoint-* artifacts (FSEV1 + FSNAP1)
+  run            crash-tolerant run: durable segment log + atomic checkpoints (-durable, -resume)
   replay         restore a checkpoint (-from), re-drive, verify against a capture (-against)
   trace          inspect an FTRC1 span trace: -stats, -grep spec, -export chrome
   check          machine-checked calibration against the paper's bands

@@ -125,11 +125,40 @@ func runReplay(cfg footsteps.Config, from, against, record string, extraDays int
 		return err
 	}
 	if !bytes.Equal(want, buf.Bytes()) {
-		return fmt.Errorf("replay DIVERGED from %s: sha256 %x vs %x (%d vs %d bytes)",
-			against, sha256.Sum256(buf.Bytes()), sha256.Sum256(want), buf.Len(), len(want))
+		off, idx := firstDivergence(want, buf.Bytes())
+		return fmt.Errorf("replay DIVERGED from %s: first difference at byte offset %d, after %d intact events; sha256 %x vs %x (%d vs %d bytes)",
+			against, off, idx, sha256.Sum256(buf.Bytes()), sha256.Sum256(want), buf.Len(), len(want))
 	}
 	fmt.Printf("Replay matches %s byte-for-byte.\n", against)
 	return nil
+}
+
+// firstDivergence locates the first byte where two FSEV1 streams
+// disagree (the common length, if one is a strict prefix) and counts
+// the events fully decoded from the shared prefix — the coordinates a
+// divergence hunt starts from, instead of just two hashes.
+func firstDivergence(want, got []byte) (int64, uint64) {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	off := int64(n)
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			off = int64(i)
+			break
+		}
+	}
+	var events uint64
+	if r, err := eventio.NewReader(bytes.NewReader(want[:off])); err == nil {
+		for {
+			if _, err := r.Next(); err != nil {
+				break // the cut mid-record is expected; the count is what matters
+			}
+		}
+		events = r.Events()
+	}
+	return off, events
 }
 
 // suffixOf re-encodes, with a fresh string table, the events of a

@@ -8,9 +8,13 @@
 //	fsevdump -blocked capture.fsev   # only blocked actions
 //	fsevdump -n 100 capture.fsev     # first 100 matching events
 //	fsevdump -stats capture.fsev     # per-type counts and per-day rates
+//	fsevdump -verify durable-dir/    # CRC-check a durable segment log
 //
 // -stats composes with the filters: it summarizes the matching events
-// instead of printing them.
+// instead of printing them. -verify takes a durable log directory (the
+// segment files written by `footsteps run -durable`), CRC-checks every
+// frame, and reports the first bad one — segment, offset, expected and
+// actual checksum.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"footsteps/internal/clock"
+	"footsteps/internal/durable"
 	"footsteps/internal/eventio"
 	"footsteps/internal/platform"
 	"footsteps/internal/telemetry"
@@ -34,6 +39,7 @@ type options struct {
 	blockedOnly bool
 	limit       int
 	stats       bool
+	verify      bool
 }
 
 func main() {
@@ -42,11 +48,18 @@ func main() {
 	flag.BoolVar(&opt.blockedOnly, "blocked", false, "keep only blocked actions")
 	flag.IntVar(&opt.limit, "n", 0, "stop after N matching events (0 = all)")
 	flag.BoolVar(&opt.stats, "stats", false, "print per-event-type counts and per-day rates instead of JSONL")
+	flag.BoolVar(&opt.verify, "verify", false, "treat the operand as a durable log directory and CRC-check every segment frame")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fsevdump [flags] capture.fsev")
+		fmt.Fprintln(os.Stderr, "usage: fsevdump [flags] capture.fsev | fsevdump -verify durable-dir")
 		os.Exit(2)
+	}
+	if opt.verify {
+		if err := verify(durable.OSFS{}, flag.Arg(0), os.Stdout, os.Stderr); err != nil {
+			os.Exit(1)
+		}
+		return
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -143,6 +156,46 @@ func dump(src io.Reader, opt options, out, errw io.Writer) (int, error) {
 		printStats(out, reg, perDay)
 	}
 	return matched, nil
+}
+
+// verify CRC-checks every segment of a durable log directory, printing
+// a per-segment summary to out. On damage it reports the first bad
+// frame — segment, byte offset, and (for checksum mismatches) the
+// expected and actual CRC32C — to errw and returns the typed error.
+func verify(fsys durable.FS, dir string, out, errw io.Writer) error {
+	infos, err := durable.VerifyDir(fsys, dir)
+	var events uint64
+	for _, inf := range infos {
+		state := "open"
+		if inf.Sealed {
+			state = "sealed"
+		}
+		fmt.Fprintf(out, "%s  %8d bytes  %5d frames  %9d events  %s\n",
+			inf.Name, inf.Bytes, inf.Frames, inf.Events, state)
+		events = inf.Events
+	}
+	if err != nil {
+		var torn *durable.TornTailError
+		var corrupt *durable.CorruptError
+		switch {
+		case errors.As(err, &torn):
+			fmt.Fprintf(errw, "fsevdump: first bad frame: segment %s, frame %d, byte offset %d\n",
+				torn.Segment, torn.Frame, torn.Offset)
+			if torn.Want != 0 || torn.Got != 0 {
+				fmt.Fprintf(errw, "fsevdump: checksum mismatch: expected crc32c %08x, got %08x\n",
+					torn.Want, torn.Got)
+			} else {
+				fmt.Fprintf(errw, "fsevdump: %v\n", torn.Err)
+			}
+		case errors.As(err, &corrupt):
+			fmt.Fprintf(errw, "fsevdump: %v\n", corrupt)
+		default:
+			fmt.Fprintf(errw, "fsevdump: %v\n", err)
+		}
+		return err
+	}
+	fmt.Fprintf(out, "OK: %d segment(s), %d events, every frame checksum valid\n", len(infos), events)
+	return nil
 }
 
 // printStats renders the aggregate counters and a per-day rates table.

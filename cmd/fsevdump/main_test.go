@@ -3,14 +3,18 @@ package main
 import (
 	"bytes"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 	"time"
 
 	"footsteps/internal/clock"
 	"footsteps/internal/core"
+	"footsteps/internal/durable"
 	"footsteps/internal/eventio"
 	"footsteps/internal/faults"
+	"footsteps/internal/platform"
+	"footsteps/internal/socialgraph"
 )
 
 // faultedCapture runs a small world under the rate-limit storm scenario
@@ -86,6 +90,73 @@ func TestDumpStatsFilterComposition(t *testing.T) {
 	}
 	if strings.Contains(got, "events.like.") {
 		t.Errorf("-type follow summary still counts likes:\n%s", got)
+	}
+}
+
+// durableLog builds a small durable segment log on a MemFS: a few
+// frames, one checkpoint boundary, a clean seal.
+func durableLog(t *testing.T) *durable.MemFS {
+	t.Helper()
+	fsys := durable.NewMemFS()
+	l, err := durable.Create(fsys, "log", durable.Options{Seed: 5, Fingerprint: 5, BatchEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ev := platform.Event{Type: platform.ActionLike, Actor: socialgraph.AccountID(i), Client: "client",
+			Outcome: platform.OutcomeAllowed, Time: clock.Epoch.Add(time.Duration(i) * time.Minute)}
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		if i == 24 {
+			if err := l.Checkpoint(1, func(w io.Writer) error { _, werr := w.Write([]byte("snap")); return werr }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fsys
+}
+
+// TestVerifyClean: -verify over an intact log prints the per-segment
+// summary and the OK line.
+func TestVerifyClean(t *testing.T) {
+	fsys := durableLog(t)
+	var out, errw bytes.Buffer
+	if err := verify(fsys, "log", &out, &errw); err != nil {
+		t.Fatalf("verify clean log: %v (stderr: %s)", err, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seg-00000.fseg", "seg-00001.fseg", "sealed", "OK:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("verify output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestVerifyReportsBadFrame: a bit flip in a frame payload must surface
+// as the first-bad-frame report with expected and actual checksums.
+func TestVerifyReportsBadFrame(t *testing.T) {
+	fsys := durableLog(t)
+	if err := fsys.Corrupt("log/seg-00000.fseg", 60, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	err := verify(fsys, "log", &out, &errw)
+	if err == nil {
+		t.Fatal("verify of corrupted log succeeded")
+	}
+	var torn *durable.TornTailError
+	if !errors.As(err, &torn) {
+		t.Fatalf("error is %T (%v), want *durable.TornTailError", err, err)
+	}
+	diag := errw.String()
+	for _, want := range []string{"seg-00000.fseg", "expected crc32c", "first bad frame"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, diag)
+		}
 	}
 }
 

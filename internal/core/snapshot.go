@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -176,12 +177,24 @@ func RestoreFile(cfg Config, path string) (*World, error) {
 // (chunked runs replay the same timeline as one long run), writing a
 // checkpoint after every CheckpointEvery completed days when a
 // checkpoint directory is configured.
-func (w *World) RunDays(n int) error {
+func (w *World) RunDays(n int) error { return w.RunDaysFunc(n, nil) }
+
+// RunDaysFunc is RunDays with an after-day hook: after each completed
+// day (and its periodic checkpoint, if armed) it calls after with the
+// total days run so far. A non-nil error stops the run and is returned
+// — the durable log uses this to checkpoint at day boundaries and to
+// halt cleanly when its filesystem has failed.
+func (w *World) RunDaysFunc(n int, after func(day int) error) error {
 	for i := 0; i < n; i++ {
 		w.Sched.RunFor(clock.Day)
 		w.daysRun++
 		if w.checkpointEvery > 0 && w.checkpointDir != "" && w.daysRun%w.checkpointEvery == 0 {
 			if _, err := w.WriteCheckpoint(); err != nil {
+				return err
+			}
+		}
+		if after != nil {
+			if err := after(w.daysRun); err != nil {
 				return err
 			}
 		}
@@ -193,7 +206,9 @@ func (w *World) RunDays(n int) error {
 func (w *World) DaysRun() int { return w.daysRun }
 
 // WriteCheckpoint snapshots the world into its checkpoint directory as
-// checkpoint-day-NNN.fsnap and returns the path written.
+// checkpoint-day-NNN.fsnap and returns the path written. The file lands
+// atomically (tmp + fsync + rename + dir fsync), so a crash mid-write
+// can never leave a half-written snapshot under the final name.
 func (w *World) WriteCheckpoint() (string, error) {
 	if w.checkpointDir == "" {
 		return "", fmt.Errorf("core: no checkpoint directory configured")
@@ -201,16 +216,12 @@ func (w *World) WriteCheckpoint() (string, error) {
 	if err := os.MkdirAll(w.checkpointDir, 0o755); err != nil {
 		return "", err
 	}
+	var buf bytes.Buffer
+	if err := w.Snapshot(&buf); err != nil {
+		return "", err
+	}
 	path := filepath.Join(w.checkpointDir, fmt.Sprintf("checkpoint-day-%03d.fsnap", w.daysRun))
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
-	if err := w.Snapshot(f); err != nil {
-		f.Close()
-		return "", err
-	}
-	if err := f.Close(); err != nil {
+	if err := persistence.AtomicWriteFile(path, buf.Bytes()); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -36,21 +36,35 @@ func (w *World) StreamTelemetryDaily(out io.Writer) {
 	})
 }
 
-// FinalizeTelemetry closes out the daily metrics stream at the end of a
-// run: it refreshes the gauges, writes one final JSONL line (so shutdown
+// OnFinalize registers fn to run when FinalizeTelemetry closes out the
+// run. Error-swallowing sinks (the durable event log's sticky
+// write/fsync error, for one) register here so a run that silently
+// lost durability still reports it at exit.
+func (w *World) OnFinalize(fn func() error) {
+	w.finalizers = append(w.finalizers, fn)
+}
+
+// FinalizeTelemetry closes out the run's observability sinks: it
+// refreshes the gauges, writes one final JSONL line (so shutdown
 // state — final goroutine count, heap size, scheduler drain — is in the
-// series even when the run stopped between daily flushes), and returns
-// the first write error the stream hit, if any. A no-op returning nil
-// when StreamTelemetryDaily was never armed.
+// series even when the run stopped between daily flushes), runs every
+// OnFinalize hook, and returns the first error any of them surfaced.
+// A no-op returning nil when neither a daily stream nor finalizers were
+// armed.
 func (w *World) FinalizeTelemetry() error {
-	dw := w.telemetryDays
-	if dw == nil {
-		return nil
+	var first error
+	if dw := w.telemetryDays; dw != nil {
+		clk := w.Sched.Clock()
+		w.updateGauges()
+		_ = dw.WriteDay(clk.Day(), clk.Now())
+		first = dw.Close()
 	}
-	clk := w.Sched.Clock()
-	w.updateGauges()
-	_ = dw.WriteDay(clk.Day(), clk.Now())
-	return dw.Close()
+	for _, fn := range w.finalizers {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // TelemetrySummary renders the end-of-run metrics table for the study

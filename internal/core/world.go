@@ -66,6 +66,12 @@ type World struct {
 	// StreamTelemetryDaily; FinalizeTelemetry flushes and closes it.
 	telemetryDays *telemetry.DayWriter
 
+	// finalizers run (in registration order) inside FinalizeTelemetry,
+	// so sinks that swallow errors mid-run — the metrics JSONL stream,
+	// the durable event log — get to surface their first failure at
+	// teardown. See OnFinalize.
+	finalizers []func() error
+
 	// Checkpointing knobs (see RunDays): every checkpointEvery completed
 	// days, RunDays writes a snapshot into checkpointDir. Zero/empty
 	// disables. daysRun counts completed days for the snapshot cursor.

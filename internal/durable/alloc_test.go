@@ -1,0 +1,36 @@
+package durable
+
+import "testing"
+
+// Alloc budgets for the durable write path, in the spirit of the
+// eventio and platform budgets (docs/PERFORMANCE.md): appending an
+// event to the open batch is pure in-memory encoding and must not
+// allocate in steady state. Frame cuts and checkpoints are rare
+// (once per BatchEvents / once per day) and are excluded by a batch
+// threshold larger than the measured run.
+const allocBudgetAppend = 0
+
+func TestAllocBudgetDurableWrite(t *testing.T) {
+	fsys := NewMemFS()
+	l, err := Create(fsys, "log", Options{Seed: 1, Fingerprint: 1, BatchEvents: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-grow the pending buffer so the encoder's bufio flush lands in
+	// existing capacity, and warm the string table and scratch.
+	l.pending.Grow(1 << 20)
+	evs := testEvents(64)
+	for _, ev := range evs {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		_ = l.Append(evs[i%len(evs)])
+		i++
+	})
+	if avg > allocBudgetAppend {
+		t.Fatalf("durable.Log.Append allocates %.1f per op, budget %d", avg, allocBudgetAppend)
+	}
+}

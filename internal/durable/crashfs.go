@@ -1,0 +1,390 @@
+package durable
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"sync"
+	"sync/atomic"
+)
+
+// CrashMode is what the injected failure looks like at the kill point.
+type CrashMode int
+
+const (
+	// CrashShortWrite tears the fatal write: a deterministic prefix of
+	// the written bytes reaches the durable image, the rest vanishes.
+	CrashShortWrite CrashMode = iota
+	// CrashFsyncError fails the fatal Sync with ErrFsyncInjected; the
+	// pending bytes it would have committed are (partially) lost.
+	CrashFsyncError
+	// CrashENOSPC fails the fatal write with ErrNoSpace before any of
+	// its bytes land.
+	CrashENOSPC
+
+	crashModes = 3
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashShortWrite:
+		return "short-write"
+	case CrashFsyncError:
+		return "fsync-error"
+	case CrashENOSPC:
+		return "enospc"
+	}
+	return fmt.Sprintf("CrashMode(%d)", int(m))
+}
+
+// CrashPlan schedules one deterministic power loss.
+type CrashPlan struct {
+	Seed uint64
+	// KillAt is the 1-based filesystem op serial at which the crash
+	// fires; 0 disables it. The failure mode is a SplitMix64 verdict of
+	// (Seed, KillAt) — mirroring internal/faults, the decision is a
+	// pure hash, independent of goroutines or wall time.
+	KillAt uint64
+}
+
+// Mode returns the failure mode the plan's kill point will use.
+func (p CrashPlan) Mode() CrashMode {
+	return CrashMode(mix64(p.Seed^p.KillAt) % crashModes)
+}
+
+// CrashFS models power-loss semantics over an in-memory durable image:
+// writes buffer as per-file pending bytes; Sync commits them; at the
+// planned op the crash drops every file's pending bytes except a
+// deterministic prefix (the torn tail), and every later operation
+// returns ErrCrashed. Metadata ops (create, rename, remove, truncate)
+// apply to the image immediately — the journal-everything model of a
+// metadata-ordered filesystem — which is exactly why the log still
+// needs its fsync-before-rename discipline for data.
+//
+// After the crash, Image() exposes what "disk" holds; Resume on it is
+// the recovery under test.
+type CrashFS struct {
+	plan CrashPlan
+
+	mu      sync.Mutex
+	img     *MemFS
+	pending map[string][]byte
+	serial  uint64
+	crashed bool
+}
+
+// NewCrashFS returns a CrashFS over a fresh image.
+func NewCrashFS(plan CrashPlan) *CrashFS {
+	return &CrashFS{plan: plan, img: NewMemFS(), pending: make(map[string][]byte)}
+}
+
+// Image returns the durable image — the bytes that survived. Only
+// meaningful to mutate through after Crashed() is true.
+func (c *CrashFS) Image() *MemFS { return c.img }
+
+// Ops returns the number of filesystem operations issued so far. A
+// probe run with KillAt=0 measures the total so kill points can be
+// placed at chosen fractions of it.
+func (c *CrashFS) Ops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serial
+}
+
+// Crashed reports whether the planned power loss has fired.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// step advances the op serial and reports whether this op is the kill
+// point. Callers hold c.mu.
+func (c *CrashFS) step() (bool, CrashMode) {
+	c.serial++
+	if c.plan.KillAt != 0 && c.serial == c.plan.KillAt {
+		return true, c.plan.Mode()
+	}
+	return false, 0
+}
+
+// crash commits a deterministic partial prefix of every file's pending
+// bytes to the image — torn tails — and makes the filesystem dead.
+// keep, when non-empty, names a file whose pending bytes were already
+// handled by the caller (the short-write victim).
+func (c *CrashFS) crash(keep string) {
+	c.crashed = true
+	for name, p := range c.pending {
+		if name == keep {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		n := int(mix64(c.plan.Seed^0xd15c^h.Sum64()) % uint64(len(p)+1))
+		c.img.files[name] = append(c.img.files[name], p[:n]...)
+	}
+	c.pending = make(map[string][]byte)
+}
+
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return ErrCrashed
+	}
+	return c.img.MkdirAll(dir)
+}
+
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return nil, ErrCrashed
+	}
+	name = path.Clean(name)
+	c.img.files[name] = nil
+	delete(c.pending, name)
+	return &crashFile{fs: c, name: name}, nil
+}
+
+func (c *CrashFS) OpenAppend(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return nil, ErrCrashed
+	}
+	name = path.Clean(name)
+	if _, ok := c.img.files[name]; !ok {
+		return nil, fmt.Errorf("durable: open %s: no such file", name)
+	}
+	return &crashFile{fs: c, name: name}, nil
+}
+
+// ReadFile sees the logical state — durable plus pending — the view a
+// running process has of its own writes.
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return nil, ErrCrashed
+	}
+	name = path.Clean(name)
+	data, err := c.img.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, c.pending[name]...), nil
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return nil, ErrCrashed
+	}
+	return c.img.ReadDir(dir)
+}
+
+func (c *CrashFS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return ErrCrashed
+	}
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	if p, ok := c.pending[oldname]; ok {
+		c.pending[newname] = p
+		delete(c.pending, oldname)
+	}
+	return c.img.Rename(oldname, newname)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return ErrCrashed
+	}
+	name = path.Clean(name)
+	delete(c.pending, name)
+	return c.img.Remove(name)
+}
+
+func (c *CrashFS) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return ErrCrashed
+	}
+	name = path.Clean(name)
+	delete(c.pending, name)
+	return c.img.Truncate(name, size)
+}
+
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, _ := c.step(); kill {
+		c.crash("")
+		return ErrCrashed
+	}
+	return nil
+}
+
+type crashFile struct {
+	fs   *CrashFS
+	name string
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if kill, mode := c.step(); kill {
+		switch mode {
+		case CrashShortWrite:
+			// A deterministic prefix of this write reaches pending and
+			// then commits with the crash — the canonical torn tail.
+			n := int(mix64(c.plan.Seed^c.serial^0x77) % uint64(len(p)+1))
+			c.pending[f.name] = append(c.pending[f.name], p[:n]...)
+			c.crash("")
+			return n, ErrCrashed
+		case CrashENOSPC:
+			c.crash("")
+			return 0, ErrNoSpace
+		default: // fsync-error mode on a write op: plain power loss
+			c.crash("")
+			return 0, ErrCrashed
+		}
+	}
+	c.pending[f.name] = append(c.pending[f.name], p...)
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if kill, mode := c.step(); kill {
+		if mode == CrashFsyncError {
+			// The device rejected the flush; pending bytes for this
+			// file tear like any other crash casualty.
+			c.crash("")
+			return ErrFsyncInjected
+		}
+		c.crash("")
+		return ErrCrashed
+	}
+	if p, ok := c.pending[f.name]; ok {
+		c.img.files[f.name] = append(c.img.files[f.name], p...)
+		delete(c.pending, f.name)
+	}
+	return nil
+}
+
+func (f *crashFile) Close() error {
+	// Close is not a durability point and not a counted op: bytes not
+	// synced remain pending and die with the crash.
+	return nil
+}
+
+// KillFS wraps a real FS, counting operations and invoking onKill just
+// before op number killAt executes — the CLI's -crash-after-op hook,
+// where onKill is os.Exit and recovery happens in a fresh process.
+type KillFS struct {
+	inner  FS
+	killAt uint64
+	onKill func()
+	ops    atomic.Uint64
+}
+
+// NewKillFS returns a KillFS; killAt 0 never fires.
+func NewKillFS(inner FS, killAt uint64, onKill func()) *KillFS {
+	return &KillFS{inner: inner, killAt: killAt, onKill: onKill}
+}
+
+// Ops returns the operations issued so far.
+func (k *KillFS) Ops() uint64 { return k.ops.Load() }
+
+func (k *KillFS) step() {
+	if k.ops.Add(1) == k.killAt && k.killAt != 0 {
+		k.onKill()
+	}
+}
+
+func (k *KillFS) MkdirAll(dir string) error { k.step(); return k.inner.MkdirAll(dir) }
+
+func (k *KillFS) Create(name string) (File, error) {
+	k.step()
+	f, err := k.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &killFile{fs: k, f: f}, nil
+}
+
+func (k *KillFS) OpenAppend(name string) (File, error) {
+	k.step()
+	f, err := k.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &killFile{fs: k, f: f}, nil
+}
+
+func (k *KillFS) ReadFile(name string) ([]byte, error) { k.step(); return k.inner.ReadFile(name) }
+func (k *KillFS) ReadDir(dir string) ([]string, error) { k.step(); return k.inner.ReadDir(dir) }
+func (k *KillFS) Rename(o, n string) error             { k.step(); return k.inner.Rename(o, n) }
+func (k *KillFS) Remove(name string) error             { k.step(); return k.inner.Remove(name) }
+func (k *KillFS) Truncate(n string, s int64) error     { k.step(); return k.inner.Truncate(n, s) }
+func (k *KillFS) SyncDir(dir string) error             { k.step(); return k.inner.SyncDir(dir) }
+
+type killFile struct {
+	fs *KillFS
+	f  File
+}
+
+func (f *killFile) Write(p []byte) (int, error) { f.fs.step(); return f.f.Write(p) }
+func (f *killFile) Sync() error                 { f.fs.step(); return f.f.Sync() }
+func (f *killFile) Close() error                { return f.f.Close() }

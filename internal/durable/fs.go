@@ -1,0 +1,227 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the write handle the log needs: append bytes, force them to
+// stable storage, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the small filesystem surface the durable log runs on. OSFS is
+// the real thing; MemFS backs hermetic tests and CrashFS layers a
+// deterministic power-loss model on top. All paths use forward slashes.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// within it durable.
+	SyncDir(dir string) error
+}
+
+// OSFS implements FS on the host filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MemFS is an in-memory FS for hermetic tests. Sync and SyncDir are
+// no-ops: every write is immediately "durable". CrashFS supplies the
+// interesting durability semantics on top.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte), dirs: make(map[string]bool)}
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path.Clean(dir) + "/"
+	var names []string
+	for name := range m.files {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	data, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	data, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size > int64(len(data)) {
+		return fmt.Errorf("durable: truncate %s beyond end (%d > %d)", name, size, len(data))
+	}
+	m.files[name] = data[:size]
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// Corrupt flips bits at off in name — test helper for damage paths.
+func (m *MemFS) Corrupt(name string, off int64, xor byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path.Clean(name)]
+	if !ok || off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("durable: corrupt: no byte %d in %s", off, name)
+	}
+	data[off] ^= xor
+	return nil
+}
+
+// Size reports the current length of name, or -1 if absent.
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path.Clean(name)]
+	if !ok {
+		return -1
+	}
+	return int64(len(data))
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }

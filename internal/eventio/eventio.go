@@ -56,6 +56,22 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw, strings: make(map[string]uint64)}, nil
 }
 
+// NewWriterResume returns a writer that continues an existing stream
+// after a crash or handoff: it writes no magic header, seeds the string
+// table with the fingerprints the stream has already emitted (in table
+// order, so ids 0..len-1 resolve identically), and starts the event
+// count at events. Feed it the table a Reader collected over the
+// retained prefix (Reader.Strings) and the records it emits concatenate
+// onto that prefix to form one valid FSEV1 stream — byte-identical to
+// what an uninterrupted writer would have produced.
+func NewWriterResume(w io.Writer, strings []string, events uint64) *Writer {
+	m := make(map[string]uint64, len(strings))
+	for i, s := range strings {
+		m[s] = uint64(i)
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), strings: m, count: events}
+}
+
 // Attach subscribes the writer to an event log. Encoding errors are
 // surfaced through Err after the fact (the log has no error channel);
 // in practice they only occur when the underlying medium fails.
@@ -133,6 +149,11 @@ func (w *Writer) Count() uint64 { return w.count }
 // Flush drains buffered output.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// StreamMagic returns the header bytes every FSEV1 stream begins with.
+// Consumers that reassemble streams from framed storage (internal/
+// durable) prepend it to the concatenated record bytes.
+func StreamMagic() []byte { return append([]byte(nil), magic...) }
+
 // TruncatedError reports a stream that ends (or corrupts) inside a
 // record — the signature of an interrupted capture. Events counts the
 // complete events decoded before the cut and Offset is the byte offset
@@ -191,6 +212,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 
 // Events returns the number of complete events decoded so far.
 func (r *Reader) Events() uint64 { return r.events }
+
+// Strings returns a copy of the string table collected so far, in id
+// order. Feeding it to NewWriterResume lets a new writer continue the
+// stream with identical string references.
+func (r *Reader) Strings() []string {
+	return append([]string(nil), r.strings...)
+}
 
 // offset returns the stream offset of the next undecoded byte.
 func (r *Reader) offset() int64 { return r.src.n - int64(r.r.Buffered()) }

@@ -373,3 +373,68 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// TestWriterResumeContinuesStream splits a stream at every record
+// boundary and proves the handoff property behind internal/durable:
+// decode the prefix, hand its string table and event count to
+// NewWriterResume, write the remaining events, and the concatenation
+// of prefix and continuation must be byte-identical to the one-writer
+// stream — string ids, sequence numbers, everything.
+func TestWriterResumeContinuesStream(t *testing.T) {
+	t.Parallel()
+	events := sampleEvents()
+	var full bytes.Buffer
+	w, err := NewWriter(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-event flush marks each record boundary in the full stream
+	// (the first flush lands the magic header).
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bounds := []int{full.Len()}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, full.Len())
+	}
+	for cut := 0; cut <= len(events); cut++ {
+		prefix := full.Bytes()[:bounds[cut]]
+		r, err := NewReader(bytes.NewReader(prefix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("cut %d: prefix decode: %v", cut, err)
+			}
+		}
+		if r.Events() != uint64(cut) {
+			t.Fatalf("cut %d: prefix holds %d events", cut, r.Events())
+		}
+		var tail bytes.Buffer
+		rw := NewWriterResume(&tail, r.Strings(), r.Events())
+		for _, ev := range events[cut:] {
+			if err := rw.Write(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if rw.Count() != uint64(len(events)) {
+			t.Fatalf("cut %d: resumed count %d, want %d", cut, rw.Count(), len(events))
+		}
+		joined := append(append([]byte(nil), prefix...), tail.Bytes()...)
+		if !bytes.Equal(joined, full.Bytes()) {
+			t.Fatalf("cut %d: prefix+continuation differs from one-writer stream", cut)
+		}
+	}
+}

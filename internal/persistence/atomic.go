@@ -1,0 +1,46 @@
+package persistence
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile lands data at path with crash safety: it writes a
+// sibling tmp file, fsyncs it, renames it over the target, and fsyncs
+// the parent directory. After a power loss the target holds either its
+// previous contents or the new bytes in full — never a torn mix. The
+// tmp file is removed on any failure.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

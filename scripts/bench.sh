@@ -17,7 +17,11 @@
 # records FTRC1 span-tracing overhead at sample rates off, 1/1024,
 # 1/16, and 1/1 — tracing-off must match ParallelStep within noise and
 # the 1/1024 production rate stays within ~5% ns/tick (see
-# docs/OBSERVABILITY.md). Every
+# docs/OBSERVABILITY.md); the DurableStep sweep records crash-tolerant
+# durability cost at modes off (plain FSEV1 recording), batched fsync,
+# and fsync-every-batch — the batched default must stay within 15%
+# ns/tick of off, with the daily checkpoint priced separately as
+# ckpt-ns (see docs/PERSISTENCE.md). Every
 # point in the grid produces identical ticks/op and events/op — shard,
 # worker, and pooling knobs are concurrency/memory knobs, never
 # semantics.
@@ -25,14 +29,14 @@
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
+raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep|DurableStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
 printf '%s\n' "$raw" >&2
 
 printf '%s\n' "$raw" | awk '
-/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep)\// {
+/^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep|DurableStep)\// {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
