@@ -15,6 +15,8 @@
 //	adaptation     §6.4 epilogue (proxy evasion, endgame)
 //	faults         fault-injection demo (resilience under infrastructure failure)
 //	run            crash-tolerant run (durable segment log, atomic checkpoints, -resume)
+//	serve          host the world behind the HTTP/WS /v1 API (see docs/API.md)
+//	loadgen        drive mixed /v1 traffic at a serve instance, report latency
 //	trace          inspect an FTRC1 span trace (-stats, -grep, -export chrome)
 //	all            everything above, in paper order
 //
@@ -220,6 +222,17 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	faultsFlag := flag.String("faults", "",
 		"fault profile: built-in scenario ("+strings.Join(faults.Scenarios(), ", ")+") or a JSON profile path")
+	serveAddr := flag.String("serve-addr", "127.0.0.1:8343", "listen address for the serve command")
+	servePace := flag.Float64("serve-pace", 0, "sim-seconds per wall-second while serving (0 = default 60)")
+	serveQueue := flag.Int("serve-queue", 0, "ingress queue depth before requests shed as overloaded (0 = default)")
+	serveBatch := flag.Int("serve-batch", 0, "max envelopes applied per world-loop drain (0 = default)")
+	ingressLog := flag.String("ingress-log", "", "FING1 ingress log: written by serve, re-driven by replay")
+	lgTarget := flag.String("target", "http://127.0.0.1:8343", "serve instance base URL (loadgen only)")
+	lgRPS := flag.Float64("rps", 0, "target request rate, 0 = unthrottled (loadgen only)")
+	lgDuration := flag.Duration("duration", 5*time.Second, "traffic duration (loadgen only)")
+	lgConns := flag.Int("conns", 4, "concurrent connections (loadgen only)")
+	lgBatch := flag.Int("batch", 64, "envelopes per NDJSON batch (loadgen only)")
+	lgAccounts := flag.Int("accounts", 32, "accounts to register for traffic (loadgen only)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -303,7 +316,12 @@ func main() {
 		}
 		cpuProfileOut = f
 	}
-	shutdownOnSignal()
+	// serve owns its signal handling: SIGTERM/SIGINT trigger a graceful
+	// drain (seal the ingress log, flush the capture) instead of the
+	// flush-and-exit path every other command wants.
+	if flag.Arg(0) != "serve" {
+		shutdownOnSignal()
+	}
 
 	mkCfg := func() footsteps.Config {
 		cfg := footsteps.DefaultConfig()
@@ -320,6 +338,11 @@ func main() {
 		cfg.Faults = faultProfile
 		cfg.CheckpointDir = *checkpointDir
 		cfg.CheckpointEvery = *checkpointEvery
+		cfg.ServeAddr = *serveAddr
+		cfg.ServePace = *servePace
+		cfg.ServeQueueDepth = *serveQueue
+		cfg.ServeMaxBatch = *serveBatch
+		cfg.ServeIngressLog = *ingressLog
 		if *quick {
 			cfg.Scale = footsteps.TestConfig().Scale
 			cfg.Days = footsteps.TestConfig().Days
@@ -352,8 +375,16 @@ func main() {
 		err = runRecord(mkCfg(), *record)
 	case "run":
 		err = runDurable(mkCfg(), *durableDir, *resumeFlag, *crashAfterOp, *fsyncEvery)
+	case "serve":
+		err = runServe(mkCfg(), *record)
+	case "loadgen":
+		err = runLoadgen(*lgTarget, *lgRPS, *lgDuration, *lgConns, *lgBatch, *lgAccounts)
 	case "replay":
-		err = runReplay(mkCfg(), *fromSnap, *against, *record, 0)
+		if *ingressLog != "" {
+			err = runReplayIngress(mkCfg(), *ingressLog, *against, *record)
+		} else {
+			err = runReplay(mkCfg(), *fromSnap, *against, *record, 0)
+		}
 	case "check":
 		err = runCheck()
 	case "all":
@@ -409,7 +440,9 @@ commands:
   sweep          multi-seed replication of the Table 5 measurement
   record         canonical run with -record/-checkpoint-* artifacts (FSEV1 + FSNAP1)
   run            crash-tolerant run: durable segment log + atomic checkpoints (-durable, -resume)
-  replay         restore a checkpoint (-from), re-drive, verify against a capture (-against)
+  serve          host the world behind the HTTP/WS /v1 API (-serve-addr, -ingress-log; docs/API.md)
+  loadgen        drive mixed /v1 traffic at a serve instance (-target, -rps, -duration, -conns)
+  replay         re-drive a checkpoint (-from) or a serve ingress log (-ingress-log), verify -against
   trace          inspect an FTRC1 span trace: -stats, -grep spec, -export chrome
   check          machine-checked calibration against the paper's bands
   all            everything, in paper order

@@ -35,6 +35,7 @@ package footsteps
 
 import (
 	"footsteps/internal/core"
+	"footsteps/internal/wire"
 )
 
 // Config sizes a study; see DefaultConfig and TestConfig.
@@ -57,23 +58,76 @@ func New(opts ...Option) Config { return core.New(opts...) }
 // NewTest returns TestConfig with the options applied.
 func NewTest(opts ...Option) Config { return core.NewTest(opts...) }
 
-// Functional options for New/NewTest, re-exported from the study core.
+// Functional options for New/NewTest, re-exported from the study core
+// and grouped by concern.
+
+// Experiment shape: what is simulated and for how long.
 var (
-	WithSeed              = core.WithSeed
-	WithScale             = core.WithScale
-	WithDays              = core.WithDays
-	WithWorkers           = core.WithWorkers
-	WithShards            = core.WithShards
-	WithGraphWrites       = core.WithGraphWrites
+	// WithSeed sets the RNG seed every stream derives from.
+	WithSeed = core.WithSeed
+	// WithScale sets the customer-dynamics scale versus the paper.
+	WithScale = core.WithScale
+	// WithDays sets the measurement window length.
+	WithDays = core.WithDays
+	// WithGraphWrites materializes real follow/like edges (honeypot and
+	// graph-detection studies need it; characterization does not).
+	WithGraphWrites = core.WithGraphWrites
+	// WithOrganicPopulation sizes the organic account population.
 	WithOrganicPopulation = core.WithOrganicPopulation
-	WithPoolSize          = core.WithPoolSize
-	WithVPNUsers          = core.WithVPNUsers
-	WithIPDailyBudget     = core.WithIPDailyBudget
-	WithScratchReuse      = core.WithScratchReuse
-	WithTelemetry         = core.WithTelemetry
-	WithTrace             = core.WithTrace
-	WithFaults            = core.WithFaults
-	WithFaultProfile      = core.WithFaultProfile
+	// WithPoolSize sizes the reciprocity-service account pools.
+	WithPoolSize = core.WithPoolSize
+	// WithVPNUsers sets how many organic users share VPN egress IPs.
+	WithVPNUsers = core.WithVPNUsers
+	// WithIPDailyBudget caps per-IP daily actions before IP defenses fire.
+	WithIPDailyBudget = core.WithIPDailyBudget
+)
+
+// Execution: how the deterministic timeline is driven. Neither option
+// changes any output, only speed.
+var (
+	// WithWorkers sets the worker-pool size for parallel stepping.
+	WithWorkers = core.WithWorkers
+	// WithShards sets the lock-stripe count for platform state.
+	WithShards = core.WithShards
+	// WithScratchReuse toggles per-worker scratch reuse.
+	WithScratchReuse = core.WithScratchReuse
+)
+
+// Observation: pure observers of the run (metrics, traces, faults).
+var (
+	// WithTelemetry attaches a metric registry (see docs/OBSERVABILITY.md).
+	WithTelemetry = core.WithTelemetry
+	// WithTrace attaches a deterministic FTRC1 span tracer.
+	WithTrace = core.WithTrace
+	// WithFaults enables a built-in fault scenario by name.
+	WithFaults = core.WithFaults
+	// WithFaultProfile enables a custom fault profile.
+	WithFaultProfile = core.WithFaultProfile
+)
+
+// Durability: checkpoint artifacts for crash recovery and replay.
+var (
+	// WithCheckpointEvery sets the FSNAP1 checkpoint cadence in days.
+	WithCheckpointEvery = core.WithCheckpointEvery
+	// WithCheckpointDir sets where checkpoints are written.
+	WithCheckpointDir = core.WithCheckpointDir
+)
+
+// Serving: the HTTP/WS /v1 front end (see docs/API.md). The world loop
+// stays single-writer; handlers only validate and enqueue.
+var (
+	// WithServer sets the listen address for footsteps/internal/server.
+	WithServer = core.WithServer
+	// WithServeQueueDepth bounds the ingress queue; beyond it requests
+	// shed with the "overloaded" error code.
+	WithServeQueueDepth = core.WithServeQueueDepth
+	// WithServePace sets sim-seconds advanced per wall-second.
+	WithServePace = core.WithServePace
+	// WithServeMaxBatch caps envelopes applied per world-loop drain.
+	WithServeMaxBatch = core.WithServeMaxBatch
+	// WithServeIngressLog records every admitted envelope batch to a
+	// FING1 log that `footsteps replay -ingress-log` re-drives.
+	WithServeIngressLog = core.WithServeIngressLog
 )
 
 // Result types, re-exported from the study core.
@@ -96,6 +150,78 @@ type (
 	Replication = core.Replication
 	// Finding is one calibration check against the paper's results.
 	Finding = core.Finding
+)
+
+// Wire protocol surface, re-exported from the internal wire package so
+// external clients of the /v1 HTTP/WS API (see docs/API.md) never import
+// internal/... paths.
+type (
+	// Request is the versioned /v1 request envelope.
+	Request = wire.Request
+	// Outcome is the /v1 response envelope.
+	Outcome = wire.Outcome
+	// Event is the wire form of one platform event, as streamed over
+	// the /v1/events WebSocket.
+	Event = wire.Event
+	// Op names a request operation ("register", "login", "like", ...).
+	Op = wire.Op
+	// Status classifies an outcome ("allowed", "blocked", ...).
+	Status = wire.Status
+	// Code is a stable machine-readable error code.
+	Code = wire.Code
+	// WireError is a typed protocol error carrying a Code.
+	WireError = wire.Error
+)
+
+// WireVersion is the envelope schema version this build speaks.
+const WireVersion = wire.Version
+
+// Request operations.
+const (
+	OpRegister = wire.OpRegister
+	OpLogin    = wire.OpLogin
+	OpFollow   = wire.OpFollow
+	OpUnfollow = wire.OpUnfollow
+	OpLike     = wire.OpLike
+	OpComment  = wire.OpComment
+	OpPost     = wire.OpPost
+)
+
+// Outcome statuses.
+const (
+	StatusAllowed     = wire.StatusAllowed
+	StatusBlocked     = wire.StatusBlocked
+	StatusRateLimited = wire.StatusRateLimited
+	StatusFailed      = wire.StatusFailed
+	StatusUnavailable = wire.StatusUnavailable
+	StatusError       = wire.StatusError
+)
+
+// Error codes, grouped as in docs/API.md: envelope-level rejections
+// (pure functions of the bytes), admission-control rejections, and
+// state-dependent failures decided by the world.
+const (
+	CodeTooLarge     = wire.CodeTooLarge
+	CodeMalformed    = wire.CodeMalformed
+	CodeBadVersion   = wire.CodeBadVersion
+	CodeUnknownOp    = wire.CodeUnknownOp
+	CodeMissingField = wire.CodeMissingField
+	CodeBadField     = wire.CodeBadField
+
+	CodeOverloaded   = wire.CodeOverloaded
+	CodeShuttingDown = wire.CodeShuttingDown
+
+	CodeUsernameTaken  = wire.CodeUsernameTaken
+	CodeBadCredentials = wire.CodeBadCredentials
+	CodeUnknownToken   = wire.CodeUnknownToken
+	CodeSessionRevoked = wire.CodeSessionRevoked
+	CodeUnknownASN     = wire.CodeUnknownASN
+	CodeNotFound       = wire.CodeNotFound
+	CodeRateLimited    = wire.CodeRateLimited
+	CodeBlocked        = wire.CodeBlocked
+	CodeUnavailable    = wire.CodeUnavailable
+	CodeAccountGone    = wire.CodeAccountGone
+	CodeInternal       = wire.CodeInternal
 )
 
 // Study is one simulated world plus the paper's experiment drivers.

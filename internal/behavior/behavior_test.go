@@ -148,11 +148,11 @@ func measureReciprocation(t *testing.T, seed uint64, actorProfile platform.Profi
 			if !ok {
 				t.Fatal("pool member without post")
 			}
-			if err := actor.Like(pid); err != nil {
+			if err := actor.Do(platform.Request{Action: platform.ActionLike, Post: pid}).Err; err != nil {
 				t.Fatal(err)
 			}
 		case platform.ActionFollow:
-			if err := actor.Follow(target); err != nil {
+			if err := actor.Do(platform.Request{Action: platform.ActionFollow, Target: target}).Err; err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -211,7 +211,7 @@ func TestFollowNeverReciprocatedWithLike(t *testing.T) {
 	w.pop.Wire()
 	actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
 	for _, target := range pool {
-		actor.Follow(target)
+		actor.Do(platform.Request{Action: platform.ActionFollow, Target: target})
 		w.sched.RunFor(time.Minute * 2)
 	}
 	w.sched.RunFor(5 * 24 * time.Hour)
@@ -249,7 +249,7 @@ func TestReactionsComeFromMemberSessions(t *testing.T) {
 	})
 	actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
 	for _, target := range pool {
-		actor.Follow(target)
+		actor.Do(platform.Request{Action: platform.ActionFollow, Target: target})
 	}
 	w.sched.RunFor(3 * 24 * time.Hour)
 	if len(reciprocal) != 5 {
@@ -302,7 +302,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		w.pop.Wire()
 		actor := w.actor(t, "hp", platform.Profile{PhotoCount: 10})
 		for _, target := range pool {
-			actor.Follow(target)
+			actor.Do(platform.Request{Action: platform.ActionFollow, Target: target})
 			w.sched.RunFor(time.Minute)
 		}
 		w.sched.RunFor(5 * 24 * time.Hour)

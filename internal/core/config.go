@@ -117,6 +117,39 @@ type Config struct {
 	// CheckpointDir is where periodic checkpoints land. Empty disables
 	// checkpointing even when CheckpointEvery is set.
 	CheckpointDir string
+
+	// Serving-layer knobs (internal/server, cmd/footsteps serve — see
+	// docs/API.md). All of them shape how network ingress reaches the
+	// world loop, never what the world does with it, so like Workers and
+	// Shards they are excluded from Fingerprint and a snapshot taken
+	// under one serving config restores under any other.
+
+	// ServeAddr is the listen address for the HTTP/WS front end
+	// (host:port). Empty means serving is off.
+	ServeAddr string
+
+	// ServeQueueDepth bounds the ingress queue between handler
+	// goroutines and the world loop. A full queue fails requests with
+	// the wire "overloaded" code instead of blocking handlers.
+	// 0 means the server default.
+	ServeQueueDepth int
+
+	// ServePace is how many simulated seconds elapse per wall-clock
+	// second while serving (1.0 = real time; 0 means the server
+	// default). Pacing only chooses the drain instants; the recorded
+	// ingress log replays identically at any pace.
+	ServePace float64
+
+	// ServeMaxBatch caps how many queued envelopes one drain applies
+	// (0 means the server default). Bounding the batch keeps worst-case
+	// drain latency flat under load; the remainder stays queued for the
+	// next drain.
+	ServeMaxBatch int
+
+	// ServeIngressLog, when non-empty, records every admitted envelope
+	// with its drain instant to this FING1 file, making the served run
+	// replayable (cmd/footsteps replay -ingress-log).
+	ServeIngressLog string
 }
 
 // Fingerprint hashes every semantic config field — the knobs that shape

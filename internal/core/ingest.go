@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// IngestQueue is the bounded MPSC hand-off between network handler
+// goroutines and the single-writer world loop. Any number of producers
+// TryPush concurrently; exactly one consumer drains. The queue is the
+// only structure both sides touch — handlers never see world state, the
+// loop never sees sockets — which is what keeps the serving layer's
+// determinism argument small (see docs/API.md).
+//
+// The queue is deliberately lossy under pressure: TryPush fails
+// immediately when full rather than blocking, so overload turns into an
+// explicit wire-level "overloaded" outcome instead of unbounded handler
+// goroutines queueing behind a slow tick.
+type IngestQueue[T any] struct {
+	mu    sync.Mutex
+	buf   []T // ring
+	head  int
+	n     int
+	ready chan struct{} // cap 1: set when the queue may be non-empty
+}
+
+// NewIngestQueue returns a queue holding at most capacity items.
+func NewIngestQueue[T any](capacity int) *IngestQueue[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &IngestQueue[T]{
+		buf:   make([]T, capacity),
+		ready: make(chan struct{}, 1),
+	}
+}
+
+// TryPush enqueues v, returning false (without blocking) if the queue
+// is full. Safe for concurrent use.
+func (q *IngestQueue[T]) TryPush(v T) bool {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.mu.Unlock()
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Drain appends every queued item to into (which may be nil) in
+// admission order, empties the queue, and returns the extended slice.
+// Single consumer only.
+func (q *IngestQueue[T]) Drain(into []T) []T {
+	q.mu.Lock()
+	for i := 0; i < q.n; i++ {
+		into = append(into, q.buf[(q.head+i)%len(q.buf)])
+		q.buf[(q.head+i)%len(q.buf)] = *new(T) // drop references for GC
+	}
+	q.head = 0
+	q.n = 0
+	q.mu.Unlock()
+	return into
+}
+
+// Len reports the queued item count.
+func (q *IngestQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap reports the queue capacity.
+func (q *IngestQueue[T]) Cap() int { return len(q.buf) }
+
+// Ready returns a channel that receives after a push may have made the
+// queue non-empty. It is a wake-up hint, not a count: after waking, the
+// consumer drains whatever is there (possibly nothing — a prior drain
+// may have raced the signal). The consumer must tolerate both spurious
+// wake-ups and batched ones.
+func (q *IngestQueue[T]) Ready() <-chan struct{} { return q.ready }
+
+// ServeTick advances the world to the simulated instant t, then invokes
+// drain (if non-nil) to apply queued network ingress at exactly t. This
+// is the serving layer's fixed drain point: all organic and AAS events
+// scheduled at or before t fire first, then ingress lands, and nothing
+// else can interleave because the world loop is the only writer.
+//
+// The determinism contract: a run is fully described by its sequence of
+// ServeTick calls that applied at least one mutation, because
+// Sched.RunUntil calls with no interleaved mutation compose —
+// RunUntil(t1); RunUntil(t2) ≡ RunUntil(t2) for t1 ≤ t2. The FING1
+// ingress log records exactly those (t, batch) pairs plus the final
+// instant, so replaying it through the same ServeTick calls reproduces
+// the FSEV1 stream byte for byte (see docs/API.md).
+//
+// t must not precede the current simulated time; RunUntil enforces the
+// scheduler's monotonicity already (an earlier t runs nothing and
+// leaves the clock untouched, which would desynchronize drain instants
+// between the live run and its replay).
+func (w *World) ServeTick(t time.Time, drain func()) {
+	w.Sched.RunUntil(t)
+	if drain != nil {
+		drain()
+	}
+}

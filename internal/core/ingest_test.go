@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIngestQueueOrderAndBackpressure(t *testing.T) {
+	q := NewIngestQueue[int](4)
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	for i := 1; i <= 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d on non-full queue failed", i)
+		}
+	}
+	if q.TryPush(5) {
+		t.Fatal("push on full queue succeeded")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	got := q.Drain(nil)
+	if len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+	// Ring wrap: interleave pushes and drains past the capacity.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.TryPush(round*10 + i) {
+				t.Fatal("push after drain failed")
+			}
+		}
+		got = q.Drain(got[:0])
+		if len(got) != 3 || got[0] != round*10 || got[2] != round*10+2 {
+			t.Fatalf("round %d: Drain = %v", round, got)
+		}
+	}
+}
+
+func TestIngestQueueReadySignal(t *testing.T) {
+	q := NewIngestQueue[int](8)
+	select {
+	case <-q.Ready():
+		t.Fatal("ready before any push")
+	default:
+	}
+	q.TryPush(1)
+	select {
+	case <-q.Ready():
+	default:
+		t.Fatal("no ready signal after push")
+	}
+	// The signal coalesces: many pushes, one wake-up, full drain.
+	q.TryPush(2)
+	q.TryPush(3)
+	if got := q.Drain(nil); len(got) != 3 {
+		t.Fatalf("Drain = %v", got)
+	}
+}
+
+func TestIngestQueueConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 1000
+	q := NewIngestQueue[int](64)
+	var wg sync.WaitGroup
+	var accepted [producers]int
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.TryPush(p) {
+					accepted[p]++
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var drained int
+	var buf []int
+	for {
+		select {
+		case <-done:
+			drained += len(q.Drain(buf[:0]))
+			want := 0
+			for _, n := range accepted[:] {
+				want += n
+			}
+			if drained != want {
+				t.Errorf("drained %d, producers got %d accepts", drained, want)
+			}
+			return
+		case <-q.Ready():
+			buf = q.Drain(buf[:0])
+			drained += len(buf)
+		}
+	}
+}

@@ -104,3 +104,34 @@ func WithCheckpointEvery(n int) Option {
 func WithCheckpointDir(dir string) Option {
 	return func(c *Config) { c.CheckpointDir = dir }
 }
+
+// WithServer enables the HTTP/WS serving layer on addr (host:port).
+// See docs/API.md for the endpoints and the determinism contract.
+func WithServer(addr string) Option {
+	return func(c *Config) { c.ServeAddr = addr }
+}
+
+// WithServeQueueDepth bounds the ingress queue between network handlers
+// and the world loop (0 = server default). A full queue rejects with
+// the wire "overloaded" code.
+func WithServeQueueDepth(n int) Option {
+	return func(c *Config) { c.ServeQueueDepth = n }
+}
+
+// WithServePace sets simulated seconds per wall-clock second while
+// serving (1.0 = real time; 0 = server default).
+func WithServePace(pace float64) Option {
+	return func(c *Config) { c.ServePace = pace }
+}
+
+// WithServeMaxBatch caps envelopes applied per drain (0 = server
+// default).
+func WithServeMaxBatch(n int) Option {
+	return func(c *Config) { c.ServeMaxBatch = n }
+}
+
+// WithServeIngressLog records admitted envelopes and their drain
+// instants to a FING1 file for later replay.
+func WithServeIngressLog(path string) Option {
+	return func(c *Config) { c.ServeIngressLog = path }
+}

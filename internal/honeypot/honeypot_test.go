@@ -107,9 +107,9 @@ func TestMonitoringCountsDirections(t *testing.T) {
 		t.Fatal(err)
 	}
 	pidB, _ := w.plat.LatestPost(b.ID)
-	sessA.Like(pidB)
-	sessA.Follow(b.ID)
-	sessA.Like(pidB) // duplicate
+	sessA.Do(platform.Request{Action: platform.ActionLike, Post: pidB})
+	sessA.Do(platform.Request{Action: platform.ActionFollow, Target: b.ID})
+	sessA.Do(platform.Request{Action: platform.ActionLike, Post: pidB}) // duplicate
 
 	if a.Outbound[platform.ActionLike] != 1 || a.Outbound[platform.ActionFollow] != 1 {
 		t.Fatalf("outbound %v", a.Outbound)
@@ -156,7 +156,7 @@ func TestInactiveBaselineStaysQuiet(t *testing.T) {
 	x, _ := w.plat.RegisterAccount("x", "pw", platform.Profile{PhotoCount: 3}, "USA")
 	y, _ := w.plat.RegisterAccount("y", "pw", platform.Profile{PhotoCount: 3}, "USA")
 	sess, _ := w.plat.Login("x", "pw", platform.ClientInfo{IP: w.reg.Allocate(aas.ASNResUSA)})
-	sess.Follow(y)
+	sess.Do(platform.Request{Action: platform.ActionFollow, Target: y})
 	_ = x
 	w.sched.RunFor(10 * 24 * time.Hour)
 
@@ -174,7 +174,7 @@ func TestBaselineDetectsNoise(t *testing.T) {
 	a, _ := w.fw.Create(Inactive)
 	b, _ := w.fw.Create(Empty)
 	sess, _ := w.fw.login(b)
-	sess.Follow(a.ID)
+	sess.Do(platform.Request{Action: platform.ActionFollow, Target: a.ID})
 	noisy := w.fw.BaselineQuiet()
 	if len(noisy) != 1 || noisy[0] != a {
 		t.Fatalf("BaselineQuiet = %v", noisy)
@@ -187,7 +187,7 @@ func TestDeleteRemovesActionsAndStopsMonitoring(t *testing.T) {
 	a, _ := w.fw.Create(Empty)
 	b, _ := w.fw.Create(Empty)
 	sessA, _ := w.fw.login(a)
-	sessA.Follow(b.ID)
+	sessA.Do(platform.Request{Action: platform.ActionFollow, Target: b.ID})
 	if w.plat.Graph().InDegree(b.ID) != 1 {
 		t.Fatal("setup follow missing")
 	}

@@ -224,7 +224,7 @@ func TestControllerOnPlatform(t *testing.T) {
 	// onwards is block for all bins except 9.
 	blocked := 0
 	for _, tgt := range targets {
-		if err := actor.Follow(tgt); err == platform.ErrBlocked {
+		if err := actor.Do(platform.Request{Action: platform.ActionFollow, Target: tgt}).Err; err == platform.ErrBlocked {
 			blocked++
 		}
 	}

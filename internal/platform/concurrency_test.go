@@ -81,9 +81,9 @@ func TestConcurrentSessionsGraphMatchesEventLog(t *testing.T) {
 			for k := 0; k < opsPerActor; k++ {
 				tgt := targetIDs[r.Intn(len(targetIDs))]
 				if r.Bool(0.6) {
-					sess.Follow(tgt)
+					sess.Do(Request{Action: ActionFollow, Target: tgt})
 				} else {
-					sess.Unfollow(tgt)
+					sess.Do(Request{Action: ActionUnfollow, Target: tgt})
 				}
 			}
 		}(i, sess)
@@ -181,11 +181,11 @@ func TestConcurrentRateLimitAccountingStaysInBounds(t *testing.T) {
 			for k := 0; k < opsPerActor; k++ {
 				switch r.Intn(3) {
 				case 0:
-					sess.Like(pid)
+					sess.Do(Request{Action: ActionLike, Post: pid})
 				case 1:
-					sess.Follow(tgt)
+					sess.Do(Request{Action: ActionFollow, Target: tgt})
 				default:
-					sess.Unfollow(tgt)
+					sess.Do(Request{Action: ActionUnfollow, Target: tgt})
 				}
 			}
 		}(i, sess)

@@ -89,7 +89,7 @@ func (h *hashtagIndex) appendRecent(dst []PostID, tag string, k int) []PostID {
 
 // TagPost associates hashtags with an existing post of account id, as if
 // they were part of the caption. World-building code uses this to tag
-// profile-seed photos; live posts tag through Session.PostTagged.
+// profile-seed photos; live posts carry tags on the post Request.
 func (p *Platform) TagPost(id AccountID, pid PostID, tags ...string) error {
 	author, ok := p.PostAuthor(pid)
 	if !ok || author != id {

@@ -89,7 +89,7 @@ func TestActionsMutateGraph(t *testing.T) {
 	b := w.register(t, "bob")
 	sa := w.login(t, "alice", 10)
 
-	if err := sa.Follow(b); err != nil {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if !w.p.Graph().Follows(a, b) {
@@ -99,25 +99,26 @@ func TestActionsMutateGraph(t *testing.T) {
 	if !ok {
 		t.Fatal("bob has no posts")
 	}
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if w.p.LikeCount(pid) != 1 {
 		t.Fatal("like not applied")
 	}
-	if err := sa.Comment(pid, "nice"); err != nil {
+	if err := sa.Do(Request{Action: ActionComment, Post: pid, Text: "nice"}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if got := w.p.Graph().Comments(pid); len(got) != 1 {
 		t.Fatalf("comments = %d", len(got))
 	}
-	if err := sa.Unfollow(b); err != nil {
+	if err := sa.Do(Request{Action: ActionUnfollow, Target: b}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if w.p.Graph().Follows(a, b) {
 		t.Fatal("unfollow not applied")
 	}
-	newPid, err := sa.Post()
+	postResp := sa.Do(Request{Action: ActionPost})
+	newPid, err := postResp.Post, postResp.Err
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestStatelessMode(t *testing.T) {
 	b := w.register(t, "bob")
 	sa := w.login(t, "alice", 10)
 
-	if err := sa.Follow(b); err != nil {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; err != nil {
 		t.Fatal(err)
 	}
 	// The graph is untouched...
@@ -143,13 +144,13 @@ func TestStatelessMode(t *testing.T) {
 	}
 	// ...but events flow and like counts still accumulate.
 	pid, _ := w.p.LatestPost(b)
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if w.p.LikeCount(pid) != 1 {
 		t.Fatal("stateless like count missing")
 	}
-	if _, err := sa.Post(); err != nil {
+	if err := sa.Do(Request{Action: ActionPost}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if got := len(w.p.Posts(a)); got != 11 {
@@ -163,7 +164,7 @@ func TestEventStream(t *testing.T) {
 	w.register(t, "alice")
 	b := w.register(t, "bob")
 	sa := w.login(t, "alice", 20)
-	sa.Follow(b)
+	sa.Do(Request{Action: ActionFollow, Target: b})
 
 	if len(col.Events) != 2 {
 		t.Fatalf("events = %d, want 2 (login+follow)", len(col.Events))
@@ -191,7 +192,7 @@ func TestPasswordResetRevokesSession(t *testing.T) {
 	if err := w.p.ResetPassword(sa.Account(), "newpw"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sa.Follow(b); !errors.Is(err, ErrSessionRevoked) {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; !errors.Is(err, ErrSessionRevoked) {
 		t.Fatalf("err = %v, want ErrSessionRevoked", err)
 	}
 	// New login with new password works.
@@ -210,7 +211,7 @@ func TestDeleteAccount(t *testing.T) {
 	if w.p.Exists(a) {
 		t.Fatal("account exists after deletion")
 	}
-	if _, err := sa.Post(); !errors.Is(err, ErrSessionRevoked) {
+	if err := sa.Do(Request{Action: ActionPost}).Err; !errors.Is(err, ErrSessionRevoked) {
 		t.Fatalf("err = %v", err)
 	}
 	if err := w.p.DeleteAccount(a); !errors.Is(err, ErrAccountGone) {
@@ -237,7 +238,7 @@ func TestGatekeeperBlock(t *testing.T) {
 	col := (&Collector{Filter: func(e Event) bool { return e.Outcome == OutcomeBlocked }}).Attach(w.p.Log())
 	sa := w.login(t, "alice", 20)
 
-	if err := sa.Follow(b); !errors.Is(err, ErrBlocked) {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; !errors.Is(err, ErrBlocked) {
 		t.Fatalf("err = %v, want ErrBlocked", err)
 	}
 	if w.p.Graph().Follows(sa.Account(), b) {
@@ -252,7 +253,7 @@ func TestGatekeeperBlock(t *testing.T) {
 	}
 	// Likes pass.
 	pid, _ := w.p.LatestPost(b)
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatal(err)
 	}
 }
@@ -276,7 +277,7 @@ func TestGatekeeperDelayRemove(t *testing.T) {
 	sa := w.login(t, "alice", 20)
 
 	// The action succeeds from the service's perspective.
-	if err := sa.Follow(b); err != nil {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; err != nil {
 		t.Fatal(err)
 	}
 	if !w.p.Graph().Follows(a, b) {
@@ -306,7 +307,7 @@ func TestDelayRemoveOnLikeDegradesToAllow(t *testing.T) {
 	}))
 	sa := w.login(t, "alice", 20)
 	pid, _ := w.p.LatestPost(b)
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatal(err)
 	}
 	w.sched.RunFor(3 * time.Hour)
@@ -334,8 +335,8 @@ func TestDelayedRemovalSkipsManualUnfollow(t *testing.T) {
 		}
 	})
 	sa := w.login(t, "alice", 20)
-	sa.Follow(b)
-	sa.Unfollow(b)
+	sa.Do(Request{Action: ActionFollow, Target: b})
+	sa.Do(Request{Action: ActionUnfollow, Target: b})
 	w.sched.RunFor(48 * time.Hour)
 	if removals != 0 {
 		t.Fatalf("enforcement removal fired %d times after manual unfollow", removals)
@@ -352,18 +353,18 @@ func TestRateLimits(t *testing.T) {
 	pid, _ := w.p.LatestPost(b)
 
 	for i := 0; i < 5; i++ {
-		if err := sa.Like(pid); err != nil && !errors.Is(err, nil) {
+		if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil && !errors.Is(err, nil) {
 			// duplicate likes are fine at the graph level; only rate
 			// limiting matters here
 			t.Fatal(err)
 		}
 	}
-	if err := sa.Comment(pid, "x"); !errors.Is(err, ErrRateLimited) {
+	if err := sa.Do(Request{Action: ActionComment, Post: pid, Text: "x"}).Err; !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("6th action err = %v, want ErrRateLimited", err)
 	}
 	// The next hour opens a fresh budget.
 	w.sched.Clock().Advance(time.Hour)
-	if err := sa.Comment(pid, "x"); err != nil {
+	if err := sa.Do(Request{Action: ActionComment, Post: pid, Text: "x"}).Err; err != nil {
 		t.Fatalf("after window reset: %v", err)
 	}
 }
@@ -380,9 +381,9 @@ func TestOAuthLimitTighter(t *testing.T) {
 		t.Fatal(err)
 	}
 	pid, _ := w.p.LatestPost(b)
-	s.Like(pid)
-	s.Comment(pid, "a")
-	if err := s.Comment(pid, "b"); !errors.Is(err, ErrRateLimited) {
+	s.Do(Request{Action: ActionLike, Post: pid})
+	s.Do(Request{Action: ActionComment, Post: pid, Text: "a"})
+	if err := s.Do(Request{Action: ActionComment, Post: pid, Text: "b"}).Err; !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("oauth 3rd action err = %v", err)
 	}
 }
@@ -413,13 +414,13 @@ func TestActionsOnMissingTargets(t *testing.T) {
 	w := newWorld(t, DefaultConfig())
 	w.register(t, "alice")
 	sa := w.login(t, "alice", 10)
-	if err := sa.Follow(AccountID(9999)); err == nil {
+	if err := sa.Do(Request{Action: ActionFollow, Target: AccountID(9999)}).Err; err == nil {
 		t.Fatal("follow of missing account succeeded")
 	}
-	if err := sa.Like(PostID(9999)); err == nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: PostID(9999)}).Err; err == nil {
 		t.Fatal("like of missing post succeeded")
 	}
-	if err := sa.Comment(PostID(9999), "x"); err == nil {
+	if err := sa.Do(Request{Action: ActionComment, Post: PostID(9999), Text: "x"}).Err; err == nil {
 		t.Fatal("comment on missing post succeeded")
 	}
 }
@@ -480,8 +481,8 @@ func TestConcurrentActionsAreSafe(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			s := w.login(t, fmt.Sprintf("user%d", i), 10)
 			for j := 0; j < 100; j++ {
-				s.Follow(ids[(i+j+1)%len(ids)])
-				s.Unfollow(ids[(i+j+1)%len(ids)])
+				s.Do(Request{Action: ActionFollow, Target: ids[(i+j+1)%len(ids)]})
+				s.Do(Request{Action: ActionUnfollow, Target: ids[(i+j+1)%len(ids)]})
 			}
 		}()
 	}
@@ -497,8 +498,8 @@ func TestDuplicateActionsFlagged(t *testing.T) {
 	col := (&Collector{Filter: func(e Event) bool { return e.Type == ActionLike }}).Attach(w.p.Log())
 	sa := w.login(t, "alice", 10)
 	pid, _ := w.p.LatestPost(b)
-	sa.Like(pid)
-	sa.Like(pid)
+	sa.Do(Request{Action: ActionLike, Post: pid})
+	sa.Do(Request{Action: ActionLike, Post: pid})
 	if len(col.Events) != 2 {
 		t.Fatalf("like events = %d", len(col.Events))
 	}
@@ -518,12 +519,13 @@ func TestHashtagIndex(t *testing.T) {
 	a := w.register(t, "alice")
 	sa := w.login(t, "alice", 10)
 
-	pid1, err := sa.PostTagged("dogs", "cute")
+	tagResp := sa.Do(Request{Action: ActionPost, Tags: []string{"dogs", "cute"}})
+	pid1, err := tagResp.Post, tagResp.Err
 	if err != nil {
 		t.Fatal(err)
 	}
-	pid2, _ := sa.PostTagged("dogs")
-	pid3, _ := sa.PostTagged("cats")
+	pid2 := sa.Do(Request{Action: ActionPost, Tags: []string{"dogs"}}).Post
+	pid3 := sa.Do(Request{Action: ActionPost, Tags: []string{"cats"}}).Post
 
 	dogs := w.p.RecentByTag("dogs", 10)
 	if len(dogs) != 2 || dogs[0] != pid2 || dogs[1] != pid1 {
@@ -568,7 +570,7 @@ func TestHashtagRingBounded(t *testing.T) {
 	sa = w2.login(t, "alice", 10)
 	var last PostID
 	for i := 0; i < 300; i++ {
-		last, _ = sa.PostTagged("flood")
+		last = sa.Do(Request{Action: ActionPost, Tags: []string{"flood"}}).Post
 	}
 	got := w2.p.RecentByTag("flood", 1000)
 	if len(got) != 256 {

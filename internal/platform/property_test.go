@@ -78,15 +78,15 @@ func TestActionSequenceInvariants(t *testing.T) {
 			var err error
 			switch (op >> 6) % 4 {
 			case 0:
-				err = actor.Follow(target)
+				err = actor.Do(Request{Action: ActionFollow, Target: target}).Err
 			case 1:
-				err = actor.Unfollow(target)
+				err = actor.Do(Request{Action: ActionUnfollow, Target: target}).Err
 			case 2:
 				if pid, ok := w.p.LatestPost(target); ok {
-					err = actor.Like(pid)
+					err = actor.Do(Request{Action: ActionLike, Post: pid}).Err
 				}
 			case 3:
-				_, err = actor.Post()
+				err = actor.Do(Request{Action: ActionPost}).Err
 			}
 			// The event the log saw must agree with the caller's error.
 			switch {
@@ -131,14 +131,14 @@ func TestSelfActionsNeverCorruptState(t *testing.T) {
 	w := newWorld(t, DefaultConfig())
 	a := w.register(t, "alice")
 	sa := w.login(t, "alice", 10)
-	if err := sa.Follow(a); err == nil {
+	if err := sa.Do(Request{Action: ActionFollow, Target: a}).Err; err == nil {
 		t.Fatal("self-follow succeeded")
 	}
 	if w.p.Graph().InDegree(a) != 0 || w.p.Graph().OutDegree(a) != 0 {
 		t.Fatal("self-follow left graph traces")
 	}
 	pid, _ := w.p.LatestPost(a)
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatalf("self-like should be allowed: %v", err)
 	}
 	if w.p.LikeCount(pid) != 1 {
@@ -161,11 +161,11 @@ func TestGatekeeperSeesWellFormedRequests(t *testing.T) {
 	}))
 	sa := w.login(t, "alice", 10)
 	pid, _ := w.p.LatestPost(b)
-	sa.Like(pid)
-	sa.Follow(b)
-	sa.Unfollow(b)
-	sa.Comment(pid, "x")
-	sa.Post()
+	sa.Do(Request{Action: ActionLike, Post: pid})
+	sa.Do(Request{Action: ActionFollow, Target: b})
+	sa.Do(Request{Action: ActionUnfollow, Target: b})
+	sa.Do(Request{Action: ActionComment, Post: pid, Text: "x"})
+	sa.Do(Request{Action: ActionPost})
 	if bad != 0 {
 		t.Fatalf("%d malformed gatekeeper requests", bad)
 	}
@@ -187,10 +187,10 @@ func TestRateLimitedActionsLeaveNoTrace(t *testing.T) {
 	})
 	sa := w.login(t, "alice", 10)
 	pid, _ := w.p.LatestPost(b)
-	if err := sa.Like(pid); err != nil {
+	if err := sa.Do(Request{Action: ActionLike, Post: pid}).Err; err != nil {
 		t.Fatal(err)
 	}
-	if err := sa.Follow(b); !errors.Is(err, ErrRateLimited) {
+	if err := sa.Do(Request{Action: ActionFollow, Target: b}).Err; !errors.Is(err, ErrRateLimited) {
 		t.Fatalf("err = %v", err)
 	}
 	if w.p.Graph().Follows(sa.Account(), b) {

@@ -7,8 +7,10 @@ package platform
 // A session is safe for concurrent use, but simulation code normally drives
 // it from scheduler callbacks on the single simulated timeline.
 //
-// Actions are submitted as a Request through Do; the named methods below
-// remain as shorthand wrappers.
+// Every action is submitted as a Request through Do — the single entry
+// point into the moderation pipeline. The former per-action shorthand
+// methods (Follow, Like, ...) are gone; network clients reach Do through
+// the /v1 wire envelope (internal/wire) instead.
 type Session struct {
 	p      *Platform
 	id     AccountID
@@ -21,53 +23,3 @@ func (s *Session) Account() AccountID { return s.id }
 
 // Client returns the session's client metadata.
 func (s *Session) Client() ClientInfo { return s.client }
-
-// Like likes the given post on behalf of the session's account.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) Like(pid PostID) error {
-	return s.Do(Request{Action: ActionLike, Post: pid}).Err
-}
-
-// Follow follows the target account.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) Follow(target AccountID) error {
-	return s.Do(Request{Action: ActionFollow, Target: target}).Err
-}
-
-// Unfollow removes a follow edge.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) Unfollow(target AccountID) error {
-	return s.Do(Request{Action: ActionUnfollow, Target: target}).Err
-}
-
-// Comment comments on the given post.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) Comment(pid PostID, text string) error {
-	return s.Do(Request{Action: ActionComment, Post: pid, Text: text}).Err
-}
-
-// Post publishes a new post and returns its ID.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) Post() (PostID, error) {
-	resp := s.Do(Request{Action: ActionPost})
-	return resp.Post, resp.Err
-}
-
-// PostTagged publishes a post carrying hashtags.
-//
-// Deprecated: submit a Request through Session.Do instead; this is a thin
-// wrapper kept for convenience.
-func (s *Session) PostTagged(tags ...string) (PostID, error) {
-	resp := s.Do(Request{Action: ActionPost, Tags: tags})
-	return resp.Post, resp.Err
-}

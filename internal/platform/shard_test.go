@@ -37,12 +37,12 @@ func TestDoEnvelopeMatchesWrappers(t *testing.T) {
 			sb.Do(Request{Action: ActionUnfollow, Target: alice})
 			sb.Do(Request{Action: ActionLike, Post: 9999}) // structural fail
 		} else {
-			sb.Follow(alice)
-			sb.Like(pid)
-			sb.Comment(pid, "hi")
-			sa.Post()
-			sb.Unfollow(alice)
-			sb.Like(9999)
+			sb.Do(Request{Action: ActionFollow, Target: alice})
+			sb.Do(Request{Action: ActionLike, Post: pid})
+			sb.Do(Request{Action: ActionComment, Post: pid, Text: "hi"})
+			sa.Do(Request{Action: ActionPost})
+			sb.Do(Request{Action: ActionUnfollow, Target: alice})
+			sb.Do(Request{Action: ActionLike, Post: 9999})
 		}
 		return got
 	}

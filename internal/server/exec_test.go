@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"footsteps/internal/core"
+	"footsteps/internal/wire"
+)
+
+// tinyConfig is a world small enough for fast server tests.
+func tinyConfig(seed uint64) core.Config {
+	cfg := core.TestConfig()
+	cfg.Seed = seed
+	cfg.Days = 5
+	cfg.OrganicPopulation = 60
+	cfg.PoolSize = 40
+	cfg.VPNUsers = 4
+	cfg.GraphWrites = true
+	return cfg
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestExecutorIdentityFlow(t *testing.T) {
+	w := core.NewWorld(tinyConfig(11))
+	exec := NewExecutor(w)
+
+	out := exec.Apply(mustJSON(t, wire.Request{V: 1, ID: 1, Op: wire.OpRegister, Username: "wire-alice", Password: "pw"}))
+	if out.Status != wire.StatusAllowed || out.Account == 0 || out.ID != 1 {
+		t.Fatalf("register: %+v", out)
+	}
+	if dup := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpRegister, Username: "wire-alice", Password: "pw"})); dup.Code != wire.CodeUsernameTaken {
+		t.Fatalf("duplicate register: %+v", dup)
+	}
+
+	if bad := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLogin, Username: "wire-alice", Password: "wrong"})); bad.Code != wire.CodeBadCredentials {
+		t.Fatalf("bad credentials: %+v", bad)
+	}
+	if bad := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLogin, Username: "wire-alice", Password: "pw", ASN: 999999})); bad.Code != wire.CodeUnknownASN {
+		t.Fatalf("unknown asn: %+v", bad)
+	}
+	login := exec.Apply(mustJSON(t, wire.Request{V: 1, ID: 2, Op: wire.OpLogin, Username: "wire-alice", Password: "pw"}))
+	if login.Status != wire.StatusAllowed || login.Token == "" {
+		t.Fatalf("login: %+v", login)
+	}
+	if exec.Sessions() != 1 {
+		t.Fatalf("Sessions = %d", exec.Sessions())
+	}
+
+	// Act on the world: a post, then a self-targeted follow from a
+	// second account.
+	post := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpPost, Token: login.Token, Tags: []string{"l4l"}}))
+	if post.Status != wire.StatusAllowed || post.Post == 0 {
+		t.Fatalf("post: %+v", post)
+	}
+
+	exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpRegister, Username: "wire-bob", Password: "pw"}))
+	login2 := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLogin, Username: "wire-bob", Password: "pw"}))
+	if login2.Token == "" || login2.Token == login.Token {
+		t.Fatalf("tokens must be distinct: %q %q", login.Token, login2.Token)
+	}
+	follow := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpFollow, Token: login2.Token, Target: out.Account}))
+	if follow.Status != wire.StatusAllowed || !follow.Applied {
+		t.Fatalf("follow: %+v", follow)
+	}
+	like := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLike, Token: login2.Token, Post: post.Post}))
+	if like.Status != wire.StatusAllowed {
+		t.Fatalf("like: %+v", like)
+	}
+	// Re-like: allowed but a structural no-op.
+	relike := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLike, Token: login2.Token, Post: post.Post}))
+	if relike.Status != wire.StatusAllowed || relike.Applied {
+		t.Fatalf("re-like: %+v", relike)
+	}
+
+	if bad := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLike, Token: "t-bogus", Post: post.Post})); bad.Code != wire.CodeUnknownToken {
+		t.Fatalf("bogus token: %+v", bad)
+	}
+	if bad := exec.Apply([]byte(`{"v":9,"op":"like"}`)); bad.Code != wire.CodeBadVersion {
+		t.Fatalf("bad version through Apply: %+v", bad)
+	}
+}
+
+func TestExecutorTokensDeterministic(t *testing.T) {
+	mint := func() []string {
+		w := core.NewWorld(tinyConfig(23))
+		exec := NewExecutor(w)
+		exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpRegister, Username: "u", Password: "p"}))
+		var toks []string
+		for i := 0; i < 3; i++ {
+			out := exec.Apply(mustJSON(t, wire.Request{V: 1, Op: wire.OpLogin, Username: "u", Password: "p"}))
+			toks = append(toks, out.Token)
+		}
+		return toks
+	}
+	a, b := mint(), mint()
+	for i := range a {
+		if a[i] == "" || a[i] != b[i] {
+			t.Fatalf("token %d differs across identical runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

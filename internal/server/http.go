@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"footsteps/internal/wire"
+)
+
+// maxBatchBody caps a /v1/batch request body (NDJSON). Generous: at the
+// envelope cap this is still thousands of envelopes per post.
+const maxBatchBody = 8 << 20
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/request", s.handleRequest)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricz", s.handleMetrics)
+	return mux
+}
+
+func writeOutcome(w http.ResponseWriter, out wire.Outcome) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatusFor(out))
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// httpStatusFor maps a wire outcome to an HTTP status. Platform-level
+// "the request was processed and refused" outcomes (blocked,
+// rate-limited, failed) are 200s — the envelope was served; the refusal
+// is the payload. Only envelope- and admission-level errors use HTTP
+// status codes.
+func httpStatusFor(out wire.Outcome) int {
+	if out.Status != wire.StatusError {
+		return http.StatusOK
+	}
+	switch out.Code {
+	case wire.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case wire.CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case wire.CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case wire.CodeInternal:
+		return http.StatusInternalServerError
+	case wire.CodeUnknownToken, wire.CodeSessionRevoked, wire.CodeBadCredentials:
+		return http.StatusUnauthorized
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleRequest serves one envelope per POST: parse and validate off
+// the world loop, enqueue, wait for the loop's outcome.
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.mLatRequest.Observe(time.Since(start).Nanoseconds()) }()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, wire.MaxEnvelopeBytes+1))
+	if err != nil {
+		s.mRejected.Inc()
+		writeOutcome(w, wire.Errf(wire.CodeMalformed, "read body: %v", err).Outcome(0))
+		return
+	}
+	req, werr := wire.ParseRequest(body)
+	if werr != nil {
+		s.mRejected.Inc()
+		writeOutcome(w, werr.Outcome(req.ID))
+		return
+	}
+	done, werr := s.submit(body)
+	if werr != nil {
+		writeOutcome(w, werr.Outcome(req.ID))
+		return
+	}
+	writeOutcome(w, <-done)
+}
+
+// handleBatch serves NDJSON: one envelope per line in, one outcome per
+// line out, order preserved. All lines are admitted before any outcome
+// is awaited, so a whole batch rides a single queue hand-off — this is
+// the throughput path loadgen uses.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.mLatBatch.Observe(time.Since(start).Nanoseconds()) }()
+	s.mBatch.Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	sc := bufio.NewScanner(io.LimitReader(r.Body, maxBatchBody))
+	sc.Buffer(make([]byte, 64<<10), wire.MaxEnvelopeBytes+2)
+
+	type slot struct {
+		done chan wire.Outcome
+		out  wire.Outcome // used when done is nil (rejected at admission)
+	}
+	var slots []slot
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		req, werr := wire.ParseRequest(line)
+		if werr != nil {
+			s.mRejected.Inc()
+			slots = append(slots, slot{out: werr.Outcome(req.ID)})
+			continue
+		}
+		// Scanner reuses its buffer; the queue needs a stable copy.
+		data := append([]byte(nil), line...)
+		done, werr := s.submit(data)
+		if werr != nil {
+			slots = append(slots, slot{out: werr.Outcome(req.ID)})
+			continue
+		}
+		slots = append(slots, slot{done: done})
+	}
+	if err := sc.Err(); err != nil {
+		s.mRejected.Inc()
+		slots = append(slots, slot{out: wire.Errf(wire.CodeTooLarge, "batch line: %v", err).Outcome(0)})
+	}
+
+	enc := json.NewEncoder(bw)
+	for _, sl := range slots {
+		out := sl.out
+		if sl.done != nil {
+			out = <-sl.done
+		}
+		_ = enc.Encode(out)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if !s.accepting.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleMetrics serves the telemetry registry snapshot as JSON (same
+// shape as the debug listener's /metrics.json).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := s.w.Cfg.Telemetry
+	if reg == nil {
+		http.Error(w, "telemetry disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(reg.Snapshot())
+}

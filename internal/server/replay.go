@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"footsteps/internal/core"
+	"footsteps/internal/wire"
+)
+
+// ReplayIngressLog drives w through the exact ServeTick sequence a
+// recorded serve run took: for each FING1 batch record, advance to the
+// recorded instant and apply its envelopes through a fresh Executor;
+// finish by advancing to the end-record instant. Given the same world
+// config (same fingerprint, same seed), the FSEV1 stream this produces
+// is byte-identical to the live run's — the property pinned by
+// internal/simtest's ingress arm and the CLI smoke test.
+//
+// The world must be in the same pre-serve state the live run was in
+// (freshly constructed, RunAll already called if the live run called
+// it). Returns the number of envelopes applied.
+func ReplayIngressLog(w *core.World, r io.Reader) (int, error) {
+	lr, err := wire.NewLogReader(r)
+	if err != nil {
+		return 0, err
+	}
+	exec := NewExecutor(w)
+	applied := 0
+	var last int64
+	for {
+		rec, err := lr.Next()
+		if err == io.EOF {
+			// Well-formed logs end with an end record, which breaks the
+			// loop below; plain EOF means the log was truncated, which
+			// lr.Next reports as *TruncatedError. Unreachable, kept for
+			// io semantics.
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		if rec.AtNanos < last {
+			return applied, fmt.Errorf("server: ingress log goes backwards (%d after %d)", rec.AtNanos, last)
+		}
+		last = rec.AtNanos
+		t := time.Unix(0, rec.AtNanos).UTC()
+		if rec.End {
+			w.ServeTick(t, nil)
+			return applied, nil
+		}
+		w.ServeTick(t, func() {
+			for _, env := range rec.Envelopes {
+				exec.Apply(env)
+				applied++
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzParseRequest holds the parser's core promise: arbitrary bytes
+// never panic, and every rejection carries a typed envelope-level code.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte(`{"v":1,"op":"register","username":"alice","password":"pw"}`))
+	f.Add([]byte(`{"v":1,"op":"login","username":"alice","password":"pw","asn":64512,"api":"oauth"}`))
+	f.Add([]byte(`{"v":1,"id":7,"op":"like","token":"tok","post":42}`))
+	f.Add([]byte(`{"v":1,"op":"follow","token":"tok","target":9}`))
+	f.Add([]byte(`{"v":1,"op":"unfollow","token":"tok","target":9}`))
+	f.Add([]byte(`{"v":1,"op":"comment","token":"tok","post":42,"text":"nice"}`))
+	f.Add([]byte(`{"v":1,"op":"post","token":"tok","tags":["l4l"]}`))
+	f.Add([]byte(`{"v":2,"op":"like"}`))
+	f.Add([]byte(`{"op":"like"}`))
+	f.Add([]byte(`{"v":1,"op":"warp"}`))
+	f.Add([]byte(`{{{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, werr := ParseRequest(data)
+		if werr != nil {
+			switch werr.Code {
+			case CodeTooLarge, CodeMalformed, CodeBadVersion, CodeUnknownOp, CodeMissingField, CodeBadField:
+			default:
+				t.Fatalf("rejection carries non-envelope code %q", werr.Code)
+			}
+			return
+		}
+		// Accepted envelopes must survive a re-encode/re-parse cycle
+		// unchanged: the schema has no lossy fields.
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		again, werr := ParseRequest(out)
+		if werr != nil {
+			t.Fatalf("re-encoded request rejected: %v", werr)
+		}
+		out2, _ := json.Marshal(again)
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("re-encode unstable:\n %s\n %s", out, out2)
+		}
+	})
+}
+
+// FuzzLogReader holds the ingress-log decoder's promise: arbitrary
+// bytes never panic and never allocate past the declared caps; every
+// failure is ErrBadLogMagic, *TruncatedError, or *CorruptLogError.
+func FuzzLogReader(f *testing.F) {
+	seed := func(build func(lw *LogWriter)) []byte {
+		var buf bytes.Buffer
+		lw, _ := NewLogWriter(&buf)
+		build(lw)
+		_ = lw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(seed(func(lw *LogWriter) { _ = lw.End(0) }))
+	f.Add(seed(func(lw *LogWriter) {
+		_ = lw.Batch(1000, [][]byte{[]byte(`{"v":1,"op":"post","token":"t"}`)})
+		_ = lw.End(2000)
+	}))
+	f.Add(seed(func(lw *LogWriter) {
+		_ = lw.Batch(1, nil)
+		_ = lw.Batch(2, [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")})
+	}))
+	f.Add([]byte("FING1\n"))
+	f.Add([]byte("FING1\n\xEE"))
+	f.Add([]byte("FSEV1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lr, err := NewLogReader(bytes.NewReader(data))
+		if err != nil {
+			checkLogErr(t, err)
+			return
+		}
+		for {
+			_, err := lr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				checkLogErr(t, err)
+				return
+			}
+		}
+	})
+}
+
+func checkLogErr(t *testing.T, err error) {
+	t.Helper()
+	var trunc *TruncatedError
+	var corrupt *CorruptLogError
+	if !errors.Is(err, ErrBadLogMagic) && !errors.As(err, &trunc) && !errors.As(err, &corrupt) {
+		t.Fatalf("untyped decode error: %v", err)
+	}
+}

@@ -2,7 +2,7 @@
 # Runs the parallel-stepping benchmarks — faults-off, the mixed
 # fault-injection scenario, the shards × workers grid, the allocation
 # benchmark, and the snapshot/restore pair — with -benchmem, and
-# converts the result lines into BENCH_PR6.json, a machine-readable
+# converts the result lines into BENCH_PR9.json, a machine-readable
 # record of tick/event throughput and memory cost per configuration
 # (ticks/op, events/op,
 # ns/tick, events/sec, B/op, allocs/op). Comparing the ns/tick of
@@ -26,16 +26,23 @@
 # worker, and pooling knobs are concurrency/memory knobs, never
 # semantics.
 #
+# The final "ServeLoadgen" record is the network front end's arm: a
+# quick world hosted by `footsteps serve`, an unthrottled NDJSON
+# loadgen burst over /v1/batch, and a graceful SIGTERM drain. It
+# reports sustained envelopes/sec plus client-side per-request latency
+# quantiles (see docs/API.md); the serve path's budget is >=50k req/s
+# on the 1-CPU CI host.
+#
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 cd "$(dirname "$0")/.."
 
 raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep|DurableStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
 printf '%s\n' "$raw" >&2
 
-printf '%s\n' "$raw" | awk '
+recs="$(printf '%s\n' "$raw" | awk '
 /^Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep|DurableStep)\// {
     name = $1
     sub(/^Benchmark/, "", name)
@@ -45,8 +52,36 @@ printf '%s\n' "$raw" | awk '
         rec = rec ", \"" $(i + 1) "\": " $i
     }
     rec = rec "}"
-    recs[n++] = rec
+    print rec
 }
+')"
+
+# Serve arm: host a quick world, drive a loadgen burst, drain on
+# SIGTERM, and append the loadgen-json record.
+bin="$(mktemp -d)/footsteps"
+go build -o "$bin" ./cmd/footsteps
+addr="127.0.0.1:${SERVE_PORT:-18473}"
+"$bin" -quick -serve-addr "$addr" serve >serve-bench.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    if "$bin" -target "http://$addr" -duration 1ms -accounts 2 loadgen >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+lg="$("$bin" -target "http://$addr" -duration "${SERVE_DURATION:-3s}" -conns 4 -batch 64 loadgen)"
+printf '%s\n' "$lg" >&2
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_rec="$(printf '%s\n' "$lg" | awk -F'loadgen-json: ' '/^loadgen-json: /{
+    body = $2
+    sub(/^\{/, "", body)
+    print "  {\"bench\": \"ServeLoadgen\", " body
+}')"
+[ -n "$serve_rec" ] || { echo "bench.sh: loadgen produced no record" >&2; exit 1; }
+
+printf '%s\n%s\n' "$recs" "$serve_rec" | awk '
+NF { recs[n++] = $0 }
 END {
     print "["
     for (i = 0; i < n; i++) print recs[i] (i < n - 1 ? "," : "")
