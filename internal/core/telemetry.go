@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"time"
@@ -75,7 +76,15 @@ func (w *World) TelemetrySummary() string {
 		return ""
 	}
 	w.updateGauges()
-	return "== Telemetry summary ==\n\n" + reg.Snapshot().Format()
+	s := "== Telemetry summary ==\n\n" + reg.Snapshot().Format()
+	// Derived memory-per-account line for the scale arm: heap actually
+	// in use over resident account rows (deleted rows stay resident by
+	// design — see docs/PERFORMANCE.md, "Scaling to 1M accounts").
+	if n := reg.Gauge("world.accounts").Value(); n > 0 {
+		heap := reg.Gauge("runtime.heap_inuse").Value()
+		s += fmt.Sprintf("\nderived: bytes_per_account %d (heap_inuse %d / accounts %d)\n", heap/n, heap, n)
+	}
+	return s
 }
 
 // updateGauges refreshes the point-in-time gauges before a snapshot.
@@ -90,9 +99,12 @@ func (w *World) updateGauges() {
 	reg.Gauge("sched.pending").Set(int64(w.Sched.Pending()))
 	reg.Gauge("sim.day").Set(int64(w.Sched.Clock().Day()))
 
+	reg.Gauge("world.accounts").Set(int64(w.Plat.NumAccounts()))
+
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	reg.Gauge("runtime.heap_alloc").Set(int64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_inuse").Set(int64(ms.HeapInuse))
 	reg.Gauge("runtime.gc_cycles").Set(int64(ms.NumGC))
 	reg.Gauge("runtime.pause_total_ns").Set(int64(ms.PauseTotalNs))
 	// Goroutine count sits next to the MemStats gauges: at one sample per

@@ -11,16 +11,19 @@ import (
 // must not allocate. Raise only with a profile — see docs/PERFORMANCE.md.
 const allocBudgetAppendActiveDays = 0
 
+// allocBudgetSameDayTally pins the Observe hot path's day-vector bump:
+// once a day's DayCounts entry exists, further tallies on that day are
+// in-place increments of the compact vector — no map lookups, no
+// per-day heap objects.
+const allocBudgetSameDayTally = 0
+
 func TestAllocBudgetAppendActiveDays(t *testing.T) {
-	a := &AccountActivity{
-		Daily:        map[int]map[platform.ActionType]int{},
-		InboundDaily: map[int]map[platform.ActionType]int{},
-	}
+	a := &AccountActivity{}
 	for d := 0; d < 30; d += 2 {
-		a.Daily[d] = map[platform.ActionType]int{platform.ActionLike: 1}
+		a.AddOutbound(d, platform.ActionLike, 1)
 	}
 	for d := 1; d < 30; d += 3 {
-		a.InboundDaily[d] = map[platform.ActionType]int{platform.ActionFollow: 1}
+		a.AddInbound(d, platform.ActionFollow, 1)
 	}
 	buf := a.AppendActiveDays(nil)
 	if len(buf) == 0 {
@@ -32,5 +35,20 @@ func TestAllocBudgetAppendActiveDays(t *testing.T) {
 	if got > allocBudgetAppendActiveDays {
 		t.Errorf("detection.AccountActivity.AppendActiveDays allocates %.1f/op into a warm buffer, budget %d",
 			got, allocBudgetAppendActiveDays)
+	}
+}
+
+func TestAllocBudgetSameDayTally(t *testing.T) {
+	a := &AccountActivity{}
+	a.AddOutbound(12, platform.ActionLike, 1) // day entry now exists
+	a.AddInbound(12, platform.ActionFollow, 1)
+	got := testing.AllocsPerRun(100, func() {
+		a.AddOutbound(12, platform.ActionLike, 1)
+		a.AddOutbound(12, platform.ActionComment, 1)
+		a.AddInbound(12, platform.ActionFollow, 1)
+	})
+	if got > allocBudgetSameDayTally {
+		t.Errorf("same-day tally allocates %.1f/op on a warm day vector, budget %d — the bumpDay hot path regressed",
+			got, allocBudgetSameDayTally)
 	}
 }

@@ -209,8 +209,8 @@ func TestTrackerInboundLikesAndPeakHourly(t *testing.T) {
 		tr.Observe(trackedEvent(platform.AccountID(2000+i), 9, platform.ActionLike, at.Add(time.Duration(i)*2*time.Hour), 8))
 	}
 	a := tr.Service("Svc").ByAccount[9]
-	if a.PostLikes[7] != 200 || a.PostLikes[8] != 50 {
-		t.Fatalf("post likes %v", a.PostLikes)
+	if a.PostLikeCount(7) != 200 || a.PostLikeCount(8) != 50 {
+		t.Fatalf("post likes %d, %d", a.PostLikeCount(7), a.PostLikeCount(8))
 	}
 	if a.PeakHourlyLike < 161 {
 		t.Fatalf("peak hourly %d, want >160 for the burst", a.PeakHourlyLike)
@@ -260,11 +260,7 @@ func TestTrackerLoginMarksEnrollment(t *testing.T) {
 
 func TestAccountActivityEmpty(t *testing.T) {
 	t.Parallel()
-	a := &AccountActivity{
-		Daily:        map[int]map[platform.ActionType]int{},
-		InboundDaily: map[int]map[platform.ActionType]int{},
-		PostLikes:    map[platform.PostID]int{},
-	}
+	a := &AccountActivity{}
 	if a.MaxConsecutiveDays() != 0 || a.MedianLikesPerPost() != 0 {
 		t.Fatal("empty activity stats wrong")
 	}

@@ -46,7 +46,7 @@ func (g *IPVolumeGuard) SnapshotState() *IPVolumeGuardState {
 func (g *IPVolumeGuard) RestoreState(st *IPVolumeGuardState) {
 	clear(g.counts)
 	for _, w := range st.Windows {
-		g.counts[w.IP] = &ipWindow{day: w.Day, n: w.N}
+		g.counts[w.IP] = ipWindow{day: w.Day, n: w.N}
 	}
 	clear(g.Throttled)
 	for _, cc := range st.Throttled {

@@ -1,6 +1,7 @@
 package detection
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -10,19 +11,49 @@ import (
 	"footsteps/internal/telemetry"
 )
 
+// numActionTypes bounds the per-day tally arrays. ActionLogin is never
+// tallied (logins only enroll), but keeping the full enum width keeps
+// indexing branch-free.
+const numActionTypes = int(platform.ActionLogin) + 1
+
+// DayCounts is one day's per-type action tally. AccountActivity stores
+// them in slices sorted by ascending Day — 28 bytes per active day,
+// versus a nested map[int]map[ActionType]int that cost two map headers
+// plus per-entry overhead for the same information.
+type DayCounts struct {
+	Day int32
+	N   [numActionTypes]int32
+}
+
+// Total sums the day's actions across types.
+func (d *DayCounts) Total() int {
+	t := 0
+	for _, n := range d.N {
+		t += int(n)
+	}
+	return t
+}
+
+// postCount is one touched post's inbound like tally, sorted by pid.
+type postCount struct {
+	pid uint32
+	n   int32
+}
+
 // AccountActivity is everything the platform knows about one AAS customer
 // account's involvement with one service over the measurement window.
 type AccountActivity struct {
 	Account platform.AccountID
-	// Daily maps day index → outbound actions driven by the service.
-	Daily map[int]map[platform.ActionType]int
-	// InboundDaily maps day index → inbound actions delivered by the
-	// service to this account (collusion networks).
-	InboundDaily map[int]map[platform.ActionType]int
+	// Daily holds outbound actions driven by the service, one record per
+	// active day, sorted by ascending day index.
+	Daily []DayCounts
+	// InboundDaily holds inbound actions delivered by the service to this
+	// account (collusion networks), same layout as Daily.
+	InboundDaily []DayCounts
 
 	// Per-post inbound like bookkeeping for the Hublaagram revenue model:
-	// totals, and the peak observed in any single hour.
-	PostLikes      map[platform.PostID]int
+	// totals (sorted by post ID), and the peak observed in any single hour.
+	postLikes      []postCount
 	PeakHourlyLike int
 
 	curHourPost  platform.PostID
@@ -34,6 +65,85 @@ type AccountActivity struct {
 	dayScratch []int
 }
 
+// bumpDay adds n to the (day, t) tally in *days. Events arrive in time
+// order, so the hot paths are "same day as the last record" and "a later
+// day" — both O(1); out-of-order days (test fixtures, merged windows)
+// fall back to a sorted insert.
+func bumpDay(days *[]DayCounts, day int, t platform.ActionType, n int) {
+	s := *days
+	if len(s) > 0 {
+		if last := &s[len(s)-1]; int(last.Day) == day {
+			last.N[t] += int32(n)
+			return
+		} else if int(last.Day) < day {
+			var dc DayCounts
+			dc.Day = int32(day)
+			dc.N[t] = int32(n)
+			*days = append(s, dc)
+			return
+		}
+	} else {
+		var dc DayCounts
+		dc.Day = int32(day)
+		dc.N[t] = int32(n)
+		*days = append(s, dc)
+		return
+	}
+	i := sort.Search(len(s), func(i int) bool { return int(s[i].Day) >= day })
+	if i < len(s) && int(s[i].Day) == day {
+		s[i].N[t] += int32(n)
+		return
+	}
+	s = append(s, DayCounts{})
+	copy(s[i+1:], s[i:])
+	s[i].Day = int32(day)
+	s[i].N = [numActionTypes]int32{}
+	s[i].N[t] = int32(n)
+	*days = s
+}
+
+// AddOutbound adds n service-driven actions of type t on the given day.
+func (a *AccountActivity) AddOutbound(day int, t platform.ActionType, n int) {
+	bumpDay(&a.Daily, day, t, n)
+}
+
+// AddInbound adds n service-delivered actions of type t on the given day.
+func (a *AccountActivity) AddInbound(day int, t platform.ActionType, n int) {
+	bumpDay(&a.InboundDaily, day, t, n)
+}
+
+// AddPostLikes adds n inbound likes to the tally for post pid.
+func (a *AccountActivity) AddPostLikes(pid platform.PostID, n int) {
+	if uint64(pid) > math.MaxUint32 {
+		panic("detection: post ID exceeds uint32 range")
+	}
+	p := uint32(pid)
+	s := a.postLikes
+	if len(s) > 0 && s[len(s)-1].pid < p {
+		a.postLikes = append(s, postCount{pid: p, n: int32(n)})
+		return
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].pid >= p })
+	if i < len(s) && s[i].pid == p {
+		s[i].n += int32(n)
+		return
+	}
+	s = append(s, postCount{})
+	copy(s[i+1:], s[i:])
+	s[i] = postCount{pid: p, n: int32(n)}
+	a.postLikes = s
+}
+
+// PostLikeCount returns the inbound like total for post pid.
+func (a *AccountActivity) PostLikeCount(pid platform.PostID) int {
+	s := a.postLikes
+	i := sort.Search(len(s), func(i int) bool { return uint64(s[i].pid) >= uint64(pid) })
+	if i < len(s) && uint64(s[i].pid) == uint64(pid) {
+		return int(s[i].n)
+	}
+	return 0
+}
+
 // ActiveDays returns the sorted day indices with any (in- or outbound)
 // service activity.
 func (a *AccountActivity) ActiveDays() []int {
@@ -42,21 +152,32 @@ func (a *AccountActivity) ActiveDays() []int {
 
 // AppendActiveDays appends the sorted active-day indices to dst and
 // returns the extended slice. Report generators that query thousands of
-// accounts pass a reused buffer instead of allocating per account; no
-// intermediate set is built (the outbound keys are collected first, the
-// inbound keys are added only when new, and the appended region is
-// sorted in place).
+// accounts pass a reused buffer instead of allocating per account. Both
+// source slices are already sorted, so this is a plain two-way merge —
+// no intermediate set, no sort.
 func (a *AccountActivity) AppendActiveDays(dst []int) []int {
-	start := len(dst)
-	for d := range a.Daily {
-		dst = append(dst, d)
-	}
-	for d := range a.InboundDaily {
-		if _, dup := a.Daily[d]; !dup {
-			dst = append(dst, d)
+	i, j := 0, 0
+	for i < len(a.Daily) && j < len(a.InboundDaily) {
+		di, dj := a.Daily[i].Day, a.InboundDaily[j].Day
+		switch {
+		case di < dj:
+			dst = append(dst, int(di))
+			i++
+		case dj < di:
+			dst = append(dst, int(dj))
+			j++
+		default:
+			dst = append(dst, int(di))
+			i++
+			j++
 		}
 	}
-	sort.Ints(dst[start:])
+	for ; i < len(a.Daily); i++ {
+		dst = append(dst, int(a.Daily[i].Day))
+	}
+	for ; j < len(a.InboundDaily); j++ {
+		dst = append(dst, int(a.InboundDaily[j].Day))
+	}
 	return dst
 }
 
@@ -86,8 +207,8 @@ func (a *AccountActivity) MaxConsecutiveDays() int {
 // account. Reciprocity-service targets have inbound only and are not
 // customers; collusion-network participants are customers either way.
 func (a *AccountActivity) HasOutbound() bool {
-	for _, byType := range a.Daily {
-		for _, n := range byType {
+	for i := range a.Daily {
+		for _, n := range a.Daily[i].N {
 			if n > 0 {
 				return true
 			}
@@ -99,8 +220,17 @@ func (a *AccountActivity) HasOutbound() bool {
 // TotalOutbound sums outbound actions of type t.
 func (a *AccountActivity) TotalOutbound(t platform.ActionType) int {
 	n := 0
-	for _, byType := range a.Daily {
-		n += byType[t]
+	for i := range a.Daily {
+		n += int(a.Daily[i].N[t])
+	}
+	return n
+}
+
+// TotalOutboundAll sums outbound actions across every type.
+func (a *AccountActivity) TotalOutboundAll() int {
+	n := 0
+	for i := range a.Daily {
+		n += a.Daily[i].Total()
 	}
 	return n
 }
@@ -108,26 +238,31 @@ func (a *AccountActivity) TotalOutbound(t platform.ActionType) int {
 // TotalInbound sums inbound actions of type t.
 func (a *AccountActivity) TotalInbound(t platform.ActionType) int {
 	n := 0
-	for _, byType := range a.InboundDaily {
-		n += byType[t]
+	for i := range a.InboundDaily {
+		n += int(a.InboundDaily[i].N[t])
 	}
 	return n
 }
 
 // OutboundOnDay returns the outbound count of type t on the given day.
 func (a *AccountActivity) OutboundOnDay(day int, t platform.ActionType) int {
-	return a.Daily[day][t]
+	s := a.Daily
+	i := sort.Search(len(s), func(i int) bool { return int(s[i].Day) >= day })
+	if i < len(s) && int(s[i].Day) == day {
+		return int(s[i].N[t])
+	}
+	return 0
 }
 
 // MedianLikesPerPost returns the median of inbound like totals across the
 // account's touched posts (the Hublaagram tiering statistic).
 func (a *AccountActivity) MedianLikesPerPost() float64 {
-	if len(a.PostLikes) == 0 {
+	if len(a.postLikes) == 0 {
 		return 0
 	}
-	vals := make([]int, 0, len(a.PostLikes))
-	for _, n := range a.PostLikes {
-		vals = append(vals, n)
+	vals := make([]int, 0, len(a.postLikes))
+	for _, pc := range a.postLikes {
+		vals = append(vals, int(pc.n))
 	}
 	sort.Ints(vals)
 	mid := len(vals) / 2
@@ -140,8 +275,8 @@ func (a *AccountActivity) MedianLikesPerPost() float64 {
 // PostsWithAtLeast counts touched posts with at least n service likes.
 func (a *AccountActivity) PostsWithAtLeast(n int) int {
 	c := 0
-	for _, total := range a.PostLikes {
-		if total >= n {
+	for _, pc := range a.postLikes {
+		if int(pc.n) >= n {
 			c++
 		}
 	}
@@ -178,12 +313,7 @@ func newServiceActivity(label string) *ServiceActivity {
 func (s *ServiceActivity) account(id platform.AccountID) *AccountActivity {
 	a := s.ByAccount[id]
 	if a == nil {
-		a = &AccountActivity{
-			Account:      id,
-			Daily:        make(map[int]map[platform.ActionType]int),
-			InboundDaily: make(map[int]map[platform.ActionType]int),
-			PostLikes:    make(map[platform.PostID]int),
-		}
+		a = &AccountActivity{Account: id}
 		s.ByAccount[id] = a
 	}
 	return a
@@ -257,28 +387,17 @@ func (t *Tracker) Observe(ev platform.Event) {
 	day := t.Day(ev.Time)
 	svc.Actions[ev.Type]++
 
-	actor := svc.account(ev.Actor)
-	byType := actor.Daily[day]
-	if byType == nil {
-		byType = make(map[platform.ActionType]int)
-		actor.Daily[day] = byType
-	}
-	byType[ev.Type]++
+	svc.account(ev.Actor).AddOutbound(day, ev.Type, 1)
 
 	if ev.Target != 0 && ev.Target != ev.Actor {
 		if len(svc.Targets) < targetCap {
 			svc.Targets[ev.Target] = true
 		}
 		tgt := svc.account(ev.Target)
-		inByType := tgt.InboundDaily[day]
-		if inByType == nil {
-			inByType = make(map[platform.ActionType]int)
-			tgt.InboundDaily[day] = inByType
-		}
-		inByType[ev.Type]++
+		tgt.AddInbound(day, ev.Type, 1)
 
 		if ev.Type == platform.ActionLike {
-			tgt.PostLikes[ev.Post]++
+			tgt.AddPostLikes(ev.Post, 1)
 			hour := ev.Time.Unix() / 3600
 			if tgt.curHour != hour || tgt.curHourPost != ev.Post {
 				tgt.curHour, tgt.curHourPost, tgt.curHourCount = hour, ev.Post, 0

@@ -1,7 +1,13 @@
-// Package persistence implements the FSNAP1 world-snapshot format: a
+// Package persistence implements the FSNAP world-snapshot format: a
 // versioned binary encoding of everything the simulation step path
 // touches, written at day boundaries and restored into a freshly
 // constructed world (see docs/PERSISTENCE.md).
+//
+// The current format is FSNAP2, which delta-encodes the sorted
+// adjacency lists that dominate large-world snapshots. FSNAP1 streams
+// (written before the struct-of-arrays state refactor) still decode:
+// the magic selects the wire version, and the decoder keeps both list
+// readers.
 //
 // The codec mirrors the FSEV1 event codec in internal/eventio: uvarint
 // integers, length-prefixed strings, a fixed magic header, and typed
@@ -23,13 +29,21 @@ import (
 )
 
 // Version is the current snapshot format version. Bump it on any layout
-// change; old snapshots are rejected with a MismatchError rather than
-// misread (see docs/PERSISTENCE.md for the versioning policy).
-const Version = 1
+// change; snapshots from unknown versions are rejected with a
+// MismatchError rather than misread (see docs/PERSISTENCE.md for the
+// versioning policy). VersionV1 streams remain decodable.
+const (
+	Version   = 2
+	VersionV1 = 1
+)
 
-// magic identifies a snapshot stream. Deliberately distinct from the
-// FSEV1 event-log magic so the two file kinds cannot be confused.
-var magic = []byte("FSNAP1\n")
+// magic identifies a current-format snapshot stream. Deliberately
+// distinct from the FSEV1 event-log magic so the two file kinds cannot
+// be confused. magicV1 is the legacy magic the decoder still accepts.
+var (
+	magic   = []byte("FSNAP2\n")
+	magicV1 = []byte("FSNAP1\n")
+)
 
 // maxStr caps decoded string lengths; nothing in a snapshot comes close.
 const maxStr = 1 << 20
@@ -38,8 +52,8 @@ const maxStr = 1 << 20
 // this; a corrupt length prefix fails fast instead of driving a huge loop.
 const maxCount = 1 << 26
 
-// ErrBadMagic reports input that does not start with the FSNAP1 magic.
-var ErrBadMagic = errors.New("persistence: bad magic (not an FSNAP1 snapshot)")
+// ErrBadMagic reports input that starts with neither FSNAP magic.
+var ErrBadMagic = errors.New("persistence: bad magic (not an FSNAP snapshot)")
 
 // MismatchError reports a snapshot whose header is incompatible with
 // what the caller expects: wrong format version, wrong seed, or wrong
@@ -162,18 +176,24 @@ func (d *Decoder) fail(format string, args ...any) {
 	}
 }
 
-// Magic consumes and verifies the FSNAP1 magic.
-func (d *Decoder) Magic() {
+// Magic consumes the FSNAP magic and returns the wire version it names
+// (Version for FSNAP2, VersionV1 for FSNAP1; 0 with ErrBadMagic set on
+// anything else).
+func (d *Decoder) Magic() uint64 {
 	if d.err != nil {
-		return
+		return 0
 	}
-	if len(d.data)-d.off < len(magic) || string(d.data[d.off:d.off+len(magic)]) != string(magic) {
-		if d.err == nil {
-			d.err = ErrBadMagic
-		}
-		return
+	rest := d.data[d.off:]
+	switch {
+	case len(rest) >= len(magic) && string(rest[:len(magic)]) == string(magic):
+		d.off += len(magic)
+		return Version
+	case len(rest) >= len(magicV1) && string(rest[:len(magicV1)]) == string(magicV1):
+		d.off += len(magicV1)
+		return VersionV1
 	}
-	d.off += len(magic)
+	d.err = ErrBadMagic
+	return 0
 }
 
 // U64 consumes an unsigned varint.

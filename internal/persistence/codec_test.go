@@ -237,6 +237,64 @@ func TestVersionMismatch(t *testing.T) {
 	}
 }
 
+// TestDeltaList covers the FSNAP2 sorted-list codec directly: round
+// trips (including duplicates and an empty list), the unsorted-writer
+// panic, and the decoder's overflow rejection.
+func TestDeltaList(t *testing.T) {
+	t.Parallel()
+	for _, xs := range [][]uint64{nil, {0}, {7}, {1, 2, 3}, {5, 5, 9}, {1, 1 << 40, 1<<63 + 1}} {
+		var e Encoder
+		encU64sDelta(&e, xs)
+		d := NewDecoder(e.Bytes())
+		got := decU64sDelta[uint64](d)
+		if err := d.Done(); err != nil {
+			t.Fatalf("delta decode %v: %v", xs, err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("delta round trip %v → %v", xs, got)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("delta round trip %v → %v", xs, got)
+			}
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("delta-encoding an unsorted list did not panic")
+			}
+		}()
+		var e Encoder
+		encU64sDelta(&e, []uint64{3, 1})
+	}()
+
+	var e Encoder
+	e.U64(2)
+	e.U64(1 << 63)
+	e.U64(1 << 63) // second element wraps past MaxUint64
+	d := NewDecoder(e.Bytes())
+	decU64sDelta[uint64](d)
+	if d.Err() == nil {
+		t.Error("overflowing delta list decoded cleanly")
+	}
+}
+
+// TestLegacyMagicVersionAgreement: an FSNAP1 magic with an FSNAP2
+// header version (and vice versa) is a mismatch, not a silent misread.
+func TestLegacyMagicVersionAgreement(t *testing.T) {
+	t.Parallel()
+	enc := EncodeBytes(tinyHeader(), tinyWorldState())
+	relabeled := append([]byte("FSNAP1\n"), enc[7:]...)
+	var mm *MismatchError
+	if _, _, err := DecodeBytes(relabeled); !errors.As(err, &mm) {
+		t.Fatalf("want MismatchError for v1 magic with v2 header, got %v", err)
+	} else if mm.Field != "format version" || mm.Got != Version || mm.Want != VersionV1 {
+		t.Errorf("wrong mismatch detail: %+v", mm)
+	}
+}
+
 // TestTruncationOffsets cuts a valid snapshot at every byte boundary:
 // each prefix must fail with a typed error whose offset lands inside
 // the prefix — the fsevdump-style diagnostic contract — and never panic.

@@ -91,6 +91,8 @@ func FuzzDecodeNoPanic(f *testing.F) {
 	hdr := append([]byte(nil), valid[:len(magic)+8]...)
 	f.Add(append(hdr, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
 	f.Add([]byte("FSNAP1\n"))
+	f.Add([]byte("FSNAP2\n"))
+	f.Add([]byte("FSNAP1\n\x01\x2a\x00\x06\x80\x80\x01")) // legacy-version body path
 	f.Add([]byte("FSEV1\nnot a snapshot"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, st, err := DecodeBytes(data)

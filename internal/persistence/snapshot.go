@@ -63,7 +63,7 @@ type ServiceCount struct {
 	N    int
 }
 
-// Encode writes the magic, header, and world state to w as one FSNAP1
+// Encode writes the magic, header, and world state to w as one FSNAP2
 // stream. The caller stamps h.Version (normally the Version constant).
 func Encode(w io.Writer, h Header, st *WorldState) error {
 	_, err := w.Write(EncodeBytes(h, st))
@@ -83,7 +83,7 @@ func EncodeBytes(h Header, st *WorldState) []byte {
 	return e.Bytes()
 }
 
-// Decode reads a full FSNAP1 stream from r.
+// Decode reads a full FSNAP stream from r.
 func Decode(r io.Reader) (Header, *WorldState, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -92,13 +92,14 @@ func Decode(r io.Reader) (Header, *WorldState, error) {
 	return DecodeBytes(data)
 }
 
-// DecodeBytes decodes a full FSNAP1 stream. It rejects bad magic
-// (ErrBadMagic), a format version other than Version (MismatchError),
-// and truncated or trailing input (TruncatedError with the offending
-// byte offset). It never panics, whatever the input.
+// DecodeBytes decodes a full FSNAP stream, current (FSNAP2) or legacy
+// (FSNAP1). It rejects bad magic (ErrBadMagic), a header version that
+// disagrees with the magic (MismatchError), and truncated or trailing
+// input (TruncatedError with the offending byte offset). It never
+// panics, whatever the input.
 func DecodeBytes(data []byte) (Header, *WorldState, error) {
 	d := NewDecoder(data)
-	d.Magic()
+	wire := d.Magic()
 	var h Header
 	h.Version = d.U64()
 	h.Seed = d.U64()
@@ -108,10 +109,10 @@ func DecodeBytes(data []byte) (Header, *WorldState, error) {
 	if err := d.Err(); err != nil {
 		return Header{}, nil, err
 	}
-	if h.Version != Version {
-		return h, nil, &MismatchError{Field: "format version", Got: h.Version, Want: Version}
+	if h.Version != wire {
+		return h, nil, &MismatchError{Field: "format version", Got: h.Version, Want: wire}
 	}
-	st := decWorld(d)
+	st := decWorld(d, wire)
 	if err := d.Done(); err != nil {
 		return h, nil, err
 	}
@@ -143,6 +144,40 @@ func encU64s[T ~uint64](e *Encoder, xs []T) {
 	for _, x := range xs {
 		e.U64(uint64(x))
 	}
+}
+
+// encU64sDelta encodes a sorted list as its first value followed by
+// gaps. Graph adjacency dominates a large-world snapshot, and dense
+// sequential IDs make most gaps single-byte varints where the absolute
+// IDs grow to four or five bytes. Only ever applied to lists the
+// snapshot contract keeps sorted; an unsorted list is a writer bug.
+func encU64sDelta[T ~uint64](e *Encoder, xs []T) {
+	e.U64(uint64(len(xs)))
+	prev := uint64(0)
+	for _, x := range xs {
+		v := uint64(x)
+		if v < prev {
+			panic("persistence: delta-encoding an unsorted list")
+		}
+		e.U64(v - prev)
+		prev = v
+	}
+}
+
+func decU64sDelta[T ~uint64](d *Decoder) []T {
+	n := d.Count()
+	var xs []T
+	prev := uint64(0)
+	for i := 0; i < n && d.err == nil; i++ {
+		v := prev + d.U64()
+		if v < prev {
+			d.fail("delta list overflows uint64")
+			break
+		}
+		xs = append(xs, T(v))
+		prev = v
+	}
+	return xs
 }
 
 func decU64s[T ~uint64](d *Decoder) []T {
@@ -231,12 +266,14 @@ func encWorld(e *Encoder, st *WorldState) {
 	})
 }
 
-func decWorld(d *Decoder) *WorldState {
+// decWorld decodes the world body. ver selects the graph list reader —
+// the only section whose wire form differs between FSNAP1 and FSNAP2.
+func decWorld(d *Decoder, ver uint64) *WorldState {
 	st := &WorldState{}
 	st.Root = d.RNG()
 	st.NetAlloc = decSlice(d, decAlloc)
 	st.Platform = decPlatform(d)
-	st.Graph = decGraph(d)
+	st.Graph = decGraph(d, ver)
 	st.Behavior = decBehavior(d)
 	st.Honeypots = decHoneypots(d)
 	if d.Bool() {
@@ -383,20 +420,23 @@ func decPlatform(d *Decoder) *platform.State {
 
 // --- socialgraph ---
 
+// encGraph always writes the FSNAP2 form: the sorted followee and like
+// sets go out delta-encoded. Own-post lists are creation-order, not a
+// sorted contract, so they stay absolute.
 func encGraph(e *Encoder, st *socialgraph.State) {
 	e.U64(uint64(st.NextAcct))
 	e.U64(uint64(st.NextPost))
 	encSlice(e, st.Accounts, func(e *Encoder, a *socialgraph.AccountState) {
 		e.U64(uint64(a.ID))
 		e.Time(a.Created)
-		encU64s(e, a.Followees)
+		encU64sDelta(e, a.Followees)
 		encU64s(e, a.Posts)
 	})
 	encSlice(e, st.Posts, func(e *Encoder, p *socialgraph.PostState) {
 		e.U64(uint64(p.ID))
 		e.U64(uint64(p.Author))
 		e.Time(p.Created)
-		encU64s(e, p.Likes)
+		encU64sDelta(e, p.Likes)
 		encSlice(e, p.Comments, func(e *Encoder, c *socialgraph.Comment) {
 			e.U64(uint64(c.Author))
 			e.Str(c.Text)
@@ -405,21 +445,25 @@ func encGraph(e *Encoder, st *socialgraph.State) {
 	})
 }
 
-func decGraph(d *Decoder) *socialgraph.State {
+func decGraph(d *Decoder, ver uint64) *socialgraph.State {
+	decSorted := decU64sDelta[socialgraph.AccountID]
+	if ver == VersionV1 {
+		decSorted = decU64s[socialgraph.AccountID]
+	}
 	st := &socialgraph.State{}
 	st.NextAcct = socialgraph.AccountID(d.U64())
 	st.NextPost = socialgraph.PostID(d.U64())
 	st.Accounts = decSlice(d, func(d *Decoder, a *socialgraph.AccountState) {
 		a.ID = socialgraph.AccountID(d.U64())
 		a.Created = d.Time()
-		a.Followees = decU64s[socialgraph.AccountID](d)
+		a.Followees = decSorted(d)
 		a.Posts = decU64s[socialgraph.PostID](d)
 	})
 	st.Posts = decSlice(d, func(d *Decoder, p *socialgraph.PostState) {
 		p.ID = socialgraph.PostID(d.U64())
 		p.Author = socialgraph.AccountID(d.U64())
 		p.Created = d.Time()
-		p.Likes = decU64s[socialgraph.AccountID](d)
+		p.Likes = decSorted(d)
 		p.Comments = decSlice(d, func(d *Decoder, c *socialgraph.Comment) {
 			c.Author = socialgraph.AccountID(d.U64())
 			c.Text = d.Str()

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"testing"
+	"time"
 )
 
 // Steady-state allocation budgets for the request pipeline, enforced by
@@ -14,7 +15,8 @@ const (
 	allocBudgetDoDuplicateLike = 0 // Platform.Do: re-like of an already-liked post
 	allocBudgetDoFollowPair    = 0 // Platform.Do: follow+unfollow round trip, per pair
 	allocBudgetDoComment       = 1 // Platform.Do: comment (graph appends the comment record)
-	allocBudgetAppendRecent    = 0 // Platform.AppendRecentByTag into a warm caller buffer
+	allocBudgetAppendRecent    = 0 // Platform.AppendRecentByTag into a warm buffer
+	allocBudgetLimiterAllow    = 0 // hourlyLimiter.allow on a grown table, incl. hour rollover
 )
 
 // allocWorld is a minimal steady-state world: two accounts, a live
@@ -101,5 +103,29 @@ func TestAllocBudgetAppendRecentByTag(t *testing.T) {
 	if got > allocBudgetAppendRecent {
 		t.Errorf("Platform.AppendRecentByTag allocates %.1f/op into a warm buffer, budget %d",
 			got, allocBudgetAppendRecent)
+	}
+}
+
+// TestAllocBudgetHourlyLimiter pins the rate-limit check on the tick
+// hot path: once the dense table covers a row, allow must not allocate
+// — including at hour rollover, where the epoch-marked bucket is reset
+// in place rather than reallocated (the map[AccountID]*window layout
+// this replaced minted a heap object per account per hour).
+func TestAllocBudgetHourlyLimiter(t *testing.T) {
+	l := newHourlyLimiter()
+	const rows = 1024
+	l.ensure(rows - 1)
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	hour := 0
+	got := testing.AllocsPerRun(100, func() {
+		at := base.Add(time.Duration(hour) * time.Hour) // new bucket every run
+		hour++
+		for r := uint32(0); r < rows; r++ {
+			l.allow(r, at, 30)
+		}
+	})
+	if got > allocBudgetLimiterAllow {
+		t.Errorf("hourlyLimiter.allow allocates %.1f per %d-row sweep, budget %d — the dense-table limiter regressed",
+			got, rows, allocBudgetLimiterAllow)
 	}
 }

@@ -198,9 +198,12 @@ func TestConcurrentRateLimitAccountingStaysInBounds(t *testing.T) {
 		}
 	}
 	for _, sh := range p.shards {
-		for id, w := range sh.limiter.counts {
-			if w.count < 0 || w.count > limit {
-				t.Errorf("limiter bucket for account %d holds %d, want within [0, %d]", id, w.count, limit)
+		for r, hour := range sh.limiter.hours {
+			if hour == 0 {
+				continue
+			}
+			if n := sh.limiter.counts[r]; n < 0 || int(n) > limit {
+				t.Errorf("limiter bucket for account %d holds %d, want within [0, %d]", sh.tab.id(uint32(r)), n, limit)
 			}
 		}
 	}

@@ -140,20 +140,6 @@ type GatekeeperFunc func(req Event) Verdict
 // Check implements Gatekeeper.
 func (f GatekeeperFunc) Check(req Event) Verdict { return f(req) }
 
-type account struct {
-	id             AccountID
-	username       string
-	password       string
-	profile        Profile
-	homeCountry    string
-	created        time.Time
-	deleted        bool
-	sessionEpoch   uint64
-	loginCountries map[string]int
-	posts          []PostID // maintained even when GraphWrites is off
-	likeCounts     map[PostID]int
-}
-
 // Platform is the simulated service. All exported methods are safe for
 // concurrent use. Mutable state is partitioned into lock-striped shards
 // keyed by a stable hash of AccountID (shard.go): pure queries (Exists,
@@ -316,6 +302,20 @@ func New(cfg Config, g *socialgraph.Graph, net *netsim.Registry, sched *clock.Sc
 // Shards reports the configured lock-stripe count.
 func (p *Platform) Shards() int { return len(p.shards) }
 
+// NumAccounts reports the number of registered account rows, deleted
+// ones included: rows are tombstoned rather than freed, so this is the
+// resident table size — the denominator behind the bytes-per-account
+// telemetry.
+func (p *Platform) NumAccounts() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		n += sh.tab.len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // Log exposes the event stream for subscribers (detection, monitors).
 func (p *Platform) Log() *EventLog { return &p.log }
 
@@ -354,22 +354,12 @@ func (p *Platform) RegisterAccount(username, password string, profile Profile, h
 		return 0, fmt.Errorf("%w: %q", ErrUsernameTaken, username)
 	}
 	id := p.graph.CreateAccount(p.clk.Now())
-	a := &account{
-		id:             id,
-		username:       username,
-		password:       password,
-		profile:        profile,
-		homeCountry:    homeCountry,
-		created:        p.clk.Now(),
-		loginCountries: make(map[string]int),
-		likeCounts:     make(map[PostID]int),
-	}
 	sh := p.shardFor(id)
 	sh.lock()
-	sh.accounts[id] = a
+	r := sh.tab.add(id, username, password, profile, homeCountry, p.clk.Now())
 	// The profile's initial photos exist as posts.
 	for i := 0; i < profile.PhotoCount; i++ {
-		p.addPostLocked(a)
+		p.addPostLocked(sh, r)
 	}
 	sh.mu.Unlock()
 	p.byUsername[username] = id
@@ -379,24 +369,25 @@ func (p *Platform) RegisterAccount(username, password string, profile Profile, h
 	return id, nil
 }
 
-// addPostLocked creates a post for a, whose shard lock the caller holds.
-// It takes the post-index stripe lock for the new ID — account shard
-// before post stripe is the canonical order.
-func (p *Platform) addPostLocked(a *account) PostID {
+// addPostLocked creates a post for row r of sh, whose lock the caller
+// holds. It takes the post-index stripe lock for the new ID — account
+// shard before post stripe is the canonical order.
+func (p *Platform) addPostLocked(sh *shard, r uint32) PostID {
+	id := sh.tab.id(r)
 	var pid PostID
 	if p.cfg.GraphWrites {
 		var err error
-		pid, err = p.graph.AddPost(a.id, p.clk.Now())
+		pid, err = p.graph.AddPost(id, p.clk.Now())
 		if err != nil {
 			panic(fmt.Sprintf("platform: graph post for live account: %v", err))
 		}
 	} else {
 		pid = PostID(p.nextPost.Add(1))
 	}
-	a.posts = append(a.posts, pid)
+	sh.tab.posts[r] = append(sh.tab.posts[r], pid)
 	ps := p.postStripeFor(pid)
 	ps.lock()
-	ps.author[pid] = a.id
+	ps.author[pid] = id
 	ps.mu.Unlock()
 	return pid
 }
@@ -408,16 +399,17 @@ func (p *Platform) DeleteAccount(id AccountID) error {
 	defer p.nameMu.Unlock()
 	sh := p.shardFor(id)
 	sh.lock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrAccountGone, id)
 	}
-	a.deleted = true
-	a.sessionEpoch++ // revoke sessions
-	posts := a.posts
+	sh.tab.deleted[r] = true
+	sh.tab.sessionEpochs[r]++ // revoke sessions
+	username := sh.tab.usernames[r]
+	posts := sh.tab.posts[r]
 	sh.mu.Unlock()
-	delete(p.byUsername, a.username)
+	delete(p.byUsername, username)
 	if m := p.tel; m != nil {
 		m.accounts.Add(-1)
 	}
@@ -439,12 +431,12 @@ func (p *Platform) ResetPassword(id AccountID, newPassword string) error {
 	sh := p.shardFor(id)
 	sh.lock()
 	defer sh.mu.Unlock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		return fmt.Errorf("%w: %d", ErrAccountGone, id)
 	}
-	a.password = newPassword
-	a.sessionEpoch++
+	sh.tab.passwords[r] = newPassword
+	sh.tab.sessionEpochs[r]++
 	return nil
 }
 
@@ -453,8 +445,8 @@ func (p *Platform) Exists(id AccountID) bool {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
-	return ok && !a.deleted
+	r, ok := sh.tab.row(id)
+	return ok && !sh.tab.deleted[r]
 }
 
 // AccountProfile returns the account's profile.
@@ -462,11 +454,11 @@ func (p *Platform) AccountProfile(id AccountID) (Profile, bool) {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		return Profile{}, false
 	}
-	return a.profile, true
+	return sh.tab.profiles[r], true
 }
 
 // Username returns the account's username.
@@ -474,11 +466,11 @@ func (p *Platform) Username(id AccountID) (string, bool) {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		return "", false
 	}
-	return a.username, true
+	return sh.tab.usernames[r], true
 }
 
 // CreatedAt returns the account's registration time.
@@ -486,28 +478,30 @@ func (p *Platform) CreatedAt(id AccountID) (time.Time, bool) {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
+	r, ok := sh.tab.row(id)
 	if !ok {
 		return time.Time{}, false
 	}
-	return a.created, true
+	return sh.tab.created[r], true
 }
 
 // MostFrequentLoginCountry implements the paper's customer-location rule:
 // "the most frequent country used to login to the account" (§5.1). The
-// second result is false when the account has never logged in.
+// second result is false when the account has never logged in. The tally
+// is sorted by country, so the first maximum is the tie-break winner
+// (smallest country string), matching the historical map-scan rule.
 func (p *Platform) MostFrequentLoginCountry(id AccountID) (string, bool) {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
+	r, ok := sh.tab.row(id)
 	if !ok {
 		return "", false
 	}
 	best, n := "", 0
-	for c, k := range a.loginCountries {
-		if k > n || (k == n && c < best) {
-			best, n = c, k
+	for _, cc := range sh.tab.logins[r] {
+		if cc.N > n {
+			best, n = cc.Country, cc.N
 		}
 	}
 	return best, n > 0
@@ -518,11 +512,11 @@ func (p *Platform) Posts(id AccountID) []PostID {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		return nil
 	}
-	return append([]PostID(nil), a.posts...)
+	return append([]PostID(nil), sh.tab.posts[r]...)
 }
 
 // LatestPost returns the account's most recent post, if any.
@@ -530,11 +524,15 @@ func (p *Platform) LatestPost(id AccountID) (PostID, bool) {
 	sh := p.shardFor(id)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted || len(a.posts) == 0 {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] {
 		return 0, false
 	}
-	return a.posts[len(a.posts)-1], true
+	posts := sh.tab.posts[r]
+	if len(posts) == 0 {
+		return 0, false
+	}
+	return posts[len(posts)-1], true
 }
 
 // PostAuthor resolves a post to its author.
@@ -559,8 +557,8 @@ func (p *Platform) LikeCount(pid PostID) int {
 	sh := p.shardFor(author)
 	sh.rlock()
 	defer sh.mu.RUnlock()
-	if a, ok := sh.accounts[author]; ok {
-		return a.likeCounts[pid]
+	if r, ok := sh.tab.row(author); ok {
+		return sh.tab.likeCount(r, pid)
 	}
 	return 0
 }
@@ -588,8 +586,8 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	_, faults := p.hooks()
 	sh := p.shardFor(id)
 	sh.lock()
-	a, ok := sh.accounts[id]
-	if !ok || a.deleted || a.password != password {
+	r, ok := sh.tab.row(id)
+	if !ok || sh.tab.deleted[r] || sh.tab.passwords[r] != password {
 		sh.mu.Unlock()
 		sp.Stage(trace.StageSession, trace.VerdictFail)
 		sp.End(uint8(OutcomeFailed), 0, 0, 0)
@@ -610,9 +608,9 @@ func (p *Platform) Login(username, password string, ci ClientInfo) (*Session, er
 	sp.Stage(trace.StageFaults, trace.VerdictOK)
 	country := p.net.Country(ci.IP)
 	if country != "" {
-		a.loginCountries[country]++
+		sh.tab.bumpLogin(r, country)
 	}
-	epoch := a.sessionEpoch
+	epoch := sh.tab.sessionEpochs[r]
 	now := p.clk.Now()
 	sh.mu.Unlock()
 

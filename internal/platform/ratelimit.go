@@ -7,51 +7,72 @@ import "time"
 // platforms actually deploy for coarse API quotas, and they are what the
 // paper's services probe against.
 //
+// State is two dense arrays indexed by the owning shard's account row:
+// the bucket's hour stamp and the count consumed in it. The hour stamp
+// doubles as the epoch mark (the PR 5 collusion-dedup trick): a stale
+// stamp means the bucket is logically empty and is reset in place on
+// first touch of a new hour, so the limiter allocates nothing per
+// active account per hour — unlike the map[AccountID]*window it
+// replaced, which minted a two-word heap object per account. Stamp 0
+// means "never touched": the simulated clock starts decades after the
+// Unix epoch, so no real bucket can stamp 0.
+//
 // The limiter is not internally locked; the platform calls allow while
-// holding its own mutex.
+// holding the owning shard's mutex.
 type hourlyLimiter struct {
-	counts map[AccountID]*window
+	hours  []int64 // hours since Unix epoch identifying the bucket; 0 = never touched
+	counts []int32
 }
 
-type window struct {
-	hour  int64 // hours since Unix epoch identifying the bucket
-	count int
+func newHourlyLimiter() *hourlyLimiter { return &hourlyLimiter{} }
+
+// ensure grows the arrays to cover row r.
+func (l *hourlyLimiter) ensure(r uint32) {
+	for int(r) >= len(l.hours) {
+		l.hours = append(l.hours, 0)
+		l.counts = append(l.counts, 0)
+	}
 }
 
-func newHourlyLimiter() *hourlyLimiter {
-	return &hourlyLimiter{counts: make(map[AccountID]*window)}
-}
-
-// allow records one action attempt at time t and reports whether it is
-// within the account's hourly budget. A non-positive limit disables the cap.
-func (l *hourlyLimiter) allow(id AccountID, t time.Time, limit int) bool {
+// allow records one action attempt by row r at time t and reports
+// whether it is within the account's hourly budget. A non-positive
+// limit disables the cap.
+func (l *hourlyLimiter) allow(r uint32, t time.Time, limit int) bool {
 	if limit <= 0 {
 		return true
 	}
+	l.ensure(r)
 	hour := t.Unix() / 3600
-	w := l.counts[id]
-	if w == nil {
-		w = &window{hour: hour}
-		l.counts[id] = w
+	if l.hours[r] != hour {
+		l.hours[r] = hour
+		l.counts[r] = 0
 	}
-	if w.hour != hour {
-		w.hour = hour
-		w.count = 0
-	}
-	if w.count >= limit {
+	if int(l.counts[r]) >= limit {
 		return false
 	}
-	w.count++
+	l.counts[r]++
 	return true
 }
 
-// peek returns the count already consumed in t's bucket without
+// peek returns the count row r already consumed in t's bucket without
 // recording anything — used to attribute a denial to a storm-tightened
 // limit versus the ordinary cap.
-func (l *hourlyLimiter) peek(id AccountID, t time.Time) int {
-	w := l.counts[id]
-	if w == nil || w.hour != t.Unix()/3600 {
+func (l *hourlyLimiter) peek(r uint32, t time.Time) int {
+	if int(r) >= len(l.hours) || l.hours[r] != t.Unix()/3600 {
 		return 0
 	}
-	return w.count
+	return int(l.counts[r])
+}
+
+// reset drops every bucket (restore path).
+func (l *hourlyLimiter) reset() {
+	l.hours = l.hours[:0]
+	l.counts = l.counts[:0]
+}
+
+// set overwrites row r's bucket (restore path).
+func (l *hourlyLimiter) set(r uint32, hour int64, count int) {
+	l.ensure(r)
+	l.hours[r] = hour
+	l.counts[r] = int32(count)
 }

@@ -129,8 +129,8 @@ func (p *Platform) Do(req Request) Response {
 	gate, faults := p.hooks()
 	sh := p.shardFor(s.id)
 	sh.lock()
-	a, ok := sh.accounts[s.id]
-	if !ok || a.deleted || a.sessionEpoch != s.epoch {
+	r, ok := sh.tab.row(s.id)
+	if !ok || sh.tab.deleted[r] || sh.tab.sessionEpochs[r] != s.epoch {
 		sh.mu.Unlock()
 		sp.Stage(trace.StageSession, trace.VerdictRevoked)
 		sp.End(uint8(OutcomeFailed), uint64(ev.Target), uint64(ev.Post), 0)
@@ -145,7 +145,7 @@ func (p *Platform) Do(req Request) Response {
 	if fd.RevokeSession {
 		// Session-store flap: every live session for the account dies,
 		// exactly like an organic revocation — no event is emitted.
-		a.sessionEpoch++
+		sh.tab.sessionEpochs[r]++
 		sh.mu.Unlock()
 		sp.Stage(trace.StageFaults, trace.VerdictRevoked)
 		sp.End(uint8(OutcomeFailed), uint64(ev.Target), uint64(ev.Post), 0)
@@ -177,10 +177,10 @@ func (p *Platform) Do(req Request) Response {
 			effLimit = 1
 		}
 	}
-	if !sh.limiter.allow(s.id, ev.Time, effLimit) {
+	if !sh.limiter.allow(r, ev.Time, effLimit) {
 		// A denial is storm-attributable when the tightened limit fired
 		// below the level the ordinary limit would have tolerated.
-		storm := effLimit < limit && sh.limiter.peek(s.id, ev.Time) < limit
+		storm := effLimit < limit && sh.limiter.peek(r, ev.Time) < limit
 		sh.mu.Unlock()
 		if storm {
 			sp.Stage(trace.StageRateLimit, trace.VerdictStorm)
@@ -317,8 +317,8 @@ func (p *Platform) applyAction(req Request, resp *Response, target AccountID) (b
 		}
 		sh := p.shardFor(target)
 		sh.lock()
-		if a, ok := sh.accounts[target]; ok {
-			a.likeCounts[req.Post]++
+		if r, ok := sh.tab.row(target); ok {
+			sh.tab.bumpLike(r, req.Post)
 		}
 		sh.mu.Unlock()
 		return true, nil
@@ -340,12 +340,12 @@ func (p *Platform) applyAction(req Request, resp *Response, target AccountID) (b
 	case ActionPost:
 		sh := p.shardFor(s.id)
 		sh.lock()
-		a, ok := sh.accounts[s.id]
-		if !ok || a.deleted {
+		r, ok := sh.tab.row(s.id)
+		if !ok || sh.tab.deleted[r] {
 			sh.mu.Unlock()
 			return false, ErrAccountGone
 		}
-		resp.Post = p.addPostLocked(a)
+		resp.Post = p.addPostLocked(sh, r)
 		sh.mu.Unlock()
 		return true, nil
 	}

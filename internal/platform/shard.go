@@ -51,11 +51,13 @@ func normShards(n int) int {
 }
 
 // shard is one stripe of account state plus the rate-limit buckets of
-// the accounts it owns.
+// the accounts it owns. Account records live in a struct-of-arrays
+// table (table.go) indexed by dense rows; the limiter's buckets are
+// parallel arrays over the same rows.
 type shard struct {
-	mu       sync.RWMutex
-	accounts map[AccountID]*account
-	limiter  *hourlyLimiter
+	mu      sync.RWMutex
+	tab     accountTable
+	limiter *hourlyLimiter
 
 	// contention counts lock acquisitions that found the stripe already
 	// held (a failed TryLock/TryRLock before blocking). nil = telemetry
@@ -64,10 +66,7 @@ type shard struct {
 }
 
 func newShard() *shard {
-	return &shard{
-		accounts: make(map[AccountID]*account),
-		limiter:  newHourlyLimiter(),
-	}
+	return &shard{limiter: newHourlyLimiter()}
 }
 
 // lock acquires the stripe's write lock, counting contention.

@@ -127,34 +127,36 @@ func (p *Platform) SnapshotState() *State {
 	}
 	for _, sh := range p.shards {
 		sh.rlock()
-		for _, a := range sh.accounts {
+		// Table rows are in registration order; per-account tallies are
+		// maintained sorted, so the flattened form needs only the global
+		// by-ID sort below to be identical to the historical map walk.
+		for r := uint32(0); int(r) < sh.tab.len(); r++ {
 			as := AccountState{
-				ID:           a.id,
-				Username:     a.username,
-				Password:     a.password,
-				Profile:      a.profile,
-				HomeCountry:  a.homeCountry,
-				Created:      a.created,
-				Deleted:      a.deleted,
-				SessionEpoch: a.sessionEpoch,
-				Posts:        append([]PostID(nil), a.posts...),
+				ID:           sh.tab.id(r),
+				Username:     sh.tab.usernames[r],
+				Password:     sh.tab.passwords[r],
+				Profile:      sh.tab.profiles[r],
+				HomeCountry:  sh.tab.homeCountries[r],
+				Created:      sh.tab.created[r],
+				Deleted:      sh.tab.deleted[r],
+				SessionEpoch: sh.tab.sessionEpochs[r],
+				Posts:        append([]PostID(nil), sh.tab.posts[r]...),
 			}
-			for c, n := range a.loginCountries {
-				as.LoginCountries = append(as.LoginCountries, CountryCount{Country: c, N: n})
+			if ls := sh.tab.logins[r]; len(ls) > 0 {
+				as.LoginCountries = append([]CountryCount(nil), ls...)
 			}
-			sort.Slice(as.LoginCountries, func(i, j int) bool {
-				return as.LoginCountries[i].Country < as.LoginCountries[j].Country
-			})
-			for pid, n := range a.likeCounts {
-				as.LikeCounts = append(as.LikeCounts, PostCount{Post: pid, N: n})
+			if lc := sh.tab.likeCounts[r]; len(lc) > 0 {
+				as.LikeCounts = append([]PostCount(nil), lc...)
 			}
-			sort.Slice(as.LikeCounts, func(i, j int) bool {
-				return as.LikeCounts[i].Post < as.LikeCounts[j].Post
-			})
 			st.Accounts = append(st.Accounts, as)
 		}
-		for id, w := range sh.limiter.counts {
-			st.Limiters = append(st.Limiters, LimiterState{ID: id, Hour: w.hour, Count: w.count})
+		for r, hour := range sh.limiter.hours {
+			if hour == 0 {
+				continue // never touched
+			}
+			st.Limiters = append(st.Limiters, LimiterState{
+				ID: sh.tab.id(uint32(r)), Hour: hour, Count: int(sh.limiter.counts[r]),
+			})
 		}
 		sh.mu.RUnlock()
 	}
@@ -203,8 +205,8 @@ func (p *Platform) RestoreState(st *State) {
 	p.nameMu.Unlock()
 	for _, sh := range p.shards {
 		sh.lock()
-		clear(sh.accounts)
-		clear(sh.limiter.counts)
+		sh.tab.reset()
+		sh.limiter.reset()
 		sh.mu.Unlock()
 	}
 	for _, ps := range p.postIdx {
@@ -215,37 +217,29 @@ func (p *Platform) RestoreState(st *State) {
 
 	for i := range st.Accounts {
 		as := &st.Accounts[i]
-		a := &account{
-			id:             as.ID,
-			username:       as.Username,
-			password:       as.Password,
-			profile:        as.Profile,
-			homeCountry:    as.HomeCountry,
-			created:        as.Created,
-			deleted:        as.Deleted,
-			sessionEpoch:   as.SessionEpoch,
-			loginCountries: make(map[string]int, len(as.LoginCountries)),
-			posts:          append([]PostID(nil), as.Posts...),
-			likeCounts:     make(map[PostID]int, len(as.LikeCounts)),
-		}
-		for _, cc := range as.LoginCountries {
-			a.loginCountries[cc.Country] = cc.N
-		}
-		for _, lc := range as.LikeCounts {
-			a.likeCounts[lc.Post] = lc.N
-		}
-		sh := p.shardFor(a.id)
+		sh := p.shardFor(as.ID)
 		sh.lock()
-		sh.accounts[a.id] = a
+		r := sh.tab.add(as.ID, as.Username, as.Password, as.Profile, as.HomeCountry, as.Created)
+		sh.tab.deleted[r] = as.Deleted
+		sh.tab.sessionEpochs[r] = as.SessionEpoch
+		if len(as.LoginCountries) > 0 {
+			sh.tab.logins[r] = append([]CountryCount(nil), as.LoginCountries...)
+		}
+		if len(as.Posts) > 0 {
+			sh.tab.posts[r] = append([]PostID(nil), as.Posts...)
+		}
+		if len(as.LikeCounts) > 0 {
+			sh.tab.likeCounts[r] = append([]PostCount(nil), as.LikeCounts...)
+		}
 		sh.mu.Unlock()
-		if !a.deleted {
+		if !as.Deleted {
 			p.nameMu.Lock()
-			p.byUsername[a.username] = a.id
+			p.byUsername[as.Username] = as.ID
 			p.nameMu.Unlock()
-			for _, pid := range a.posts {
+			for _, pid := range as.Posts {
 				ps := p.postStripeFor(pid)
 				ps.lock()
-				ps.author[pid] = a.id
+				ps.author[pid] = as.ID
 				ps.mu.Unlock()
 			}
 		}
@@ -254,7 +248,9 @@ func (p *Platform) RestoreState(st *State) {
 	for _, ls := range st.Limiters {
 		sh := p.shardFor(ls.ID)
 		sh.lock()
-		sh.limiter.counts[ls.ID] = &window{hour: ls.Hour, count: ls.Count}
+		if r, ok := sh.tab.row(ls.ID); ok {
+			sh.limiter.set(r, ls.Hour, ls.Count)
+		}
 		sh.mu.Unlock()
 	}
 

@@ -37,12 +37,7 @@ func LongTermSplit(svc *detection.ServiceActivity, minRunDays int, includeInboun
 	var s Split
 	var longActs, allActs int
 	for _, a := range svc.ByAccount {
-		acts := 0
-		for _, byType := range a.Daily {
-			for _, n := range byType {
-				acts += n
-			}
-		}
+		acts := a.TotalOutboundAll()
 		if acts == 0 {
 			if !includeInboundOnly {
 				continue
@@ -175,12 +170,7 @@ func EstimateCollusion(svc *detection.ServiceActivity, pricing aas.CollusionPric
 	for _, a := range svc.ByAccount {
 		inLikes := a.TotalInbound(platform.ActionLike)
 		inFollows := a.TotalInbound(platform.ActionFollow)
-		outbound := 0
-		for _, byType := range a.Daily {
-			for _, n := range byType {
-				outbound += n
-			}
-		}
+		outbound := a.TotalOutboundAll()
 		// No-outbound buyers: inbound service actions, zero outbound.
 		if outbound == 0 && (inLikes > 0 || inFollows > 0) {
 			est.NoOutboundAccounts++
@@ -315,9 +305,10 @@ func SplitCollusionNewVsPreexisting(svc *detection.ServiceActivity, pricing aas.
 			continue
 		}
 		var before, during float64
-		for d, byType := range a.InboundDaily {
-			v := float64(byType[platform.ActionLike])
-			switch {
+		for i := range a.InboundDaily {
+			dc := &a.InboundDaily[i]
+			v := float64(dc.N[platform.ActionLike])
+			switch d := int(dc.Day); {
 			case d < monthStart:
 				before += v
 			case d < monthStart+30:

@@ -22,14 +22,9 @@ func mkService() *detection.ServiceActivity {
 // addActor inserts an account active on the given days with n outbound
 // follows per active day.
 func addActor(svc *detection.ServiceActivity, id platform.AccountID, days []int, perDay int) *detection.AccountActivity {
-	a := &detection.AccountActivity{
-		Account:      id,
-		Daily:        make(map[int]map[platform.ActionType]int),
-		InboundDaily: make(map[int]map[platform.ActionType]int),
-		PostLikes:    make(map[platform.PostID]int),
-	}
+	a := &detection.AccountActivity{Account: id}
 	for _, d := range days {
-		a.Daily[d] = map[platform.ActionType]int{platform.ActionFollow: perDay}
+		a.AddOutbound(d, platform.ActionFollow, perDay)
 	}
 	svc.ByAccount[id] = a
 	return a
@@ -135,8 +130,8 @@ func TestEstimateCollusionNoOutbound(t *testing.T) {
 	t.Parallel()
 	svc := mkService()
 	a := addActor(svc, 1, nil, 0) // no outbound at all
-	a.InboundDaily[3] = map[platform.ActionType]int{platform.ActionLike: 300}
-	a.PostLikes[1] = 300
+	a.AddInbound(3, platform.ActionLike, 300)
+	a.AddPostLikes(1, 300)
 
 	est := EstimateCollusion(svc, hublaPricing(), 30)
 	if est.NoOutboundAccounts != 1 {
@@ -151,25 +146,28 @@ func TestEstimateCollusionTiers(t *testing.T) {
 	t.Parallel()
 	svc := mkService()
 	// Tier-1 customer (250–500): median likes/photo 375, paid-speed burst.
-	a := addActor(svc, 1, map[int][]int{}[0], 0)
-	a.Daily[0] = map[platform.ActionType]int{platform.ActionLike: 10} // also a source
-	a.PostLikes[1], a.PostLikes[2], a.PostLikes[3] = 350, 375, 400
+	a := addActor(svc, 1, nil, 0)
+	a.AddOutbound(0, platform.ActionLike, 10) // also a source
+	a.AddPostLikes(1, 350)
+	a.AddPostLikes(2, 375)
+	a.AddPostLikes(3, 400)
 	a.PeakHourlyLike = 350
-	a.InboundDaily[0] = map[platform.ActionType]int{platform.ActionLike: 1125}
+	a.AddInbound(0, platform.ActionLike, 1125)
 
 	// Tier-2 customer (500–1,000): median 700.
 	b := addActor(svc, 2, nil, 0)
-	b.Daily[0] = map[platform.ActionType]int{platform.ActionLike: 5}
-	b.PostLikes[4], b.PostLikes[5] = 650, 750
+	b.AddOutbound(0, platform.ActionLike, 5)
+	b.AddPostLikes(4, 650)
+	b.AddPostLikes(5, 750)
 	b.PeakHourlyLike = 650
-	b.InboundDaily[0] = map[platform.ActionType]int{platform.ActionLike: 1400}
+	b.AddInbound(0, platform.ActionLike, 1400)
 
 	// Top-tier customer above the last tier's max: still binned last.
 	c := addActor(svc, 3, nil, 0)
-	c.Daily[0] = map[platform.ActionType]int{platform.ActionLike: 5}
-	c.PostLikes[6] = 5000
+	c.AddOutbound(0, platform.ActionLike, 5)
+	c.AddPostLikes(6, 5000)
 	c.PeakHourlyLike = 900
-	c.InboundDaily[0] = map[platform.ActionType]int{platform.ActionLike: 5000}
+	c.AddInbound(0, platform.ActionLike, 5000)
 
 	est := EstimateCollusion(svc, hublaPricing(), 30)
 	if est.TierAccounts[0] != 1 || est.TierRevenue[0] != 20 {
@@ -189,10 +187,12 @@ func TestEstimateCollusionOneTime(t *testing.T) {
 	// One-time buyer: one photo with 2,300 likes, median across photos
 	// below the lowest tier (other photos have organic-scale likes).
 	a := addActor(svc, 1, nil, 0)
-	a.Daily[0] = map[platform.ActionType]int{platform.ActionLike: 3}
-	a.PostLikes[1], a.PostLikes[2], a.PostLikes[3] = 2300, 20, 15
+	a.AddOutbound(0, platform.ActionLike, 3)
+	a.AddPostLikes(1, 2300)
+	a.AddPostLikes(2, 20)
+	a.AddPostLikes(3, 15)
 	a.PeakHourlyLike = 1500
-	a.InboundDaily[0] = map[platform.ActionType]int{platform.ActionLike: 2335}
+	a.AddInbound(0, platform.ActionLike, 2335)
 
 	est := EstimateCollusion(svc, hublaPricing(), 30)
 	if est.OneTimeBuyers != 1 {
@@ -212,13 +212,11 @@ func TestEstimateCollusionAds(t *testing.T) {
 	// Free customer receiving exactly 5 free like requests (400 likes)
 	// and 2 follow requests (80 follows) over 30 days.
 	a := addActor(svc, 1, nil, 0)
-	a.Daily[0] = map[platform.ActionType]int{platform.ActionLike: 2}
+	a.AddOutbound(0, platform.ActionLike, 2)
 	a.PeakHourlyLike = 80
-	a.InboundDaily[0] = map[platform.ActionType]int{
-		platform.ActionLike:   400,
-		platform.ActionFollow: 80,
-	}
-	a.PostLikes[1] = 400
+	a.AddInbound(0, platform.ActionLike, 400)
+	a.AddInbound(0, platform.ActionFollow, 80)
+	a.AddPostLikes(1, 400)
 
 	est := EstimateCollusion(svc, hublaPricing(), 30)
 	if est.AdImpressions != 7 {
@@ -262,16 +260,16 @@ func TestSplitCollusionNewVsPreexisting(t *testing.T) {
 	// Preexisting paid customer: bursts in both months.
 	a := addActor(svc, 1, nil, 0)
 	a.PeakHourlyLike = 500
-	a.InboundDaily[5] = map[platform.ActionType]int{platform.ActionLike: 1000}
-	a.InboundDaily[35] = map[platform.ActionType]int{platform.ActionLike: 1000}
+	a.AddInbound(5, platform.ActionLike, 1000)
+	a.AddInbound(35, platform.ActionLike, 1000)
 	// New paid customer: burst only in month 2.
 	b := addActor(svc, 2, nil, 0)
 	b.PeakHourlyLike = 400
-	b.InboundDaily[40] = map[platform.ActionType]int{platform.ActionLike: 3000}
+	b.AddInbound(40, platform.ActionLike, 3000)
 	// Free rider: ignored.
 	c := addActor(svc, 3, nil, 0)
 	c.PeakHourlyLike = 80
-	c.InboundDaily[40] = map[platform.ActionType]int{platform.ActionLike: 80}
+	c.AddInbound(40, platform.ActionLike, 80)
 
 	s := SplitCollusionNewVsPreexisting(svc, pricing, 30)
 	if math.Abs(s.NewFraction-0.75) > 1e-9 {

@@ -1,0 +1,48 @@
+package socialgraph
+
+import "testing"
+
+// Steady-state allocation budgets for the sorted-set adjacency
+// primitives behind every follow/unfollow/like mutation. "Steady
+// state" means the set's backing array already has capacity for the
+// element being inserted — the regime a warm adjacency chunk runs in,
+// where insert is a memmove, not a grow. Raise only with a profile —
+// see docs/PERFORMANCE.md.
+const (
+	allocBudgetSortedPair = 0 // insertSorted+removeSorted with spare capacity
+	allocBudgetContains   = 0 // containsSorted (binary search, read-only)
+)
+
+func TestAllocBudgetSortedSet(t *testing.T) {
+	// 256 resident elements plus headroom for the churned one.
+	s := make([]uint32, 0, 257)
+	for v := uint32(0); v < 256; v++ {
+		s, _ = insertSorted(s, v*2)
+	}
+	const churn = 99 // odd, so it lands mid-set between residents
+	got := testing.AllocsPerRun(100, func() {
+		var ok bool
+		if s, ok = insertSorted(s, churn); !ok {
+			t.Fatal("insertSorted: element already present")
+		}
+		if s, ok = removeSorted(s, churn); !ok {
+			t.Fatal("removeSorted: element missing")
+		}
+	})
+	if got > allocBudgetSortedPair {
+		t.Errorf("insertSorted+removeSorted pair allocates %.1f/op with spare capacity, budget %d — the compact-adjacency mutation path regressed",
+			got, allocBudgetSortedPair)
+	}
+
+	got = testing.AllocsPerRun(100, func() {
+		if !containsSorted(s, 128) {
+			t.Fatal("containsSorted: resident element not found")
+		}
+		if containsSorted(s, churn) {
+			t.Fatal("containsSorted: churned element still present")
+		}
+	})
+	if got > allocBudgetContains {
+		t.Errorf("containsSorted allocates %.1f/op, budget %d", got, allocBudgetContains)
+	}
+}

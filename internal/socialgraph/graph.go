@@ -11,12 +11,15 @@
 // State is lock-striped across shards keyed by a stable hash of the ID
 // (see shard.go), so independent accounts and posts can be read and
 // mutated concurrently; cross-shard operations take their locks in
-// canonical order. All methods are safe for concurrent use.
+// canonical order. Within each stripe, records are struct-of-arrays
+// tables with sorted-[]uint32 adjacency (see table.go), sized for
+// million-account worlds. All methods are safe for concurrent use.
 package socialgraph
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -40,23 +43,6 @@ type Comment struct {
 	Author AccountID
 	Text   string
 	At     time.Time
-}
-
-type post struct {
-	id       PostID
-	author   AccountID
-	created  time.Time
-	likes    map[AccountID]struct{}
-	comments []Comment
-}
-
-type account struct {
-	followers map[AccountID]struct{} // accounts following this one
-	followees map[AccountID]struct{} // accounts this one follows
-	posts     []PostID
-	likes     map[PostID]struct{} // posts this account has liked
-	commented map[PostID]int      // posts this account commented on → count
-	created   time.Time
 }
 
 // Graph is the mutable social graph.
@@ -85,10 +71,10 @@ func NewSharded(n int) *Graph {
 		pshards: make([]*pShard, n),
 	}
 	for i := range g.ashards {
-		g.ashards[i] = &gShard{accounts: make(map[AccountID]*account)}
+		g.ashards[i] = &gShard{}
 	}
 	for i := range g.pshards {
-		g.pshards[i] = &pShard{posts: make(map[PostID]*post)}
+		g.pshards[i] = &pShard{}
 	}
 	return g
 }
@@ -102,15 +88,12 @@ func (g *Graph) CreateAccount(now time.Time) AccountID {
 	g.nextAcct++
 	id := g.nextAcct
 	g.idMu.Unlock()
+	if uint64(id) > math.MaxUint32 {
+		panic("socialgraph: account ID space exceeds uint32 adjacency")
+	}
 	s := g.ashard(id)
 	s.lock()
-	s.accounts[id] = &account{
-		followers: make(map[AccountID]struct{}),
-		followees: make(map[AccountID]struct{}),
-		likes:     make(map[PostID]struct{}),
-		commented: make(map[PostID]int),
-		created:   now,
-	}
+	s.tab.add(id, now)
 	s.mu.Unlock()
 	return id
 }
@@ -120,7 +103,7 @@ func (g *Graph) Exists(id AccountID) bool {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	_, ok := s.accounts[id]
+	_, ok := s.tab.row(id)
 	return ok
 }
 
@@ -129,7 +112,7 @@ func (g *Graph) NumAccounts() int {
 	n := 0
 	for _, s := range g.ashards {
 		s.rlock()
-		n += len(s.accounts)
+		n += s.tab.nLive
 		s.mu.RUnlock()
 	}
 	return n
@@ -143,57 +126,70 @@ func (g *Graph) NumAccounts() int {
 func (g *Graph) DeleteAccount(id AccountID) error {
 	unlock := g.lockAll()
 	defer unlock()
-	home := g.ashards[g.aidx(id)]
-	a, ok := home.accounts[id]
+	home := &g.ashards[g.aidx(id)].tab
+	r, ok := home.row(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoAccount, id)
 	}
+	me := u32(uint64(id))
 	// Sever follow edges.
-	for f := range a.followers {
-		delete(g.ashards[g.aidx(f)].accounts[f].followees, id)
+	for _, f := range home.followers[r] {
+		ft := &g.ashards[g.aidx(AccountID(f))].tab
+		if fr, ok := ft.row(AccountID(f)); ok {
+			ft.followees[fr], _ = removeSorted(ft.followees[fr], me)
+		}
 	}
-	for f := range a.followees {
-		delete(g.ashards[g.aidx(f)].accounts[f].followers, id)
+	for _, f := range home.followees[r] {
+		ft := &g.ashards[g.aidx(AccountID(f))].tab
+		if fr, ok := ft.row(AccountID(f)); ok {
+			ft.followers[fr], _ = removeSorted(ft.followers[fr], me)
+		}
 	}
 	// Remove likes this account placed.
-	for pid := range a.likes {
-		if p, ok := g.pshards[g.pidx(pid)].posts[pid]; ok {
-			delete(p.likes, id)
+	for _, pid := range home.likes[r] {
+		pt := &g.pshards[g.pidx(PostID(pid))].tab
+		if pr, ok := pt.row(PostID(pid)); ok {
+			pt.likes[pr], _ = removeSorted(pt.likes[pr], me)
 		}
 	}
 	// Remove comments this account placed.
-	for pid := range a.commented {
-		p, ok := g.pshards[g.pidx(pid)].posts[pid]
+	for _, pc := range home.commented[r] {
+		pt := &g.pshards[g.pidx(PostID(pc.pid))].tab
+		pr, ok := pt.row(PostID(pc.pid))
 		if !ok {
 			continue
 		}
-		kept := p.comments[:0]
-		for _, c := range p.comments {
+		kept := pt.comments[pr][:0]
+		for _, c := range pt.comments[pr] {
 			if c.Author != id {
 				kept = append(kept, c)
 			}
 		}
-		p.comments = kept
+		pt.comments[pr] = kept
 	}
 	// Remove this account's own posts and the actions on them.
-	for _, pid := range a.posts {
-		ps := g.pshards[g.pidx(pid)]
-		p := ps.posts[pid]
-		for liker := range p.likes {
-			if la, ok := g.ashards[g.aidx(liker)].accounts[liker]; ok {
-				delete(la.likes, pid)
+	for _, pid := range home.posts[r] {
+		pt := &g.pshards[g.pidx(pid)].tab
+		pr, ok := pt.row(pid)
+		if !ok {
+			continue
+		}
+		p32 := u32(uint64(pid))
+		for _, liker := range pt.likes[pr] {
+			lt := &g.ashards[g.aidx(AccountID(liker))].tab
+			if lr, ok := lt.row(AccountID(liker)); ok {
+				lt.likes[lr], _ = removeSorted(lt.likes[lr], p32)
 			}
 		}
-		for _, c := range p.comments {
-			if ca, ok := g.ashards[g.aidx(c.Author)].accounts[c.Author]; ok {
-				if ca.commented[pid]--; ca.commented[pid] <= 0 {
-					delete(ca.commented, pid)
-				}
+		for _, c := range pt.comments[pr] {
+			ct := &g.ashards[g.aidx(c.Author)].tab
+			if cr, ok := ct.row(c.Author); ok {
+				ct.bumpCommented(cr, p32, -1)
 			}
 		}
-		delete(ps.posts, pid)
+		pt.tombstone(pr)
 	}
-	delete(home.accounts, id)
+	home.tombstone(r)
 	return nil
 }
 
@@ -205,19 +201,22 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 	}
 	lo, hi := g.lockAccounts(from, to)
 	defer unlockAccounts(lo, hi)
-	fa, ok := g.ashards[g.aidx(from)].accounts[from]
+	ft := &g.ashards[g.aidx(from)].tab
+	fr, ok := ft.row(from)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
 	}
-	ta, ok := g.ashards[g.aidx(to)].accounts[to]
+	tt := &g.ashards[g.aidx(to)].tab
+	tr, ok := tt.row(to)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
 	}
-	if _, dup := fa.followees[to]; dup {
+	fees, added := insertSorted(ft.followees[fr], u32(uint64(to)))
+	if !added {
 		return false, nil
 	}
-	fa.followees[to] = struct{}{}
-	ta.followers[from] = struct{}{}
+	ft.followees[fr] = fees
+	tt.followers[tr], _ = insertSorted(tt.followers[tr], u32(uint64(from)))
 	return true, nil
 }
 
@@ -226,19 +225,22 @@ func (g *Graph) Follow(from, to AccountID) (bool, error) {
 func (g *Graph) Unfollow(from, to AccountID) (bool, error) {
 	lo, hi := g.lockAccounts(from, to)
 	defer unlockAccounts(lo, hi)
-	fa, ok := g.ashards[g.aidx(from)].accounts[from]
+	ft := &g.ashards[g.aidx(from)].tab
+	fr, ok := ft.row(from)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, from)
 	}
-	ta, ok := g.ashards[g.aidx(to)].accounts[to]
+	tt := &g.ashards[g.aidx(to)].tab
+	tr, ok := tt.row(to)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, to)
 	}
-	if _, had := fa.followees[to]; !had {
+	fees, had := removeSorted(ft.followees[fr], u32(uint64(to)))
+	if !had {
 		return false, nil
 	}
-	delete(fa.followees, to)
-	delete(ta.followers, from)
+	ft.followees[fr] = fees
+	tt.followers[tr], _ = removeSorted(tt.followers[tr], u32(uint64(from)))
 	return true, nil
 }
 
@@ -247,12 +249,11 @@ func (g *Graph) Follows(from, to AccountID) bool {
 	s := g.ashard(from)
 	s.rlock()
 	defer s.mu.RUnlock()
-	fa, ok := s.accounts[from]
+	r, ok := s.tab.row(from)
 	if !ok {
 		return false
 	}
-	_, yes := fa.followees[to]
-	return yes
+	return containsSorted(s.tab.followees[r], u32(uint64(to)))
 }
 
 // InDegree returns the follower count (the paper's "followers").
@@ -260,8 +261,8 @@ func (g *Graph) InDegree(id AccountID) int {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	if a, ok := s.accounts[id]; ok {
-		return len(a.followers)
+	if r, ok := s.tab.row(id); ok {
+		return len(s.tab.followers[r])
 	}
 	return 0
 }
@@ -271,40 +272,46 @@ func (g *Graph) OutDegree(id AccountID) int {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	if a, ok := s.accounts[id]; ok {
-		return len(a.followees)
+	if r, ok := s.tab.row(id); ok {
+		return len(s.tab.followees[r])
 	}
 	return 0
 }
 
-// Followers returns a snapshot of the accounts following id.
+// Followers returns a snapshot of the accounts following id, in
+// ascending ID order.
 func (g *Graph) Followers(id AccountID) []AccountID {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	a, ok := s.accounts[id]
+	r, ok := s.tab.row(id)
 	if !ok {
 		return nil
 	}
-	out := make([]AccountID, 0, len(a.followers))
-	for f := range a.followers {
-		out = append(out, f)
-	}
-	return out
+	return widen[AccountID](s.tab.followers[r])
 }
 
-// Followees returns a snapshot of the accounts id follows.
+// Followees returns a snapshot of the accounts id follows, in ascending
+// ID order.
 func (g *Graph) Followees(id AccountID) []AccountID {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	a, ok := s.accounts[id]
+	r, ok := s.tab.row(id)
 	if !ok {
 		return nil
 	}
-	out := make([]AccountID, 0, len(a.followees))
-	for f := range a.followees {
-		out = append(out, f)
+	return widen[AccountID](s.tab.followees[r])
+}
+
+// widen copies a compressed ID set out to the public 64-bit type.
+func widen[T ~uint64](s []uint32) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]T, len(s))
+	for i, v := range s {
+		out[i] = T(v)
 	}
 	return out
 }
@@ -314,7 +321,7 @@ func (g *Graph) AddPost(id AccountID, now time.Time) (PostID, error) {
 	s := g.ashard(id)
 	s.lock()
 	defer s.mu.Unlock()
-	a, ok := s.accounts[id]
+	r, ok := s.tab.row(id)
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoAccount, id)
 	}
@@ -322,11 +329,14 @@ func (g *Graph) AddPost(id AccountID, now time.Time) (PostID, error) {
 	g.nextPost++
 	pid := g.nextPost
 	g.idMu.Unlock()
+	if uint64(pid) > math.MaxUint32 {
+		panic("socialgraph: post ID space exceeds uint32 adjacency")
+	}
 	ps := g.pshard(pid)
 	ps.lock()
-	ps.posts[pid] = &post{id: pid, author: id, created: now, likes: make(map[AccountID]struct{})}
+	ps.tab.add(pid, id, now)
 	ps.mu.Unlock()
-	a.posts = append(a.posts, pid)
+	s.tab.posts[r] = append(s.tab.posts[r], pid)
 	return pid, nil
 }
 
@@ -335,11 +345,11 @@ func (g *Graph) Posts(id AccountID) []PostID {
 	s := g.ashard(id)
 	s.rlock()
 	defer s.mu.RUnlock()
-	a, ok := s.accounts[id]
+	r, ok := s.tab.row(id)
 	if !ok {
 		return nil
 	}
-	return append([]PostID(nil), a.posts...)
+	return append([]PostID(nil), s.tab.posts[r]...)
 }
 
 // PostAuthor returns the author of pid.
@@ -347,11 +357,11 @@ func (g *Graph) PostAuthor(pid PostID) (AccountID, error) {
 	s := g.pshard(pid)
 	s.rlock()
 	defer s.mu.RUnlock()
-	p, ok := s.posts[pid]
+	r, ok := s.tab.row(pid)
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
-	return p.author, nil
+	return AccountID(s.tab.authors[r]), nil
 }
 
 // Like records who liking pid. Liking your own post is allowed (as on the
@@ -360,22 +370,23 @@ func (g *Graph) Like(who AccountID, pid PostID) (bool, error) {
 	sa := g.ashard(who)
 	sa.lock()
 	defer sa.mu.Unlock()
-	a, ok := sa.accounts[who]
+	ar, ok := sa.tab.row(who)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
 	sp := g.pshard(pid)
 	sp.lock()
 	defer sp.mu.Unlock()
-	p, ok := sp.posts[pid]
+	pr, ok := sp.tab.row(pid)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
-	if _, dup := p.likes[who]; dup {
+	likes, added := insertSorted(sp.tab.likes[pr], u32(uint64(who)))
+	if !added {
 		return false, nil
 	}
-	p.likes[who] = struct{}{}
-	a.likes[pid] = struct{}{}
+	sp.tab.likes[pr] = likes
+	sa.tab.likes[ar], _ = insertSorted(sa.tab.likes[ar], u32(uint64(pid)))
 	return true, nil
 }
 
@@ -384,22 +395,23 @@ func (g *Graph) Unlike(who AccountID, pid PostID) (bool, error) {
 	sa := g.ashard(who)
 	sa.lock()
 	defer sa.mu.Unlock()
-	a, ok := sa.accounts[who]
+	ar, ok := sa.tab.row(who)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
 	sp := g.pshard(pid)
 	sp.lock()
 	defer sp.mu.Unlock()
-	p, ok := sp.posts[pid]
+	pr, ok := sp.tab.row(pid)
 	if !ok {
 		return false, fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
-	if _, had := p.likes[who]; !had {
+	likes, had := removeSorted(sp.tab.likes[pr], u32(uint64(who)))
+	if !had {
 		return false, nil
 	}
-	delete(p.likes, who)
-	delete(a.likes, pid)
+	sp.tab.likes[pr] = likes
+	sa.tab.likes[ar], _ = removeSorted(sa.tab.likes[ar], u32(uint64(pid)))
 	return true, nil
 }
 
@@ -408,26 +420,23 @@ func (g *Graph) LikeCount(pid PostID) int {
 	s := g.pshard(pid)
 	s.rlock()
 	defer s.mu.RUnlock()
-	if p, ok := s.posts[pid]; ok {
-		return len(p.likes)
+	if r, ok := s.tab.row(pid); ok {
+		return len(s.tab.likes[r])
 	}
 	return 0
 }
 
-// Likers returns a snapshot of the accounts that liked pid.
+// Likers returns a snapshot of the accounts that liked pid, in ascending
+// ID order.
 func (g *Graph) Likers(pid PostID) []AccountID {
 	s := g.pshard(pid)
 	s.rlock()
 	defer s.mu.RUnlock()
-	p, ok := s.posts[pid]
+	r, ok := s.tab.row(pid)
 	if !ok {
 		return nil
 	}
-	out := make([]AccountID, 0, len(p.likes))
-	for a := range p.likes {
-		out = append(out, a)
-	}
-	return out
+	return widen[AccountID](s.tab.likes[r])
 }
 
 // AddComment appends a comment by who to pid.
@@ -435,19 +444,19 @@ func (g *Graph) AddComment(who AccountID, pid PostID, text string, now time.Time
 	sa := g.ashard(who)
 	sa.lock()
 	defer sa.mu.Unlock()
-	a, ok := sa.accounts[who]
+	ar, ok := sa.tab.row(who)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoAccount, who)
 	}
 	sp := g.pshard(pid)
 	sp.lock()
 	defer sp.mu.Unlock()
-	p, ok := sp.posts[pid]
+	pr, ok := sp.tab.row(pid)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoPost, pid)
 	}
-	p.comments = append(p.comments, Comment{Author: who, Text: text, At: now})
-	a.commented[pid]++
+	sp.tab.comments[pr] = append(sp.tab.comments[pr], Comment{Author: who, Text: text, At: now})
+	sa.tab.bumpCommented(ar, u32(uint64(pid)), 1)
 	return nil
 }
 
@@ -456,11 +465,11 @@ func (g *Graph) Comments(pid PostID) []Comment {
 	s := g.pshard(pid)
 	s.rlock()
 	defer s.mu.RUnlock()
-	p, ok := s.posts[pid]
+	r, ok := s.tab.row(pid)
 	if !ok {
 		return nil
 	}
-	return append([]Comment(nil), p.comments...)
+	return append([]Comment(nil), s.tab.comments[r]...)
 }
 
 // EngagementRate computes the influencer metric the services promote (§2):
@@ -474,20 +483,20 @@ func (g *Graph) Comments(pid PostID) []Comment {
 func (g *Graph) EngagementRate(id AccountID) float64 {
 	s := g.ashard(id)
 	s.rlock()
-	a, ok := s.accounts[id]
-	if !ok || len(a.followers) == 0 {
+	r, ok := s.tab.row(id)
+	if !ok || len(s.tab.followers[r]) == 0 {
 		s.mu.RUnlock()
 		return 0
 	}
-	followers := len(a.followers)
-	posts := append([]PostID(nil), a.posts...)
+	followers := len(s.tab.followers[r])
+	posts := append([]PostID(nil), s.tab.posts[r]...)
 	s.mu.RUnlock()
 	total := 0
 	for _, pid := range posts {
 		ps := g.pshard(pid)
 		ps.rlock()
-		if p, ok := ps.posts[pid]; ok {
-			total += len(p.likes) + len(p.comments)
+		if pr, ok := ps.tab.row(pid); ok {
+			total += len(ps.tab.likes[pr]) + len(ps.tab.comments[pr])
 		}
 		ps.mu.RUnlock()
 	}

@@ -36,10 +36,11 @@ func shardHash(x uint64) uint64 {
 	return x
 }
 
-// gShard is one stripe of account records.
+// gShard is one stripe of account records, laid out struct-of-arrays
+// (see table.go).
 type gShard struct {
-	mu       sync.RWMutex
-	accounts map[AccountID]*account
+	mu  sync.RWMutex
+	tab acctTable
 
 	// contention counts acquisitions that found the stripe already held
 	// (a failed TryLock/TryRLock before blocking). nil = telemetry off.
@@ -62,10 +63,11 @@ func (s *gShard) rlock() {
 	s.mu.RLock()
 }
 
-// pShard is one stripe of post records.
+// pShard is one stripe of post records, laid out struct-of-arrays
+// (see table.go).
 type pShard struct {
 	mu         sync.RWMutex
-	posts      map[PostID]*post
+	tab        postTable
 	contention *telemetry.Counter
 }
 

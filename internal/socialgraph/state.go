@@ -10,8 +10,10 @@ import (
 // sorted by ID — and stores only one side of each symmetric relation:
 // follower sets, per-account like sets, and per-account comment counts
 // are derived on restore from followee sets, post like sets, and post
-// comment lists respectively. Both operations run on the quiescent
-// single timeline (day boundaries), never under concurrent mutation.
+// comment lists respectively. The in-memory adjacency is kept sorted,
+// so flattening is a straight widening copy. Both operations run on the
+// quiescent single timeline (day boundaries), never under concurrent
+// mutation.
 
 // State is the complete mutable state of a Graph.
 type State struct {
@@ -45,35 +47,33 @@ func (g *Graph) SnapshotState() *State {
 	g.idMu.Unlock()
 	for _, s := range g.ashards {
 		s.rlock()
-		for id, a := range s.accounts {
-			as := AccountState{
-				ID:      id,
-				Created: a.created,
-				Posts:   append([]PostID(nil), a.posts...),
+		for r := uint32(0); int(r) < len(s.tab.live); r++ {
+			if !s.tab.live[r] {
+				continue
 			}
-			for f := range a.followees {
-				as.Followees = append(as.Followees, f)
-			}
-			sort.Slice(as.Followees, func(i, j int) bool { return as.Followees[i] < as.Followees[j] })
-			st.Accounts = append(st.Accounts, as)
+			st.Accounts = append(st.Accounts, AccountState{
+				ID:        AccountID(s.tab.ids.ID(r)),
+				Created:   s.tab.created[r],
+				Followees: widen[AccountID](s.tab.followees[r]),
+				Posts:     append([]PostID(nil), s.tab.posts[r]...),
+			})
 		}
 		s.mu.RUnlock()
 	}
 	sort.Slice(st.Accounts, func(i, j int) bool { return st.Accounts[i].ID < st.Accounts[j].ID })
 	for _, s := range g.pshards {
 		s.rlock()
-		for id, p := range s.posts {
-			ps := PostState{
-				ID:       id,
-				Author:   p.author,
-				Created:  p.created,
-				Comments: append([]Comment(nil), p.comments...),
+		for r := uint32(0); int(r) < len(s.tab.live); r++ {
+			if !s.tab.live[r] {
+				continue
 			}
-			for who := range p.likes {
-				ps.Likes = append(ps.Likes, who)
-			}
-			sort.Slice(ps.Likes, func(i, j int) bool { return ps.Likes[i] < ps.Likes[j] })
-			st.Posts = append(st.Posts, ps)
+			st.Posts = append(st.Posts, PostState{
+				ID:       PostID(s.tab.ids.ID(r)),
+				Author:   AccountID(s.tab.authors[r]),
+				Created:  s.tab.created[r],
+				Likes:    widen[AccountID](s.tab.likes[r]),
+				Comments: append([]Comment(nil), s.tab.comments[r]...),
+			})
 		}
 		s.mu.RUnlock()
 	}
@@ -82,7 +82,9 @@ func (g *Graph) SnapshotState() *State {
 }
 
 // RestoreState overwrites the graph's state with a snapshot, rebuilding
-// the derived sides of each symmetric relation.
+// the derived sides of each symmetric relation. Derived sets come out
+// sorted for free: accounts and posts are visited in ascending-ID
+// order, so each append lands in order.
 func (g *Graph) RestoreState(st *State) {
 	g.idMu.Lock()
 	g.nextAcct = st.NextAcct
@@ -90,30 +92,29 @@ func (g *Graph) RestoreState(st *State) {
 	g.idMu.Unlock()
 	for _, s := range g.ashards {
 		s.lock()
-		clear(s.accounts)
+		s.tab.reset()
 		s.mu.Unlock()
 	}
 	for _, s := range g.pshards {
 		s.lock()
-		clear(s.posts)
+		s.tab.reset()
 		s.mu.Unlock()
 	}
 	for i := range st.Accounts {
 		as := &st.Accounts[i]
-		a := &account{
-			followers: make(map[AccountID]struct{}),
-			followees: make(map[AccountID]struct{}, len(as.Followees)),
-			posts:     append([]PostID(nil), as.Posts...),
-			likes:     make(map[PostID]struct{}),
-			commented: make(map[PostID]int),
-			created:   as.Created,
-		}
-		for _, f := range as.Followees {
-			a.followees[f] = struct{}{}
-		}
 		s := g.ashard(as.ID)
 		s.lock()
-		s.accounts[as.ID] = a
+		r := s.tab.add(as.ID, as.Created)
+		if n := len(as.Followees); n > 0 {
+			fees := make([]uint32, n)
+			for j, f := range as.Followees {
+				fees[j] = u32(uint64(f))
+			}
+			s.tab.followees[r] = fees
+		}
+		if len(as.Posts) > 0 {
+			s.tab.posts[r] = append([]PostID(nil), as.Posts...)
+		}
 		s.mu.Unlock()
 	}
 	// Derive follower sets now that every account exists.
@@ -122,42 +123,43 @@ func (g *Graph) RestoreState(st *State) {
 		for _, f := range as.Followees {
 			s := g.ashard(f)
 			s.lock()
-			if ta, ok := s.accounts[f]; ok {
-				ta.followers[as.ID] = struct{}{}
+			if r, ok := s.tab.row(f); ok {
+				s.tab.followers[r] = append(s.tab.followers[r], u32(uint64(as.ID)))
 			}
 			s.mu.Unlock()
 		}
 	}
 	for i := range st.Posts {
 		ps := &st.Posts[i]
-		p := &post{
-			id:       ps.ID,
-			author:   ps.Author,
-			created:  ps.Created,
-			likes:    make(map[AccountID]struct{}, len(ps.Likes)),
-			comments: append([]Comment(nil), ps.Comments...),
-		}
-		for _, who := range ps.Likes {
-			p.likes[who] = struct{}{}
-		}
 		s := g.pshard(ps.ID)
 		s.lock()
-		s.posts[ps.ID] = p
+		r := s.tab.add(ps.ID, ps.Author, ps.Created)
+		if n := len(ps.Likes); n > 0 {
+			likes := make([]uint32, n)
+			for j, who := range ps.Likes {
+				likes[j] = u32(uint64(who))
+			}
+			s.tab.likes[r] = likes
+		}
+		if len(ps.Comments) > 0 {
+			s.tab.comments[r] = append([]Comment(nil), ps.Comments...)
+		}
 		s.mu.Unlock()
 		// Derive the per-account like sets and comment counts.
+		pid := u32(uint64(ps.ID))
 		for _, who := range ps.Likes {
 			as := g.ashard(who)
 			as.lock()
-			if a, ok := as.accounts[who]; ok {
-				a.likes[ps.ID] = struct{}{}
+			if r, ok := as.tab.row(who); ok {
+				as.tab.likes[r] = append(as.tab.likes[r], pid)
 			}
 			as.mu.Unlock()
 		}
 		for _, c := range ps.Comments {
 			as := g.ashard(c.Author)
 			as.lock()
-			if a, ok := as.accounts[c.Author]; ok {
-				a.commented[ps.ID]++
+			if r, ok := as.tab.row(c.Author); ok {
+				as.tab.bumpCommented(r, pid, 1)
 			}
 			as.mu.Unlock()
 		}

@@ -33,10 +33,17 @@
 # quantiles (see docs/API.md); the serve path's budget is >=50k req/s
 # on the 1-CPU CI host.
 #
-# Usage: scripts/bench.sh [output.json]
+# Setting BENCH_SCALE=1 appends the million-account arm: a 1M-account,
+# 90-day world (the paper's full population over its full measurement
+# window) reporting ns/tick, live B/account, and the peak-heap
+# high-water mark in MiB. It needs ~1 GiB of heap and a few minutes of
+# wall clock, so it is opt-in rather than part of the default sweep
+# (see docs/PERFORMANCE.md, "Scaling to 1M accounts").
+#
+# Usage: [BENCH_SCALE=1] scripts/bench.sh [output.json]
 set -eu
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 cd "$(dirname "$0")/.."
 
 raw="$(go test -run '^$' -bench 'Benchmark(ParallelStep(Faults)?|ShardedStep|AllocStep|Snapshot|TraceStep|DurableStep)$' -benchtime "${BENCHTIME:-1x}" -benchmem .)"
@@ -80,7 +87,30 @@ serve_rec="$(printf '%s\n' "$lg" | awk -F'loadgen-json: ' '/^loadgen-json: /{
 }')"
 [ -n "$serve_rec" ] || { echo "bench.sh: loadgen produced no record" >&2; exit 1; }
 
-printf '%s\n%s\n' "$recs" "$serve_rec" | awk '
+# Opt-in million-account arm (BENCH_SCALE=1): run separately from the
+# main sweep so its ~1 GiB heap never inflates the -benchmem numbers of
+# the small-world benchmarks sharing the process.
+scale_rec=""
+if [ -n "${BENCH_SCALE:-}" ]; then
+    scale_raw="$(go test -run '^$' -bench 'BenchmarkScaleWorld$' -benchtime 1x -timeout 60m .)"
+    printf '%s\n' "$scale_raw" >&2
+    scale_rec="$(printf '%s\n' "$scale_raw" | awk '
+/^BenchmarkScaleWorld/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    rec = "  {\"bench\": \"" name "\", \"iters\": " $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        rec = rec ", \"" $(i + 1) "\": " $i
+    }
+    rec = rec "}"
+    print rec
+}
+')"
+    [ -n "$scale_rec" ] || { echo "bench.sh: scale arm produced no record" >&2; exit 1; }
+fi
+
+printf '%s\n%s\n%s\n' "$recs" "$serve_rec" "$scale_rec" | awk '
 NF { recs[n++] = $0 }
 END {
     print "["
